@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment runners train models, so repeating them for statistical
+    timing stability would multiply the suite's runtime without changing the
+    regenerated tables; a single timed round is what we want.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Figure 4: precision-recall curves for Graph2Class, Graph2Space and Typilus."""
+
+from _bench_utils import run_once
+
+from repro.core import LossKind
+from repro.core.metrics import precision_at_recall
+from repro.evaluation import format_figure4, run_figure4, train_variant
+
+
+def test_fig4_precision_recall_curves(benchmark, settings, dataset, typilus_variant):
+    def build():
+        variants = [
+            train_variant(dataset, settings, "graph", LossKind.CLASSIFICATION, label="Graph2Class"),
+            train_variant(dataset, settings, "graph", LossKind.SPACE, label="Graph2Space"),
+            typilus_variant,
+        ]
+        return run_figure4(settings, dataset=dataset, variants=variants)
+
+    result = run_once(benchmark, build)
+    print("\n" + format_figure4(result))
+
+    for label, points in result.curves.items():
+        recalls = [point.recall for point in points]
+        assert recalls == sorted(recalls, reverse=True), label
+        # Precision at reduced recall should not be worse than at full recall
+        # (thresholding trades recall for precision, the mechanism behind the
+        # paper's 95%-at-70%-recall headline).
+        assert points[0].recall == 1.0
+
+    typilus_points = result.curves["Typilus"]
+    precision_high_recall = precision_at_recall(typilus_points, 0.7, criterion="neutral")
+    precision_full = typilus_points[0].precision_neutral
+    assert precision_high_recall >= precision_full - 1e-9

@@ -1,0 +1,20 @@
+"""Figure 5: accuracy bucketed by how often the ground-truth type is annotated."""
+
+from _bench_utils import run_once
+
+from repro.evaluation import format_figure5, run_figure5
+
+
+def test_fig5_accuracy_by_annotation_count(benchmark, settings, dataset, typilus_variant):
+    result = run_once(benchmark, lambda: run_figure5(settings, dataset=dataset, variant=typilus_variant))
+    print("\n" + format_figure5(result))
+
+    populated = [bucket for bucket in result.buckets if bucket.count > 0]
+    assert populated, "no test predictions were bucketed"
+    assert sum(bucket.count for bucket in result.buckets) == len(typilus_variant.evaluated)
+
+    # The paper's trend: frequently annotated types are predicted (weakly)
+    # better than the rarest bucket.
+    rarest = populated[0]
+    most_common = populated[-1]
+    assert most_common.exact_match >= rarest.exact_match

@@ -1,0 +1,23 @@
+"""Figure 6: sweep of k and p in the kNN prediction rule (Eq. 5)."""
+
+from _bench_utils import run_once
+
+from repro.evaluation import format_figure6, run_figure6, summarise_heatmap
+
+
+def test_fig6_knn_parameter_sweep(benchmark, settings, dataset, typilus_variant):
+    result = run_once(
+        benchmark,
+        lambda: run_figure6(settings, dataset=dataset, variant=typilus_variant),
+    )
+    print("\n" + format_figure6(result))
+    print("\nheadline:", summarise_heatmap(result))
+
+    assert result.scores.shape == (len(result.k_values), len(result.p_values))
+    assert (result.scores >= 0).all() and (result.scores <= 100).all()
+
+    # The paper finds k=1 never wins: a wider neighbourhood with distance
+    # weighting is at least as good as pure 1-NN.
+    k1_best = result.scores[0].max()
+    overall_best = result.scores.max()
+    assert overall_best >= k1_best

@@ -1,0 +1,21 @@
+"""Figure 7: precision-recall of checker-correct predictions vs confidence."""
+
+from _bench_utils import run_once
+
+from repro.evaluation import format_figure7, run_figure7
+
+
+def test_fig7_typecheck_precision_recall(benchmark, settings, dataset, typilus_variant):
+    result = run_once(
+        benchmark,
+        lambda: run_figure7(settings, dataset=dataset, variant=typilus_variant, max_predictions=100),
+    )
+    print("\n" + format_figure7(result))
+
+    assert set(result.curves) == {"strict", "lenient"}
+    for mode, points in result.curves.items():
+        recalls = [point.recall for point in points]
+        assert recalls == sorted(recalls, reverse=True), mode
+        assert all(0.0 <= point.precision <= 1.0 for point in points)
+        # Restricting to confident predictions should not hurt checker-precision.
+        assert points[-2].precision >= points[0].precision - 0.1

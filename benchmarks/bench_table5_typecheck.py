@@ -1,0 +1,27 @@
+"""Table 5: correctness of predictions modulo the optional type checker."""
+
+from _bench_utils import run_once
+
+from repro.evaluation import format_table5, run_table5
+
+
+def test_table5_typecheck_accuracy(benchmark, settings, dataset, typilus_variant):
+    result = run_once(
+        benchmark,
+        lambda: run_table5(settings, dataset=dataset, variant=typilus_variant, max_predictions_per_mode=120),
+    )
+    print("\n" + format_table5(result))
+
+    for mode, cells in result.by_mode.items():
+        assert abs(sum(cell.proportion for cell in cells) - 1.0) < 1e-6
+        # The majority of top-1 predictions should not introduce type errors
+        # (the paper reports 89% for mypy and 83% for pytype).
+        assert result.overall_accuracy[mode] > 0.5
+        assert result.total_checked[mode] > 0
+
+    # The identical-annotation row (tau -> tau) is a sanity check: re-inserting
+    # the original annotation can never introduce an error.
+    for cells in result.by_mode.values():
+        unchanged = [cell for cell in cells if cell.category.value == "tau_to_tau"]
+        if unchanged and unchanged[0].checked:
+            assert unchanged[0].accuracy == 1.0

@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper.  The
+corpus, dataset and the reference Typilus model are session-scoped so the
+table/figure benches that only *consume* a trained model (Tables 3 and 5,
+Figures 4-7) do not retrain it.
+
+The benchmark profile is selected with the ``REPRO_BENCH_PROFILE``
+environment variable: ``tiny`` (default, a few minutes for the whole suite),
+``fast`` (larger corpus, clearer trends) or ``paper`` (closest to the paper's
+scale; tens of minutes).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import LossKind  # noqa: E402
+from repro.evaluation import ExperimentSettings, build_dataset, train_variant  # noqa: E402
+
+
+def _profile() -> ExperimentSettings:
+    name = os.environ.get("REPRO_BENCH_PROFILE", "tiny").lower()
+    if name == "paper":
+        return ExperimentSettings.paper_scale()
+    if name == "fast":
+        return ExperimentSettings.fast()
+    return ExperimentSettings.tiny()
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return _profile()
+
+
+@pytest.fixture(scope="session")
+def dataset(settings):
+    return build_dataset(settings)
+
+
+@pytest.fixture(scope="session")
+def typilus_variant(settings, dataset):
+    """The reference Graph+Typilus model reused by consumer benchmarks."""
+    return train_variant(dataset, settings, "graph", LossKind.TYPILUS, label="Typilus")
+
+

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The package is normally installed with ``pip install -e .``; this fallback
+keeps the test and benchmark suites runnable in environments where an
+editable install is unavailable (e.g. offline containers without wheel).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,84 @@
+"""Gradually annotate an unannotated project, one accepted suggestion at a time.
+
+Sec. 6.3 frames Typilus' goal as "helping developers gradually move an
+unannotated or partially annotated program to a fully annotated program by
+adding a type prediction at a time".  This example simulates that loop:
+
+1. start from a project whose annotations have been stripped;
+2. ask the pipeline for suggestions, highest-confidence first;
+3. accept a suggestion only if the optional type checker raises no new
+   errors when the annotation is inserted;
+4. insert it into the source and repeat.
+
+At the end it reports how much of the project was annotated and how often
+the accepted annotations agree with the original (held-back) ones.
+"""
+
+from repro.checker import CheckerMode, apply_annotation
+from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
+from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.graph import collect_annotations, erase_annotations
+from repro.graph.builder import SymbolKey
+from repro.graph.nodes import SymbolKind
+
+
+def main() -> None:
+    print("training Typilus ...")
+    dataset = TypeAnnotationDataset.synthetic(
+        SynthesisConfig(num_files=48, seed=11),
+        DatasetConfig(rarity_threshold=12),
+    )
+    pipeline = TypilusPipeline.fit(
+        dataset,
+        EncoderConfig(family="graph", hidden_dim=32, gnn_steps=3),
+        loss_kind=LossKind.TYPILUS,
+        training_config=TrainingConfig(epochs=6, graphs_per_batch=8),
+    )
+
+    # A "new project" the model has never seen: freshly synthesised files.
+    project = CorpusSynthesizer(SynthesisConfig(num_files=3, seed=999)).generate()
+    annotated_total = 0
+    agreements = 0
+    accepted_total = 0
+
+    for entry in project:
+        original_annotations = collect_annotations(entry.source)
+        working_source = erase_annotations(entry.source)  # the unannotated starting point
+        suggestions = pipeline.suggest_for_source(
+            working_source, use_type_checker=True, checker_mode=CheckerMode.STRICT
+        )
+        suggestions.sort(key=lambda s: -s.confidence)
+
+        accepted = 0
+        for suggestion in suggestions:
+            if suggestion.suggested_type is None or suggestion.confidence < 0.5:
+                continue
+            try:
+                working_source = apply_annotation(
+                    working_source,
+                    suggestion.scope,
+                    suggestion.name,
+                    SymbolKind(suggestion.kind),
+                    suggestion.suggested_type,
+                )
+            except Exception:
+                continue
+            accepted += 1
+            key = SymbolKey(suggestion.scope, suggestion.name, SymbolKind(suggestion.kind))
+            if key in original_annotations:
+                annotated_total += 1
+                if original_annotations[key] == suggestion.suggested_type:
+                    agreements += 1
+        accepted_total += accepted
+        print(f"{entry.filename}: accepted {accepted} suggestions")
+
+    print(f"\naccepted {accepted_total} annotations across the project")
+    if annotated_total:
+        print(
+            f"of the {annotated_total} symbols the original authors had annotated, "
+            f"{agreements} ({100 * agreements / annotated_total:.0f}%) received the same type"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: train Typilus on a synthetic corpus and suggest types.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a small synthetic Python corpus (the offline stand-in for the
+   paper's GitHub corpus — see DESIGN.md);
+2. train the graph model with the Typilus loss (Eq. 4);
+3. evaluate on the held-out test split;
+4. ask for type suggestions on a brand-new, unannotated snippet.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
+from repro.corpus import DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+
+SNIPPET = '''
+def scale_price(price, factor):
+    return price * factor
+
+
+def format_receipt(name, total):
+    return name + ": " + str(total)
+
+
+def collect_labels(count, label):
+    gathered = []
+    for position in range(count):
+        gathered.append(label + str(position))
+    return gathered
+'''
+
+
+def main() -> None:
+    print("1. generating synthetic corpus and assembling the dataset ...")
+    dataset = TypeAnnotationDataset.synthetic(
+        SynthesisConfig(num_files=40, seed=7),
+        DatasetConfig(rarity_threshold=12),
+    )
+    print("   ", dataset.summary())
+
+    print("2. training the Typilus graph model ...")
+    pipeline = TypilusPipeline.fit(
+        dataset,
+        EncoderConfig(family="graph", hidden_dim=32, gnn_steps=3),
+        loss_kind=LossKind.TYPILUS,
+        training_config=TrainingConfig(epochs=6, graphs_per_batch=8),
+        verbose=True,
+    )
+
+    print("3. evaluating on the test split ...")
+    summary, _ = pipeline.evaluate_split(dataset.test)
+    print("   ", summary.as_row())
+
+    print("4. suggesting types for an unannotated snippet ...")
+    for suggestion in pipeline.suggest_for_source(SNIPPET, use_type_checker=True):
+        print(
+            f"   {suggestion.scope:28s} {suggestion.name:12s} {suggestion.kind:16s}"
+            f" -> {suggestion.suggested_type}  (confidence {suggestion.confidence:.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

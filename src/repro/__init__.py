@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Typilus: Neural Type Hints" (PLDI 2020).
+
+The package is organised as one subpackage per subsystem (see DESIGN.md):
+
+* :mod:`repro.nn` — NumPy autograd engine and neural layers;
+* :mod:`repro.graph` — Python source → program graph extraction;
+* :mod:`repro.types` — type expressions, lattice and registry;
+* :mod:`repro.checker` — optional type checker (mypy-like / pytype-like);
+* :mod:`repro.corpus` — synthetic corpus, deduplication, dataset assembly;
+* :mod:`repro.models` — GGNN, sequence and path symbol encoders;
+* :mod:`repro.core` — losses, TypeSpace, kNN prediction, training pipeline;
+* :mod:`repro.evaluation` — experiment runners for every table and figure.
+
+Quickstart::
+
+    from repro.corpus import TypeAnnotationDataset, SynthesisConfig
+    from repro.core import TypilusPipeline, LossKind
+
+    dataset = TypeAnnotationDataset.synthetic(SynthesisConfig(num_files=60))
+    pipeline = TypilusPipeline.fit(dataset, loss_kind=LossKind.TYPILUS)
+    summary, _ = pipeline.evaluate_split(dataset.test)
+    print(summary.as_row())
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,192 @@
+"""Type environments and builtin signatures for the optional type checker."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.types.expr import ANY, TypeExpr
+from repro.types.parser import parse_type
+
+
+def _t(text: str) -> TypeExpr:
+    return parse_type(text)
+
+
+@dataclass
+class FunctionSignature:
+    """An (optionally partial) function signature.
+
+    Unannotated parameters and returns are ``Any`` — an optional type checker
+    must reason over partial contexts (Sec. 1 of the paper), and ``Any``
+    is how missing information is represented.
+    """
+
+    name: str
+    parameters: list[tuple[str, TypeExpr]] = field(default_factory=list)
+    returns: TypeExpr = ANY
+    has_varargs: bool = False
+    has_kwargs: bool = False
+    is_method: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.parameters)
+
+    def parameter_type(self, index: int) -> TypeExpr:
+        if 0 <= index < len(self.parameters):
+            return self.parameters[index][1]
+        return ANY
+
+    def parameter_type_by_name(self, name: str) -> Optional[TypeExpr]:
+        for parameter_name, parameter_type in self.parameters:
+            if parameter_name == name:
+                return parameter_type
+        return None
+
+
+@dataclass
+class ClassInfo:
+    """Attributes, methods and base classes of a user-defined class."""
+
+    name: str
+    bases: list[str] = field(default_factory=list)
+    attributes: dict[str, TypeExpr] = field(default_factory=dict)
+    methods: dict[str, FunctionSignature] = field(default_factory=dict)
+
+    def lookup_attribute(self, name: str, classes: dict[str, "ClassInfo"]) -> Optional[TypeExpr]:
+        if name in self.attributes:
+            return self.attributes[name]
+        if name in self.methods:
+            return TypeExpr("Callable")
+        for base in self.bases:
+            base_info = classes.get(base)
+            if base_info is not None:
+                found = base_info.lookup_attribute(name, classes)
+                if found is not None:
+                    return found
+        return None
+
+    def lookup_method(self, name: str, classes: dict[str, "ClassInfo"]) -> Optional[FunctionSignature]:
+        if name in self.methods:
+            return self.methods[name]
+        for base in self.bases:
+            base_info = classes.get(base)
+            if base_info is not None:
+                found = base_info.lookup_method(name, classes)
+                if found is not None:
+                    return found
+        return None
+
+
+#: Signatures of the builtins the corpus uses.  Returns only — argument types
+#: of builtins are deliberately permissive, mirroring typeshed's use of
+#: protocols that our small lattice does not model.
+BUILTIN_SIGNATURES: dict[str, FunctionSignature] = {
+    "len": FunctionSignature("len", [("obj", ANY)], _t("int")),
+    "abs": FunctionSignature("abs", [("x", ANY)], _t("float")),
+    "str": FunctionSignature("str", [("obj", ANY)], _t("str")),
+    "repr": FunctionSignature("repr", [("obj", ANY)], _t("str")),
+    "int": FunctionSignature("int", [("x", ANY)], _t("int")),
+    "float": FunctionSignature("float", [("x", ANY)], _t("float")),
+    "bool": FunctionSignature("bool", [("x", ANY)], _t("bool")),
+    "bytes": FunctionSignature("bytes", [("x", ANY)], _t("bytes")),
+    "list": FunctionSignature("list", [("it", ANY)], _t("List")),
+    "dict": FunctionSignature("dict", [("it", ANY)], _t("Dict")),
+    "set": FunctionSignature("set", [("it", ANY)], _t("Set")),
+    "tuple": FunctionSignature("tuple", [("it", ANY)], _t("Tuple")),
+    "sorted": FunctionSignature("sorted", [("it", ANY)], _t("List")),
+    "reversed": FunctionSignature("reversed", [("it", ANY)], _t("Iterator")),
+    "enumerate": FunctionSignature("enumerate", [("it", ANY)], _t("Iterator")),
+    "zip": FunctionSignature("zip", [("a", ANY), ("b", ANY)], _t("Iterator"), has_varargs=True),
+    "range": FunctionSignature("range", [("n", _t("int"))], _t("Iterator"), has_varargs=True),
+    "sum": FunctionSignature("sum", [("it", ANY)], _t("float")),
+    "min": FunctionSignature("min", [("it", ANY)], ANY, has_varargs=True),
+    "max": FunctionSignature("max", [("it", ANY)], ANY, has_varargs=True),
+    "round": FunctionSignature("round", [("x", _t("float"))], _t("int"), has_varargs=True),
+    "print": FunctionSignature("print", [], _t("None"), has_varargs=True),
+    "isinstance": FunctionSignature("isinstance", [("obj", ANY), ("cls", ANY)], _t("bool")),
+    "hasattr": FunctionSignature("hasattr", [("obj", ANY), ("name", _t("str"))], _t("bool")),
+    "getattr": FunctionSignature("getattr", [("obj", ANY), ("name", _t("str"))], ANY, has_varargs=True),
+    "id": FunctionSignature("id", [("obj", ANY)], _t("int")),
+    "hash": FunctionSignature("hash", [("obj", ANY)], _t("int")),
+    "iter": FunctionSignature("iter", [("obj", ANY)], _t("Iterator")),
+    "next": FunctionSignature("next", [("it", ANY)], ANY, has_varargs=True),
+    "open": FunctionSignature("open", [("path", _t("str"))], ANY, has_varargs=True),
+    "input": FunctionSignature("input", [("prompt", _t("str"))], _t("str")),
+    "divmod": FunctionSignature("divmod", [("a", _t("float")), ("b", _t("float"))], _t("Tuple[int, int]")),
+}
+
+#: Methods of builtin types that the expression typer understands.
+BUILTIN_METHODS: dict[str, dict[str, TypeExpr]] = {
+    "str": {
+        "upper": _t("str"), "lower": _t("str"), "strip": _t("str"), "lstrip": _t("str"),
+        "rstrip": _t("str"), "title": _t("str"), "capitalize": _t("str"), "replace": _t("str"),
+        "split": _t("List[str]"), "rsplit": _t("List[str]"), "splitlines": _t("List[str]"),
+        "join": _t("str"), "format": _t("str"), "encode": _t("bytes"), "startswith": _t("bool"),
+        "endswith": _t("bool"), "find": _t("int"), "index": _t("int"), "count": _t("int"),
+        "isdigit": _t("bool"), "isalpha": _t("bool"), "zfill": _t("str"),
+    },
+    "bytes": {"decode": _t("str"), "hex": _t("str"), "split": _t("List[bytes]")},
+    "List": {
+        "append": _t("None"), "extend": _t("None"), "insert": _t("None"), "pop": ANY,
+        "remove": _t("None"), "clear": _t("None"), "index": _t("int"), "count": _t("int"),
+        "sort": _t("None"), "reverse": _t("None"), "copy": _t("List"),
+    },
+    "Dict": {
+        "get": ANY, "keys": _t("Iterator"), "values": _t("Iterator"), "items": _t("Iterator"),
+        "pop": ANY, "update": _t("None"), "setdefault": ANY, "clear": _t("None"), "copy": _t("Dict"),
+    },
+    "Set": {"add": _t("None"), "discard": _t("None"), "remove": _t("None"), "union": _t("Set"),
+            "intersection": _t("Set"), "pop": ANY, "clear": _t("None")},
+    "int": {"bit_length": _t("int"), "to_bytes": _t("bytes")},
+    "float": {"is_integer": _t("bool"), "hex": _t("str")},
+}
+
+
+class Scope:
+    """A lexical scope mapping names to types, chained to its parent."""
+
+    def __init__(self, parent: Optional["Scope"] = None, name: str = "module") -> None:
+        self.parent = parent
+        self.name = name
+        self.bindings: dict[str, TypeExpr] = {}
+        self.declared: set[str] = set()  # names with explicit annotations
+
+    def lookup(self, name: str) -> Optional[TypeExpr]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.bindings:
+                return scope.bindings[name]
+            scope = scope.parent
+        return None
+
+    def bind(self, name: str, type_expr: TypeExpr, declared: bool = False) -> None:
+        self.bindings[name] = type_expr
+        if declared:
+            self.declared.add(name)
+
+    def is_declared(self, name: str) -> bool:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.bindings:
+                return name in scope.declared
+            scope = scope.parent
+        return False
+
+    def child(self, name: str) -> "Scope":
+        return Scope(parent=self, name=f"{self.name}.{name}")
+
+
+@dataclass
+class ModuleContext:
+    """Module-level information gathered before checking bodies."""
+
+    functions: dict[str, FunctionSignature] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    globals: Scope = field(default_factory=Scope)
+
+    def signature_of(self, name: str) -> Optional[FunctionSignature]:
+        if name in self.functions:
+            return self.functions[name]
+        return BUILTIN_SIGNATURES.get(name)

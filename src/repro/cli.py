@@ -1,0 +1,194 @@
+"""Command-line interface for the Typilus reproduction.
+
+Four subcommands cover the library's main workflows without writing Python:
+
+``corpus``
+    Generate a synthetic corpus to a directory and print its statistics.
+``train``
+    Train a model on a (synthetic or on-disk) corpus, report test metrics and
+    optionally save the TypeSpace to a ``.npz`` file.
+``suggest``
+    Train (or reuse a cached pipeline within the invocation) and print
+    checker-filtered type suggestions for one or more Python files.
+``check``
+    Run the optional type checker over Python files and print diagnostics.
+
+Examples::
+
+    python -m repro.cli corpus --num-files 40 --out /tmp/corpus
+    python -m repro.cli train --num-files 60 --epochs 8 --family graph --loss typilus
+    python -m repro.cli suggest path/to/file.py --confidence 0.5
+    python -m repro.cli check path/to/file.py --mode strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.checker import CheckerMode, OptionalTypeChecker
+from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
+from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.evaluation import render_table
+
+
+def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--num-files", type=int, default=40, help="number of synthetic files to generate")
+    parser.add_argument("--seed", type=int, default=13, help="corpus random seed")
+    parser.add_argument("--annotation-probability", type=float, default=0.7,
+                        help="probability that each symbol keeps its annotation")
+    parser.add_argument("--rarity-threshold", type=int, default=12,
+                        help="annotation count below which a type counts as rare")
+
+
+def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--family", choices=["graph", "sequence", "path", "names"], default="graph")
+    parser.add_argument("--loss", choices=[kind.value for kind in LossKind], default=LossKind.TYPILUS.value)
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--gnn-steps", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=8)
+    parser.add_argument("--learning-rate", type=float, default=5e-3)
+    parser.add_argument("--corpus-dir", type=Path, default=None,
+                        help="train on .py files from this directory instead of a synthetic corpus")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    corpus = subparsers.add_parser("corpus", help="generate a synthetic corpus")
+    _add_corpus_arguments(corpus)
+    corpus.add_argument("--out", type=Path, default=None, help="directory to write the generated files to")
+
+    train = subparsers.add_parser("train", help="train a model and report test metrics")
+    _add_corpus_arguments(train)
+    _add_training_arguments(train)
+    train.add_argument("--save-typespace", type=Path, default=None, help="write the TypeSpace to this .npz file")
+
+    suggest = subparsers.add_parser("suggest", help="suggest types for Python files")
+    _add_corpus_arguments(suggest)
+    _add_training_arguments(suggest)
+    suggest.add_argument("files", nargs="+", type=Path, help="Python files to annotate")
+    suggest.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
+    suggest.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
+
+    check = subparsers.add_parser("check", help="run the optional type checker")
+    check.add_argument("files", nargs="+", type=Path, help="Python files to check")
+    check.add_argument("--mode", choices=[mode.value for mode in CheckerMode], default=CheckerMode.STRICT.value)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Command implementations (each returns a process exit code)
+# ---------------------------------------------------------------------------
+
+
+def _build_dataset(args: argparse.Namespace) -> TypeAnnotationDataset:
+    dataset_config = DatasetConfig(rarity_threshold=args.rarity_threshold)
+    corpus_dir: Optional[Path] = getattr(args, "corpus_dir", None)
+    if corpus_dir is not None:
+        files = {str(path): path.read_text(encoding="utf-8") for path in sorted(corpus_dir.rglob("*.py"))}
+        if not files:
+            raise SystemExit(f"no .py files found under {corpus_dir}")
+        return TypeAnnotationDataset.from_sources(files, config=dataset_config)
+    synthesis = SynthesisConfig(
+        num_files=args.num_files, seed=args.seed, annotation_probability=args.annotation_probability
+    )
+    return TypeAnnotationDataset.synthetic(synthesis, dataset_config)
+
+
+def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> TypilusPipeline:
+    return TypilusPipeline.fit(
+        dataset,
+        EncoderConfig(family=args.family, hidden_dim=args.hidden_dim, gnn_steps=args.gnn_steps),
+        loss_kind=LossKind(args.loss),
+        training_config=TrainingConfig(epochs=args.epochs, learning_rate=args.learning_rate),
+        verbose=True,
+    )
+
+
+def command_corpus(args: argparse.Namespace) -> int:
+    synthesizer = CorpusSynthesizer(
+        SynthesisConfig(num_files=args.num_files, seed=args.seed, annotation_probability=args.annotation_probability)
+    )
+    files = synthesizer.generate()
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        for entry in files:
+            target = args.out / Path(entry.filename).name
+            target.write_text(entry.source, encoding="utf-8")
+        print(f"wrote {len(files)} files to {args.out}")
+    dataset = TypeAnnotationDataset.from_sources(
+        {entry.filename: entry.source for entry in files},
+        class_edges=synthesizer.class_hierarchy_edges(),
+        config=DatasetConfig(rarity_threshold=args.rarity_threshold),
+    )
+    rows = [[key, str(value)] for key, value in dataset.summary().items()]
+    print(render_table(["statistic", "value"], rows))
+    return 0
+
+
+def command_train(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    pipeline = _fit_pipeline(args, dataset)
+    summary, _ = pipeline.evaluate_split(dataset.test)
+    print(render_table(["metric", "value"], [[key, str(value)] for key, value in summary.as_row().items()]))
+    if args.save_typespace is not None:
+        pipeline.type_space.save(str(args.save_typespace))
+        print(f"TypeSpace ({len(pipeline.type_space)} markers) saved to {args.save_typespace}")
+    return 0
+
+
+def command_suggest(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    pipeline = _fit_pipeline(args, dataset)
+    for path in args.files:
+        source = path.read_text(encoding="utf-8")
+        suggestions = pipeline.suggest_for_source(
+            source,
+            filename=str(path),
+            use_type_checker=not args.no_type_checker,
+            confidence_threshold=args.confidence,
+        )
+        print(f"\n=== {path} ===")
+        rows = [
+            [s.scope, s.name, s.kind, s.existing_annotation or "-", s.suggested_type or "-", f"{s.confidence:.2f}"]
+            for s in suggestions
+        ]
+        print(render_table(["scope", "symbol", "kind", "existing", "suggested", "confidence"], rows))
+    return 0
+
+
+def command_check(args: argparse.Namespace) -> int:
+    checker = OptionalTypeChecker(mode=CheckerMode(args.mode))
+    exit_code = 0
+    for path in args.files:
+        result = checker.check_source(path.read_text(encoding="utf-8"), filename=str(path))
+        if result.ok:
+            print(f"{path}: no type errors")
+            continue
+        exit_code = 1
+        for error in result.errors:
+            print(f"{path}:{error}")
+    return exit_code
+
+
+_COMMANDS = {
+    "corpus": command_corpus,
+    "train": command_train,
+    "suggest": command_suggest,
+    "check": command_check,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro.cli`` and the console script."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The paper's core contribution: losses, TypeSpace, kNN prediction, pipeline."""
+
+from repro.core.filter import FilteredSuggestion, TypeCheckedFilter
+from repro.core.knn import ExactL1Index, NeighbourResult, RandomProjectionIndex, build_index
+from repro.core.losses import (
+    UNKNOWN_TYPE,
+    ClassificationHead,
+    TypilusLoss,
+    classification_loss,
+    erased_type_name,
+    erased_vocabulary,
+    similarity_space_loss,
+    triplet_loss,
+)
+from repro.core.metrics import (
+    EvaluatedPrediction,
+    FrequencyBucket,
+    MetricSummary,
+    PrecisionRecallPoint,
+    bucketed_by_frequency,
+    evaluate_prediction,
+    precision_at_recall,
+    precision_recall_curve,
+    summarise,
+    summarise_by_kind,
+    summarise_by_rarity,
+)
+from repro.core.pipeline import (
+    EncoderConfig,
+    SymbolSuggestion,
+    TypilusPipeline,
+    build_encoder,
+)
+from repro.core.predictor import KNNTypePredictor, TypePrediction, adapt_space_with_new_type
+from repro.core.trainer import (
+    EpochStats,
+    LossKind,
+    Trainer,
+    TrainingConfig,
+    TrainingResult,
+)
+from repro.core.typespace import TypeMarker, TypeSpace
+
+__all__ = [
+    "ClassificationHead",
+    "TypilusLoss",
+    "classification_loss",
+    "similarity_space_loss",
+    "triplet_loss",
+    "erased_type_name",
+    "erased_vocabulary",
+    "UNKNOWN_TYPE",
+    "TypeSpace",
+    "TypeMarker",
+    "KNNTypePredictor",
+    "TypePrediction",
+    "adapt_space_with_new_type",
+    "ExactL1Index",
+    "RandomProjectionIndex",
+    "NeighbourResult",
+    "build_index",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+    "EpochStats",
+    "LossKind",
+    "EvaluatedPrediction",
+    "MetricSummary",
+    "PrecisionRecallPoint",
+    "FrequencyBucket",
+    "evaluate_prediction",
+    "summarise",
+    "summarise_by_kind",
+    "summarise_by_rarity",
+    "precision_recall_curve",
+    "precision_at_recall",
+    "bucketed_by_frequency",
+    "TypeCheckedFilter",
+    "FilteredSuggestion",
+    "TypilusPipeline",
+    "EncoderConfig",
+    "SymbolSuggestion",
+    "build_encoder",
+]

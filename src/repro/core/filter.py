@@ -1,0 +1,81 @@
+"""Type-checker filtering of predictions (the right-hand side of Fig. 1).
+
+The last stage of Typilus runs the candidate predictions through an optional
+type checker and discards the ones that introduce type errors.  The filter
+below walks a symbol's ranked candidates in order of decreasing probability
+and returns the first candidate the checker accepts, together with what was
+rejected on the way — which is exactly what the tool would surface to a
+developer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.checker.checker import CheckerMode
+from repro.checker.harness import PredictionChecker
+from repro.core.predictor import TypePrediction
+from repro.graph.nodes import SymbolKind
+
+
+@dataclass
+class FilteredSuggestion:
+    """The outcome of filtering one symbol's candidate list."""
+
+    scope: str
+    name: str
+    kind: SymbolKind
+    accepted_type: Optional[str]
+    accepted_confidence: float
+    rejected: list[tuple[str, str]] = field(default_factory=list)  # (type, reason)
+
+    @property
+    def has_suggestion(self) -> bool:
+        return self.accepted_type is not None
+
+
+class TypeCheckedFilter:
+    """Filters kNN predictions through the optional type checker."""
+
+    def __init__(
+        self,
+        mode: CheckerMode = CheckerMode.STRICT,
+        max_candidates: int = 3,
+        confidence_threshold: float = 0.0,
+    ) -> None:
+        self.mode = mode
+        self.max_candidates = max_candidates
+        self.confidence_threshold = confidence_threshold
+        self._checker = PredictionChecker(mode=mode)
+
+    def filter(
+        self,
+        source: str,
+        scope: str,
+        name: str,
+        kind: SymbolKind,
+        prediction: TypePrediction,
+        original_annotation: Optional[str] = None,
+    ) -> FilteredSuggestion:
+        """Return the highest-probability candidate that passes type checking."""
+        suggestion = FilteredSuggestion(scope=scope, name=name, kind=kind, accepted_type=None, accepted_confidence=0.0)
+        for candidate_type, probability in prediction.top(self.max_candidates):
+            if probability < self.confidence_threshold:
+                suggestion.rejected.append((candidate_type, "below confidence threshold"))
+                continue
+            if candidate_type in ("Any", "None"):
+                suggestion.rejected.append((candidate_type, "uninformative type"))
+                continue
+            outcome = self._checker.check_prediction(
+                source, scope, name, kind, candidate_type, original_annotation=original_annotation
+            )
+            if outcome.skipped:
+                suggestion.rejected.append((candidate_type, outcome.reason or "skipped"))
+                continue
+            if outcome.ok:
+                suggestion.accepted_type = candidate_type
+                suggestion.accepted_confidence = probability
+                return suggestion
+            suggestion.rejected.append((candidate_type, f"{outcome.introduced_errors} type error(s)"))
+        return suggestion

@@ -1,0 +1,156 @@
+"""Nearest-neighbour indexes over the TypeSpace (L1 distance).
+
+The paper uses Annoy, an approximate nearest-neighbour library, to keep kNN
+queries fast.  Two indexes are provided here with the same interface:
+
+* :class:`ExactL1Index` — brute-force search, exact, the default at our
+  corpus scale;
+* :class:`RandomProjectionIndex` — an Annoy-style approximate index that
+  hashes points into buckets with random hyperplanes and searches only the
+  query's bucket neighbourhood.  It trades a little recall for sub-linear
+  query time and is benchmarked against the exact index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class NeighbourResult:
+    """Indices and distances of the ``k`` nearest markers for one query."""
+
+    indices: np.ndarray
+    distances: np.ndarray
+
+
+class NearestNeighbourIndex(Protocol):
+    """Interface shared by the exact and the approximate index."""
+
+    def query(self, vector: np.ndarray, k: int) -> NeighbourResult:  # pragma: no cover - typing
+        ...
+
+    def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:  # pragma: no cover
+        ...
+
+    def __len__(self) -> int:  # pragma: no cover - typing
+        ...
+
+
+class ExactL1Index:
+    """Brute-force exact k-nearest-neighbour search under the L1 distance."""
+
+    def __init__(self, points: np.ndarray) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2:
+            raise ValueError("points must be a (num_points, dim) array")
+        self.points = points
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def query(self, vector: np.ndarray, k: int) -> NeighbourResult:
+        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
+        return self.query_batch(vector, k)[0]
+
+    def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:
+        vectors = np.asarray(vectors, dtype=np.float64)
+        if len(self.points) == 0:
+            empty = NeighbourResult(np.zeros(0, dtype=np.int64), np.zeros(0))
+            return [empty for _ in range(len(vectors))]
+        k = min(k, len(self.points))
+        results = []
+        # Chunk the queries to bound the (queries × points) distance matrix.
+        chunk_size = max(1, 4_000_000 // max(len(self.points), 1))
+        for start in range(0, len(vectors), chunk_size):
+            chunk = vectors[start : start + chunk_size]
+            distances = np.abs(chunk[:, None, :] - self.points[None, :, :]).sum(axis=2)
+            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+            for row in range(chunk.shape[0]):
+                indices = nearest[row]
+                row_distances = distances[row, indices]
+                order = np.argsort(row_distances, kind="stable")
+                results.append(NeighbourResult(indices[order], row_distances[order]))
+        return results
+
+
+class RandomProjectionIndex:
+    """Annoy-style approximate index: random hyperplane bucketing + local search.
+
+    Points are assigned a signature of ``num_bits`` sign bits from random
+    projections; a query searches its own bucket plus all buckets within a
+    Hamming distance of ``probe_radius``.  When the probed buckets hold fewer
+    than ``k`` points the search falls back to the exact index, so recall
+    degrades gracefully rather than returning short results.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        num_bits: int = 8,
+        probe_radius: int = 1,
+        seed: int = 0,
+    ) -> None:
+        self.points = np.asarray(points, dtype=np.float64)
+        self.num_bits = num_bits
+        self.probe_radius = probe_radius
+        rng = SeededRNG(seed)
+        dim = self.points.shape[1] if self.points.size else 1
+        self._planes = rng.np.normal(0.0, 1.0, size=(num_bits, dim))
+        self._offsets = np.zeros(num_bits)
+        self._buckets: dict[int, list[int]] = {}
+        for index, point in enumerate(self.points):
+            self._buckets.setdefault(self._signature(point), []).append(index)
+        self._exact = ExactL1Index(self.points) if self.points.size else None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def _signature(self, vector: np.ndarray) -> int:
+        bits = (self._planes @ vector + self._offsets) > 0
+        signature = 0
+        for bit in bits:
+            signature = (signature << 1) | int(bit)
+        return signature
+
+    def _probe_signatures(self, signature: int) -> list[int]:
+        signatures = [signature]
+        if self.probe_radius >= 1:
+            signatures.extend(signature ^ (1 << bit) for bit in range(self.num_bits))
+        if self.probe_radius >= 2:
+            for first in range(self.num_bits):
+                for second in range(first + 1, self.num_bits):
+                    signatures.append(signature ^ (1 << first) ^ (1 << second))
+        return signatures
+
+    def query(self, vector: np.ndarray, k: int) -> NeighbourResult:
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if self._exact is None:
+            return NeighbourResult(np.zeros(0, dtype=np.int64), np.zeros(0))
+        candidate_indices: list[int] = []
+        for signature in self._probe_signatures(self._signature(vector)):
+            candidate_indices.extend(self._buckets.get(signature, ()))
+        if len(candidate_indices) < k:
+            return self._exact.query(vector, k)
+        candidates = np.asarray(sorted(set(candidate_indices)), dtype=np.int64)
+        distances = np.abs(self.points[candidates] - vector[None, :]).sum(axis=1)
+        k = min(k, len(candidates))
+        nearest = np.argpartition(distances, k - 1)[:k]
+        order = np.argsort(distances[nearest], kind="stable")
+        chosen = nearest[order]
+        return NeighbourResult(candidates[chosen], distances[chosen])
+
+    def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:
+        return [self.query(vector, k) for vector in np.asarray(vectors, dtype=np.float64)]
+
+
+def build_index(points: np.ndarray, approximate: bool = False, **kwargs) -> NearestNeighbourIndex:
+    """Factory mirroring the paper's use of a spatial index over the TypeSpace."""
+    if approximate:
+        return RandomProjectionIndex(points, **kwargs)
+    return ExactL1Index(points)

@@ -1,0 +1,231 @@
+"""Training objectives: Eqs. 1–4 of the paper.
+
+* :class:`ClassificationHead` + :func:`classification_loss` — Eq. 1, the
+  closed-vocabulary softmax over learned prototype vectors ``r̃_τ`` and
+  biases ``b_τ``;
+* :func:`triplet_loss` — Eq. 2, the standard triplet formulation (kept for
+  reference and tests; the batched loss below generalises it);
+* :func:`similarity_space_loss` — Eq. 3, the batched deep-similarity loss
+  over the sets ``P+``/``P-`` within a margin of ``d+max``/``d-min``;
+* :class:`TypilusLoss` — Eq. 4, the combination
+  ``L_Space + λ · L_Class(W·r_s, Er(τ))`` with a learned projection ``W``
+  and type-parameter erasure on the classification target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+from repro.types.normalize import canonical_string, erase_parameters
+from repro.types.parser import try_parse_type
+from repro.utils.rng import SeededRNG
+
+UNKNOWN_TYPE = "%UNK%"
+
+
+# ---------------------------------------------------------------------------
+# Eq. 1 — classification loss
+# ---------------------------------------------------------------------------
+
+
+class ClassificationHead(Module):
+    """Prototype vectors ``r̃_τ`` and biases ``b_τ`` for a closed type vocabulary."""
+
+    def __init__(self, vocabulary: dict[str, int], dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        if UNKNOWN_TYPE not in vocabulary:
+            raise ValueError(f"classification vocabulary must contain {UNKNOWN_TYPE!r}")
+        self.vocabulary = dict(vocabulary)
+        self.dim = dim
+        self.prototypes = Tensor(rng.np.normal(0.0, 0.1, size=(len(vocabulary), dim)), requires_grad=True)
+        self.biases = Tensor(np.zeros(len(vocabulary)), requires_grad=True)
+        self._id_to_type = [""] * len(vocabulary)
+        for type_name, type_id in vocabulary.items():
+            self._id_to_type[type_id] = type_name
+
+    def __len__(self) -> int:
+        return len(self.vocabulary)
+
+    def type_id(self, type_name: str) -> int:
+        return self.vocabulary.get(type_name, self.vocabulary[UNKNOWN_TYPE])
+
+    def type_ids(self, type_names: Sequence[str]) -> np.ndarray:
+        return np.asarray([self.type_id(name) for name in type_names], dtype=np.int64)
+
+    def type_name(self, type_id: int) -> str:
+        return self._id_to_type[type_id]
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        """Logits ``r_s · r̃_τ^T + b_τ`` for every type in the vocabulary."""
+        return embeddings @ self.prototypes.transpose() + self.biases
+
+    def predict(self, embeddings: Tensor) -> list[tuple[str, float]]:
+        """Top-1 prediction and softmax confidence for each embedding."""
+        logits = self.forward(embeddings).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        probabilities /= probabilities.sum(axis=1, keepdims=True)
+        best = probabilities.argmax(axis=1)
+        return [(self.type_name(int(index)), float(probabilities[row, index])) for row, index in enumerate(best)]
+
+    def predict_distribution(self, embeddings: Tensor) -> np.ndarray:
+        logits = self.forward(embeddings).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        probabilities = np.exp(shifted)
+        return probabilities / probabilities.sum(axis=1, keepdims=True)
+
+
+def classification_loss(head: ClassificationHead, embeddings: Tensor, type_names: Sequence[str]) -> Tensor:
+    """Eq. 1: ``-log P(s : τ)`` averaged over the batch."""
+    targets = head.type_ids(type_names)
+    return F.cross_entropy(head(embeddings), targets)
+
+
+# ---------------------------------------------------------------------------
+# Eq. 2 — triplet loss
+# ---------------------------------------------------------------------------
+
+
+def triplet_loss(anchor: Tensor, positive: Tensor, negative: Tensor, margin: float = 2.0) -> Tensor:
+    """Eq. 2 with the L1 distance: ``max(||a-n|| - ||a-p|| + m, 0)`` ... hinge form.
+
+    Note the paper writes ``h(||r_s - r_s-|| - ||r_s - r_s+||, m)`` with
+    ``h(x, m) = max(x + m, 0)`` — pulling positives closer than negatives by
+    at least the margin.  Averaged over the batch.
+    """
+    distance_to_positive = (anchor - positive).abs().sum(axis=-1)
+    distance_to_negative = (anchor - negative).abs().sum(axis=-1)
+    hinge = (distance_to_positive - distance_to_negative + margin).clip(0.0, np.inf)
+    return hinge.mean()
+
+
+# ---------------------------------------------------------------------------
+# Eq. 3 — batched similarity (type space) loss
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SpaceLossStats:
+    """Diagnostics of one similarity-loss evaluation (useful in tests)."""
+
+    num_anchors_with_positives: int
+    mean_positive_distance: float
+    mean_negative_distance: float
+
+
+def similarity_space_loss(
+    embeddings: Tensor,
+    type_names: Sequence[str],
+    margin: float = 2.0,
+    return_stats: bool = False,
+) -> Tensor | tuple[Tensor, SpaceLossStats]:
+    """Eq. 3 over a minibatch.
+
+    ``S+(s)`` / ``S-(s)`` are the same-typed / differently-typed symbols in
+    the minibatch (as in the paper's experiments).  For each anchor ``s`` the
+    loss pulls in the positives that are further than ``d-min - m`` and
+    pushes away the negatives closer than ``d+max + m``.
+
+    Anchors without any same-typed partner in the batch only contribute the
+    repulsion term, matching the behaviour of the original implementation
+    (rare types still shape the space through their negatives).
+    """
+    if len(type_names) != embeddings.shape[0]:
+        raise ValueError("type_names must align with embeddings")
+    batch = embeddings.shape[0]
+    labels = np.asarray([hash(name) for name in type_names])
+    same = labels[:, None] == labels[None, :]
+    np.fill_diagonal(same, False)
+    different = ~same
+    np.fill_diagonal(different, False)
+
+    distances = F.pairwise_l1_distances(embeddings, embeddings)
+    distance_values = distances.data
+
+    # d+max / d-min per anchor (computed on values; the selection of which
+    # pairs enter the loss is not differentiated through, as usual for
+    # hard-example mining style objectives).
+    positive_distances = np.where(same, distance_values, -np.inf)
+    negative_distances = np.where(different, distance_values, np.inf)
+    d_plus_max = positive_distances.max(axis=1)
+    d_minus_min = negative_distances.min(axis=1)
+    d_plus_max = np.where(np.isfinite(d_plus_max), d_plus_max, 0.0)
+    d_minus_min = np.where(np.isfinite(d_minus_min), d_minus_min, 0.0)
+
+    pull_mask = same & (distance_values > (d_minus_min[:, None] - margin))
+    push_mask = different & (distance_values < (d_plus_max[:, None] + margin))
+
+    pull_counts = np.maximum(pull_mask.sum(axis=1), 1)
+    push_counts = np.maximum(push_mask.sum(axis=1), 1)
+
+    pull_term = (distances * Tensor(pull_mask.astype(np.float64))).sum(axis=1) / Tensor(pull_counts.astype(np.float64))
+    push_term = (distances * Tensor(push_mask.astype(np.float64))).sum(axis=1) / Tensor(push_counts.astype(np.float64))
+    loss = (pull_term - push_term).mean()
+
+    if not return_stats:
+        return loss
+    stats = SpaceLossStats(
+        num_anchors_with_positives=int(same.any(axis=1).sum()),
+        mean_positive_distance=float(distance_values[same].mean()) if same.any() else 0.0,
+        mean_negative_distance=float(distance_values[different].mean()) if different.any() else 0.0,
+    )
+    return loss, stats
+
+
+# ---------------------------------------------------------------------------
+# Eq. 4 — the Typilus loss
+# ---------------------------------------------------------------------------
+
+
+def erased_type_name(type_name: str) -> str:
+    """``Er(τ)``: drop all type parameters from a canonical type string."""
+    parsed = try_parse_type(type_name)
+    if parsed is None:
+        return type_name
+    return str(erase_parameters(parsed))
+
+
+def erased_vocabulary(vocabulary: Sequence[str]) -> dict[str, int]:
+    """Closed vocabulary over the parameter-erased types, with an %UNK% bucket."""
+    erased = {UNKNOWN_TYPE: 0}
+    for type_name in vocabulary:
+        base = erased_type_name(type_name)
+        if base not in erased:
+            erased[base] = len(erased)
+    return erased
+
+
+class TypilusLoss(Module):
+    """Eq. 4: ``L_Space(s) + λ · L_Class(W r_s, Er(τ))``.
+
+    ``W`` is a learned linear projection of the TypeSpace; the classification
+    head over the erased vocabulary provides prototype anchors during
+    training.  At inference time both are discarded (the predictor only uses
+    the TypeSpace), exactly as the paper describes.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        type_vocabulary: Sequence[str],
+        rng: SeededRNG,
+        margin: float = 2.0,
+        lambda_classification: float = 1.0,
+    ) -> None:
+        super().__init__()
+        self.margin = margin
+        self.lambda_classification = lambda_classification
+        self.projection = Linear(dim, dim, rng.fork(1))
+        self.erased_head = ClassificationHead(erased_vocabulary(type_vocabulary), dim, rng.fork(2))
+
+    def forward(self, embeddings: Tensor, type_names: Sequence[str]) -> Tensor:
+        space = similarity_space_loss(embeddings, type_names, margin=self.margin)
+        erased_targets = [erased_type_name(name) for name in type_names]
+        classification = classification_loss(self.erased_head, self.projection(embeddings), erased_targets)
+        return space + classification * self.lambda_classification

@@ -1,0 +1,230 @@
+"""Evaluation metrics (Sec. 6.1).
+
+Three criteria compare a prediction ``τp`` against the ground truth ``τg``:
+
+* **exact match** — the canonical strings are identical;
+* **match up to parametric type** — identical after erasing all type
+  parameters (outermost ``[...]``);
+* **type neutrality** — ``τg :< τp`` and ``τp ≠ ⊤`` in the corpus type
+  lattice (the fast approximation of Sec. 6.1; the checker-based variant
+  lives in :mod:`repro.evaluation.experiments`).
+
+The module also provides the aggregations the paper reports: common/rare
+breakdowns (Table 2), per-symbol-kind breakdowns (Table 3), precision-recall
+curves over a confidence threshold (Fig. 4, Fig. 7) and frequency-bucketed
+accuracy (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.nodes import SymbolKind
+from repro.types.lattice import TypeLattice
+from repro.types.normalize import canonical_string, erase_parameters
+from repro.types.parser import try_parse_type
+from repro.types.registry import TypeRegistry
+
+
+@dataclass
+class EvaluatedPrediction:
+    """One scored prediction: what was predicted, for what, with what confidence."""
+
+    predicted: Optional[str]
+    ground_truth: str
+    confidence: float
+    kind: SymbolKind = SymbolKind.VARIABLE
+    exact: bool = False
+    up_to_parametric: bool = False
+    neutral: bool = False
+
+
+@dataclass
+class MetricSummary:
+    """Aggregate percentages over a set of evaluated predictions."""
+
+    count: int
+    exact_match: float
+    match_up_to_parametric: float
+    type_neutral: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "exact": round(100 * self.exact_match, 1),
+            "up_to_parametric": round(100 * self.match_up_to_parametric, 1),
+            "type_neutral": round(100 * self.type_neutral, 1),
+        }
+
+
+def _base_name(type_string: str) -> str:
+    parsed = try_parse_type(type_string)
+    if parsed is None:
+        return type_string
+    return str(erase_parameters(parsed))
+
+
+def evaluate_prediction(
+    predicted: Optional[str],
+    ground_truth: str,
+    confidence: float,
+    lattice: TypeLattice,
+    kind: SymbolKind = SymbolKind.VARIABLE,
+) -> EvaluatedPrediction:
+    """Score one prediction under all three criteria."""
+    truth_canonical = canonical_string(ground_truth) or ground_truth
+    if predicted is None:
+        return EvaluatedPrediction(None, truth_canonical, confidence, kind)
+    predicted_canonical = canonical_string(predicted) or predicted
+    exact = predicted_canonical == truth_canonical
+    up_to_parametric = _base_name(predicted_canonical) == _base_name(truth_canonical)
+    neutral = exact or lattice.is_type_neutral_str(predicted_canonical, truth_canonical)
+    return EvaluatedPrediction(
+        predicted=predicted_canonical,
+        ground_truth=truth_canonical,
+        confidence=confidence,
+        kind=kind,
+        exact=exact,
+        up_to_parametric=up_to_parametric,
+        neutral=neutral,
+    )
+
+
+def summarise(predictions: Sequence[EvaluatedPrediction]) -> MetricSummary:
+    """Percentage of predictions satisfying each criterion."""
+    if not predictions:
+        return MetricSummary(count=0, exact_match=0.0, match_up_to_parametric=0.0, type_neutral=0.0)
+    count = len(predictions)
+    return MetricSummary(
+        count=count,
+        exact_match=sum(p.exact for p in predictions) / count,
+        match_up_to_parametric=sum(p.up_to_parametric for p in predictions) / count,
+        type_neutral=sum(p.neutral for p in predictions) / count,
+    )
+
+
+def summarise_by_rarity(
+    predictions: Sequence[EvaluatedPrediction], registry: TypeRegistry
+) -> dict[str, MetricSummary]:
+    """The All / Common / Rare breakdown of Table 2."""
+    common = [p for p in predictions if registry.is_common(p.ground_truth)]
+    rare = [p for p in predictions if registry.is_rare(p.ground_truth)]
+    return {"all": summarise(predictions), "common": summarise(common), "rare": summarise(rare)}
+
+
+def summarise_by_kind(predictions: Sequence[EvaluatedPrediction]) -> dict[str, MetricSummary]:
+    """The variable / parameter / return breakdown of Table 3."""
+    return {
+        kind.value: summarise([p for p in predictions if p.kind == kind])
+        for kind in SymbolKind
+    }
+
+
+@dataclass
+class PrecisionRecallPoint:
+    """One point of a precision-recall curve at a given confidence threshold."""
+
+    threshold: float
+    recall: float
+    precision_exact: float
+    precision_up_to_parametric: float
+    precision_neutral: float
+
+
+def precision_recall_curve(
+    predictions: Sequence[EvaluatedPrediction], num_thresholds: int = 21
+) -> list[PrecisionRecallPoint]:
+    """Precision/recall as the confidence threshold sweeps from 0 to 1 (Fig. 4).
+
+    Recall is the fraction of all symbols for which a prediction is emitted
+    (confidence ≥ threshold); precision is measured over the emitted subset.
+    """
+    points: list[PrecisionRecallPoint] = []
+    total = len(predictions)
+    if total == 0:
+        return points
+    for threshold in np.linspace(0.0, 1.0, num_thresholds):
+        kept = [p for p in predictions if p.predicted is not None and p.confidence >= threshold]
+        recall = len(kept) / total
+        if kept:
+            precision_exact = sum(p.exact for p in kept) / len(kept)
+            precision_parametric = sum(p.up_to_parametric for p in kept) / len(kept)
+            precision_neutral = sum(p.neutral for p in kept) / len(kept)
+        else:
+            precision_exact = precision_parametric = precision_neutral = 1.0
+        points.append(
+            PrecisionRecallPoint(
+                threshold=float(threshold),
+                recall=recall,
+                precision_exact=precision_exact,
+                precision_up_to_parametric=precision_parametric,
+                precision_neutral=precision_neutral,
+            )
+        )
+    return points
+
+
+def precision_at_recall(points: Sequence[PrecisionRecallPoint], recall_target: float, criterion: str = "neutral") -> float:
+    """Interpolate the precision achieved at a given recall level.
+
+    The paper's headline claim is ~95% type neutrality at 70% recall; this
+    helper extracts the comparable number from a curve.
+    """
+    attribute = {
+        "exact": "precision_exact",
+        "up_to_parametric": "precision_up_to_parametric",
+        "neutral": "precision_neutral",
+    }[criterion]
+    eligible = [p for p in points if p.recall >= recall_target]
+    if not eligible:
+        return 0.0
+    best = min(eligible, key=lambda p: p.recall)
+    return getattr(best, attribute)
+
+
+@dataclass
+class FrequencyBucket:
+    """Accuracy of predictions whose ground-truth type has a given frequency."""
+
+    upper_bound: int
+    count: int
+    exact_match: float
+    match_up_to_parametric: float
+
+
+DEFAULT_BUCKET_BOUNDS = (2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000)
+
+
+def bucketed_by_frequency(
+    predictions: Sequence[EvaluatedPrediction],
+    registry: TypeRegistry,
+    bounds: Sequence[int] = DEFAULT_BUCKET_BOUNDS,
+) -> list[FrequencyBucket]:
+    """Exact / up-to-parametric accuracy bucketed by annotation count (Fig. 5)."""
+    buckets: list[FrequencyBucket] = []
+    assigned: dict[int, list[EvaluatedPrediction]] = {bound: [] for bound in bounds}
+    for prediction in predictions:
+        count = registry.count_of(prediction.ground_truth)
+        for bound in bounds:
+            if count <= bound:
+                assigned[bound].append(prediction)
+                break
+    for bound in bounds:
+        bucket_predictions = assigned[bound]
+        if bucket_predictions:
+            exact = sum(p.exact for p in bucket_predictions) / len(bucket_predictions)
+            parametric = sum(p.up_to_parametric for p in bucket_predictions) / len(bucket_predictions)
+        else:
+            exact = parametric = 0.0
+        buckets.append(
+            FrequencyBucket(
+                upper_bound=bound,
+                count=len(bucket_predictions),
+                exact_match=exact,
+                match_up_to_parametric=parametric,
+            )
+        )
+    return buckets

@@ -1,0 +1,254 @@
+"""End-to-end Typilus pipeline: the library's primary public API.
+
+A :class:`TypilusPipeline` owns a trained symbol encoder, its TypeSpace and a
+kNN predictor, and exposes the workflow of Fig. 1:
+
+* :meth:`TypilusPipeline.fit` — train an encoder on a dataset with one of the
+  paper's losses and populate the type map;
+* :meth:`predict_split` / :meth:`evaluate_split` — score a held-out split
+  against the ground-truth annotations;
+* :meth:`suggest_for_source` — the developer-facing path: take a (partially
+  annotated) Python file, embed its symbols, predict candidate types and
+  filter them through the optional type checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.checker.checker import CheckerMode
+from repro.core.filter import FilteredSuggestion, TypeCheckedFilter
+from repro.core.losses import ClassificationHead
+from repro.core.metrics import EvaluatedPrediction, MetricSummary, evaluate_prediction, summarise
+from repro.core.predictor import KNNTypePredictor, TypePrediction
+from repro.core.trainer import LossKind, Trainer, TrainingConfig, TrainingResult
+from repro.core.typespace import TypeSpace
+from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
+from repro.graph.builder import GraphBuilder
+from repro.graph.edges import EdgeKind
+from repro.graph.nodes import NodeKind, SymbolInfo
+from repro.models.base import SymbolEncoder
+from repro.models.encoder_init import TokenVocabulary, build_initializer
+from repro.models.ggnn import GGNNEncoder, NameOnlyEncoder
+from repro.models.path import PathEncoder
+from repro.models.seq import SequenceEncoder
+from repro.types.normalize import is_informative
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class EncoderConfig:
+    """How to construct a symbol encoder."""
+
+    family: str = "graph"  # "graph" | "sequence" | "path" | "names"
+    hidden_dim: int = 32
+    gnn_steps: int = 4
+    node_init: str = "subtoken"  # "subtoken" | "token" | "character"
+    edge_kinds: Optional[Sequence[EdgeKind]] = None
+    max_tokens: int = 192
+    seed: int = 29
+
+
+def build_encoder(dataset: TypeAnnotationDataset, config: Optional[EncoderConfig] = None) -> SymbolEncoder:
+    """Construct a fresh encoder of the requested family for a dataset."""
+    config = config or EncoderConfig()
+    rng = SeededRNG(config.seed)
+
+    token_vocabulary: Optional[TokenVocabulary] = None
+    if config.node_init == "token":
+        texts = [node.text for graph in dataset.train.graphs for node in graph.nodes]
+        token_vocabulary = TokenVocabulary.from_texts(texts)
+    initializer = build_initializer(
+        config.node_init,
+        config.hidden_dim,
+        rng.fork(1),
+        subtoken_vocabulary=dataset.subtokens,
+        token_vocabulary=token_vocabulary,
+    )
+
+    if config.family == "graph":
+        return GGNNEncoder(
+            initializer,
+            config.hidden_dim,
+            rng.fork(2),
+            num_steps=config.gnn_steps,
+            edge_kinds=config.edge_kinds,
+        )
+    if config.family == "names":
+        return NameOnlyEncoder(initializer, config.hidden_dim, rng.fork(2))
+    if config.family == "sequence":
+        return SequenceEncoder(initializer, config.hidden_dim, rng.fork(2), max_tokens=config.max_tokens)
+    if config.family == "path":
+        return PathEncoder(initializer, config.hidden_dim, rng.fork(2))
+    raise ValueError(f"unknown encoder family {config.family!r}")
+
+
+@dataclass
+class SymbolSuggestion:
+    """A filtered type suggestion for one symbol of a user-supplied file."""
+
+    name: str
+    scope: str
+    kind: str
+    existing_annotation: Optional[str]
+    prediction: TypePrediction
+    filtered: Optional[FilteredSuggestion] = None
+
+    @property
+    def suggested_type(self) -> Optional[str]:
+        if self.filtered is not None:
+            return self.filtered.accepted_type
+        return self.prediction.top_type
+
+    @property
+    def confidence(self) -> float:
+        if self.filtered is not None and self.filtered.has_suggestion:
+            return self.filtered.accepted_confidence
+        return self.prediction.confidence
+
+    @property
+    def disagrees_with_existing(self) -> bool:
+        """Whether the suggestion contradicts the human-written annotation.
+
+        This is the signal behind the paper's Sec. 7 finding of incorrect
+        annotations in fairseq/allennlp: a confident prediction that differs
+        from the existing annotation is worth a human look.
+        """
+        return (
+            self.existing_annotation is not None
+            and self.suggested_type is not None
+            and self.suggested_type != self.existing_annotation
+        )
+
+
+class TypilusPipeline:
+    """A trained Typilus model bundled with its TypeSpace and predictor."""
+
+    def __init__(
+        self,
+        dataset: TypeAnnotationDataset,
+        encoder: SymbolEncoder,
+        training_result: TrainingResult,
+        type_space: TypeSpace,
+        knn_k: int = 10,
+        knn_p: float = 1.0,
+    ) -> None:
+        self.dataset = dataset
+        self.encoder = encoder
+        self.training_result = training_result
+        self.type_space = type_space
+        self.predictor = KNNTypePredictor(type_space, k=knn_k, p=knn_p)
+        self._graph_builder = GraphBuilder()
+
+    # -- training ------------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        dataset: TypeAnnotationDataset,
+        encoder_config: Optional[EncoderConfig] = None,
+        loss_kind: LossKind = LossKind.TYPILUS,
+        training_config: Optional[TrainingConfig] = None,
+        knn_k: int = 10,
+        knn_p: float = 1.0,
+        verbose: bool = False,
+    ) -> "TypilusPipeline":
+        """Train an encoder and build the TypeSpace in one call."""
+        encoder = build_encoder(dataset, encoder_config)
+        trainer = Trainer(encoder, dataset, loss_kind=loss_kind, config=training_config)
+        result = trainer.train(verbose=verbose)
+        space = trainer.build_type_space()
+        return cls(dataset, encoder, result, space, knn_k=knn_k, knn_p=knn_p)
+
+    # -- split-level prediction --------------------------------------------------------------
+
+    def _embed_split(self, split: DatasetSplit) -> tuple[np.ndarray, list[AnnotatedSymbol]]:
+        trainer = Trainer.__new__(Trainer)  # reuse the embedding helper without re-initialising
+        trainer.encoder = self.encoder
+        trainer.dataset = self.dataset
+        return Trainer.embed_split(trainer, split)
+
+    def predict_split(self, split: DatasetSplit) -> list[tuple[AnnotatedSymbol, TypePrediction]]:
+        """kNN predictions for every supervised symbol of a split."""
+        embeddings, samples = self._embed_split(split)
+        predictions = self.predictor.predict_batch(embeddings)
+        return list(zip(samples, predictions))
+
+    def evaluate_split(self, split: DatasetSplit) -> tuple[MetricSummary, list[EvaluatedPrediction]]:
+        """Exact / up-to-parametric / neutral metrics over a split."""
+        evaluated: list[EvaluatedPrediction] = []
+        for sample, prediction in self.predict_split(split):
+            evaluated.append(
+                evaluate_prediction(
+                    prediction.top_type,
+                    sample.annotation,
+                    prediction.confidence,
+                    self.dataset.lattice,
+                    kind=sample.kind,
+                )
+            )
+        return summarise(evaluated), evaluated
+
+    # -- developer-facing suggestion -----------------------------------------------------------
+
+    def suggest_for_source(
+        self,
+        source: str,
+        filename: str = "<user>",
+        use_type_checker: bool = True,
+        checker_mode: CheckerMode = CheckerMode.STRICT,
+        confidence_threshold: float = 0.0,
+        include_annotated: bool = True,
+    ) -> list[SymbolSuggestion]:
+        """Suggest types for the symbols of an arbitrary Python file.
+
+        The file may be partially annotated; existing annotations are used
+        only for reporting disagreements, never as model input (the graph
+        builder erases them).
+        """
+        graph = self._graph_builder.build(source, filename=filename)
+        symbols: list[SymbolInfo] = [
+            symbol
+            for symbol in graph.symbols
+            if include_annotated or symbol.annotation is None
+        ]
+        if not symbols:
+            return []
+        embeddings = self.encoder.encode([graph], [[symbol.node_index for symbol in symbols]])
+        suggestions: list[SymbolSuggestion] = []
+        checker_filter = TypeCheckedFilter(mode=checker_mode, confidence_threshold=confidence_threshold)
+        for symbol, embedding in zip(symbols, embeddings.data):
+            prediction = self.predictor.predict(embedding)
+            if prediction.confidence < confidence_threshold:
+                continue
+            filtered = None
+            if use_type_checker and prediction.candidates:
+                filtered = checker_filter.filter(
+                    source,
+                    symbol.scope,
+                    symbol.name,
+                    symbol.kind,
+                    prediction,
+                    original_annotation=symbol.annotation,
+                )
+            suggestions.append(
+                SymbolSuggestion(
+                    name=symbol.name,
+                    scope=symbol.scope,
+                    kind=symbol.kind.value,
+                    existing_annotation=symbol.annotation if symbol.annotation and is_informative(symbol.annotation) else None,
+                    prediction=prediction,
+                    filtered=filtered,
+                )
+            )
+        return suggestions
+
+    def find_annotation_disagreements(self, source: str, confidence_threshold: float = 0.8) -> list[SymbolSuggestion]:
+        """Confidently-predicted types that contradict existing annotations (Sec. 7)."""
+        suggestions = self.suggest_for_source(
+            source, use_type_checker=True, confidence_threshold=confidence_threshold, include_annotated=True
+        )
+        return [s for s in suggestions if s.disagrees_with_existing and s.confidence >= confidence_threshold]

@@ -1,0 +1,240 @@
+"""Training loop for the type-prediction models.
+
+The trainer is loss-agnostic so that the nine model/loss combinations of
+Table 2 (``{Seq,Path,Graph} × {Class,Space,Typilus}``) all run through the
+same code path:
+
+* ``classification`` — Eq. 1 with a closed vocabulary head (``*2Class``);
+* ``space`` — Eq. 3, pure deep similarity learning (``*2Space``);
+* ``typilus`` — Eq. 4, the combined objective (``*-Typilus``).
+
+Mini-batches are formed over *graphs* (files); all supervised symbols of the
+selected graphs are encoded together, which is also how the similarity loss
+obtains its in-batch positive/negative sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.losses import (
+    ClassificationHead,
+    TypilusLoss,
+    classification_loss,
+    similarity_space_loss,
+)
+from repro.core.typespace import TypeSpace
+from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
+from repro.models.base import SymbolEncoder
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+from repro.utils.timing import Stopwatch
+
+
+class LossKind(str, Enum):
+    """Which of the paper's objectives to optimise."""
+
+    CLASSIFICATION = "classification"  # Eq. 1
+    SPACE = "space"  # Eq. 3
+    TYPILUS = "typilus"  # Eq. 4
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a training run (scaled down from the paper's)."""
+
+    epochs: int = 10
+    graphs_per_batch: int = 8
+    max_symbols_per_batch: int = 256
+    learning_rate: float = 5e-3
+    gradient_clip: float = 5.0
+    margin: float = 2.0
+    lambda_classification: float = 1.0
+    max_classification_types: Optional[int] = None
+    seed: int = 17
+
+
+@dataclass
+class EpochStats:
+    """Loss and timing of one epoch."""
+
+    epoch: int
+    mean_loss: float
+    num_batches: int
+    seconds: float
+
+
+@dataclass
+class TrainingResult:
+    """Everything a caller needs after training."""
+
+    encoder: SymbolEncoder
+    loss_kind: LossKind
+    classification_head: Optional[ClassificationHead]
+    typilus_loss: Optional[TypilusLoss]
+    history: list[EpochStats] = field(default_factory=list)
+    stopwatch: Stopwatch = field(default_factory=Stopwatch)
+
+    @property
+    def final_loss(self) -> float:
+        return self.history[-1].mean_loss if self.history else float("nan")
+
+
+class Trainer:
+    """Optimises a symbol encoder under one of the three objectives."""
+
+    def __init__(
+        self,
+        encoder: SymbolEncoder,
+        dataset: TypeAnnotationDataset,
+        loss_kind: LossKind = LossKind.TYPILUS,
+        config: Optional[TrainingConfig] = None,
+    ) -> None:
+        self.encoder = encoder
+        self.dataset = dataset
+        self.loss_kind = loss_kind
+        self.config = config or TrainingConfig()
+        self.rng = SeededRNG(self.config.seed)
+
+        vocabulary = dataset.registry.classification_vocabulary(self.config.max_classification_types)
+        self.classification_head: Optional[ClassificationHead] = None
+        self.typilus_loss: Optional[TypilusLoss] = None
+        if loss_kind == LossKind.CLASSIFICATION:
+            self.classification_head = ClassificationHead(vocabulary, encoder.output_dim, self.rng.fork(1))
+        elif loss_kind == LossKind.TYPILUS:
+            self.typilus_loss = TypilusLoss(
+                encoder.output_dim,
+                list(dataset.registry),
+                self.rng.fork(2),
+                margin=self.config.margin,
+                lambda_classification=self.config.lambda_classification,
+            )
+
+        parameters = list(encoder.parameters())
+        if self.classification_head is not None:
+            parameters += list(self.classification_head.parameters())
+        if self.typilus_loss is not None:
+            parameters += list(self.typilus_loss.parameters())
+        self.optimizer = Adam(parameters, lr=self.config.learning_rate)
+
+    # -- batching --------------------------------------------------------------------
+
+    def _batches(self, split: DatasetSplit) -> list[tuple[list[int], list[AnnotatedSymbol]]]:
+        """Group the split's graphs into batches of ``graphs_per_batch``."""
+        samples_by_graph: dict[int, list[AnnotatedSymbol]] = {}
+        for sample in split.samples:
+            samples_by_graph.setdefault(sample.graph_index, []).append(sample)
+        graph_indices = [index for index in samples_by_graph if samples_by_graph[index]]
+        graph_indices = self.rng.shuffle(graph_indices)
+        batches: list[tuple[list[int], list[AnnotatedSymbol]]] = []
+        for start in range(0, len(graph_indices), self.config.graphs_per_batch):
+            chosen = graph_indices[start : start + self.config.graphs_per_batch]
+            samples: list[AnnotatedSymbol] = []
+            for graph_index in chosen:
+                samples.extend(samples_by_graph[graph_index])
+            samples = samples[: self.config.max_symbols_per_batch]
+            if samples:
+                batches.append((chosen, samples))
+        return batches
+
+    def _encode_samples(self, split: DatasetSplit, graph_indices: list[int], samples: list[AnnotatedSymbol]) -> Tensor:
+        graphs = [split.graphs[index] for index in graph_indices]
+        targets_per_graph: list[list[int]] = []
+        for graph_index in graph_indices:
+            targets_per_graph.append([s.node_index for s in samples if s.graph_index == graph_index])
+        return self.encoder.encode(graphs, targets_per_graph)
+
+    @staticmethod
+    def _ordered_types(graph_indices: list[int], samples: list[AnnotatedSymbol]) -> list[str]:
+        ordered: list[str] = []
+        for graph_index in graph_indices:
+            ordered.extend(s.annotation for s in samples if s.graph_index == graph_index)
+        return ordered
+
+    # -- training --------------------------------------------------------------------
+
+    def _loss_for_batch(self, embeddings: Tensor, type_names: Sequence[str]) -> Tensor:
+        if self.loss_kind == LossKind.CLASSIFICATION:
+            assert self.classification_head is not None
+            return classification_loss(self.classification_head, embeddings, type_names)
+        if self.loss_kind == LossKind.SPACE:
+            return similarity_space_loss(embeddings, type_names, margin=self.config.margin)
+        assert self.typilus_loss is not None
+        return self.typilus_loss(embeddings, type_names)
+
+    def train(self, verbose: bool = False) -> TrainingResult:
+        """Run the configured number of epochs over the training split."""
+        result = TrainingResult(
+            encoder=self.encoder,
+            loss_kind=self.loss_kind,
+            classification_head=self.classification_head,
+            typilus_loss=self.typilus_loss,
+        )
+        self.encoder.train()
+        for epoch in range(self.config.epochs):
+            losses: list[float] = []
+            with result.stopwatch.measure("train_epoch"):
+                for graph_indices, samples in self._batches(self.dataset.train):
+                    embeddings = self._encode_samples(self.dataset.train, graph_indices, samples)
+                    type_names = self._ordered_types(graph_indices, samples)
+                    loss = self._loss_for_batch(embeddings, type_names)
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    self.optimizer.clip_gradients(self.config.gradient_clip)
+                    self.optimizer.step()
+                    losses.append(float(loss.data))
+            stats = EpochStats(
+                epoch=epoch,
+                mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                num_batches=len(losses),
+                seconds=result.stopwatch.sections.get("train_epoch", 0.0),
+            )
+            result.history.append(stats)
+            if verbose:
+                print(f"epoch {epoch}: loss={stats.mean_loss:.4f} over {stats.num_batches} batches")
+        self.encoder.eval()
+        return result
+
+    # -- inference-side helpers --------------------------------------------------------
+
+    def embed_split(self, split: DatasetSplit, batch_graphs: int = 16) -> tuple[np.ndarray, list[AnnotatedSymbol]]:
+        """Embed every supervised symbol of a split (in dataset order)."""
+        self.encoder.eval()
+        samples_by_graph: dict[int, list[AnnotatedSymbol]] = {}
+        for sample in split.samples:
+            samples_by_graph.setdefault(sample.graph_index, []).append(sample)
+        embeddings: list[np.ndarray] = []
+        ordered_samples: list[AnnotatedSymbol] = []
+        graph_indices = sorted(samples_by_graph)
+        for start in range(0, len(graph_indices), batch_graphs):
+            chosen = graph_indices[start : start + batch_graphs]
+            samples: list[AnnotatedSymbol] = []
+            for graph_index in chosen:
+                samples.extend(samples_by_graph[graph_index])
+            batch_embeddings = self._encode_samples(split, chosen, samples)
+            embeddings.append(batch_embeddings.data)
+            ordered_samples.extend(
+                s for graph_index in chosen for s in samples if s.graph_index == graph_index
+            )
+        if not embeddings:
+            return np.zeros((0, self.encoder.output_dim)), []
+        return np.concatenate(embeddings, axis=0), ordered_samples
+
+    def build_type_space(self, include_valid: bool = True, approximate_index: bool = False) -> TypeSpace:
+        """Populate the type map from the train (and validation) annotations.
+
+        This mirrors Sec. 7: "we built the type map over the training and the
+        validation sets".
+        """
+        space = TypeSpace(self.encoder.output_dim, approximate_index=approximate_index)
+        train_embeddings, train_samples = self.embed_split(self.dataset.train)
+        space.add_markers([s.annotation for s in train_samples], train_embeddings, source="train")
+        if include_valid and self.dataset.valid.samples:
+            valid_embeddings, valid_samples = self.embed_split(self.dataset.valid)
+            space.add_markers([s.annotation for s in valid_samples], valid_embeddings, source="valid")
+        return space

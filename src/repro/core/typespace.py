@@ -1,0 +1,112 @@
+"""The TypeSpace and its type map (Sec. 4.2).
+
+After training, the encoder ``e(·)`` maps symbols to type embeddings but
+does not itself know any types.  The *type map* ``τ_map`` pairs the
+embeddings of symbols with **known** types (the markers) with those types;
+prediction is then a k-nearest-neighbour query against the markers (Eq. 5).
+
+Because the map is data, not parameters, it can be extended at any time with
+new types — including types never seen during training — which is how
+Typilus supports an open type vocabulary without retraining.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.knn import NearestNeighbourIndex, build_index
+
+
+@dataclass
+class TypeMarker:
+    """One entry of the type map: an embedding labelled with its true type."""
+
+    type_name: str
+    embedding: np.ndarray
+    source: str = ""  # provenance (filename / split), useful for analysis
+
+
+class TypeSpace:
+    """A collection of type markers plus a nearest-neighbour index over them."""
+
+    def __init__(self, dim: int, approximate_index: bool = False) -> None:
+        self.dim = dim
+        self.approximate_index = approximate_index
+        self._markers: list[TypeMarker] = []
+        self._index: Optional[NearestNeighbourIndex] = None
+
+    # -- population ----------------------------------------------------------------
+
+    def add_marker(self, type_name: str, embedding: np.ndarray, source: str = "") -> None:
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        if embedding.shape[0] != self.dim:
+            raise ValueError(f"marker dimension {embedding.shape[0]} does not match TypeSpace dim {self.dim}")
+        self._markers.append(TypeMarker(type_name=type_name, embedding=embedding, source=source))
+        self._index = None  # the index is rebuilt lazily
+
+    def add_markers(self, type_names: Sequence[str], embeddings: np.ndarray, source: str = "") -> None:
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if len(type_names) != len(embeddings):
+            raise ValueError("type_names and embeddings must have the same length")
+        for type_name, embedding in zip(type_names, embeddings):
+            self.add_marker(type_name, embedding, source=source)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._markers)
+
+    @property
+    def markers(self) -> list[TypeMarker]:
+        return list(self._markers)
+
+    def known_types(self) -> set[str]:
+        return {marker.type_name for marker in self._markers}
+
+    def type_counts(self) -> Counter:
+        return Counter(marker.type_name for marker in self._markers)
+
+    def marker_matrix(self) -> np.ndarray:
+        if not self._markers:
+            return np.zeros((0, self.dim))
+        return np.stack([marker.embedding for marker in self._markers])
+
+    def index(self) -> NearestNeighbourIndex:
+        """The (lazily rebuilt) spatial index over the markers."""
+        if self._index is None:
+            self._index = build_index(self.marker_matrix(), approximate=self.approximate_index)
+        return self._index
+
+    def nearest(self, embedding: np.ndarray, k: int) -> list[tuple[str, float]]:
+        """The ``k`` nearest markers of ``embedding``: ``(type, L1 distance)``."""
+        result = self.index().query(np.asarray(embedding, dtype=np.float64), k)
+        return [(self._markers[int(i)].type_name, float(d)) for i, d in zip(result.indices, result.distances)]
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path: str) -> str:
+        """Persist markers to an ``.npz`` file."""
+        np.savez(
+            path,
+            embeddings=self.marker_matrix(),
+            type_names=np.asarray([marker.type_name for marker in self._markers], dtype=object),
+            sources=np.asarray([marker.source for marker in self._markers], dtype=object),
+            dim=np.asarray([self.dim]),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str, approximate_index: bool = False) -> "TypeSpace":
+        with np.load(path, allow_pickle=True) as archive:
+            dim = int(archive["dim"][0])
+            space = cls(dim, approximate_index=approximate_index)
+            embeddings = archive["embeddings"]
+            type_names = archive["type_names"]
+            sources = archive["sources"]
+            for type_name, embedding, source in zip(type_names, embeddings, sources):
+                space.add_marker(str(type_name), embedding, source=str(source))
+        return space

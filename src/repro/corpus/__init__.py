@@ -1,0 +1,41 @@
+"""Corpus: synthetic project generation, deduplication and dataset assembly."""
+
+from repro.corpus.dataset import (
+    AnnotatedSymbol,
+    DatasetConfig,
+    DatasetSplit,
+    TypeAnnotationDataset,
+)
+from repro.corpus.dedup import (
+    DeduplicationReport,
+    Deduplicator,
+    DuplicateCluster,
+    deduplicate_sources,
+    file_token_fingerprint,
+    jaccard_similarity,
+)
+from repro.corpus.synthesis import (
+    ClassSpec,
+    CorpusSynthesizer,
+    SynthesisConfig,
+    SynthesisedFile,
+    generate_corpus,
+)
+
+__all__ = [
+    "AnnotatedSymbol",
+    "DatasetConfig",
+    "DatasetSplit",
+    "TypeAnnotationDataset",
+    "Deduplicator",
+    "DeduplicationReport",
+    "DuplicateCluster",
+    "deduplicate_sources",
+    "file_token_fingerprint",
+    "jaccard_similarity",
+    "CorpusSynthesizer",
+    "SynthesisConfig",
+    "SynthesisedFile",
+    "ClassSpec",
+    "generate_corpus",
+]

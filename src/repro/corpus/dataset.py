@@ -1,0 +1,317 @@
+"""Dataset assembly: sources → graphs → supervised symbol samples → splits.
+
+This mirrors the pipeline of Sec. 6 "Data":
+
+1. (optionally) augment files with annotations inferred by the lenient
+   checker — the role pytype plays in the paper;
+2. remove near-duplicate files;
+3. build one program graph per file;
+4. collect every annotated symbol whose annotation is informative (not
+   ``Any``/``None``) into supervised samples;
+5. build the type registry (frequencies, common/rare split) and the subtoken
+   vocabulary;
+6. split by *file* into train/validation/test (70/10/20 by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.checker.checker import CheckerMode, OptionalTypeChecker
+from repro.corpus.dedup import DeduplicationReport, deduplicate_sources
+from repro.corpus.synthesis import CorpusSynthesizer, SynthesisConfig
+from repro.graph.builder import GraphBuildError, GraphBuilder
+from repro.graph.codegraph import CodeGraph
+from repro.graph.nodes import SymbolKind
+from repro.graph.subtokens import SubtokenVocabulary, split_identifier
+from repro.types.lattice import TypeLattice
+from repro.types.normalize import canonical_string, is_informative
+from repro.types.registry import TypeRegistry
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class AnnotatedSymbol:
+    """One supervised example: a symbol node with a ground-truth type."""
+
+    graph_index: int
+    symbol_position: int
+    node_index: int
+    name: str
+    kind: SymbolKind
+    scope: str
+    annotation: str  # canonical type string
+    filename: str
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.filename}:{self.scope}::{self.name}"
+
+
+@dataclass
+class DatasetSplit:
+    """One of the train/validation/test partitions."""
+
+    name: str
+    graphs: list[CodeGraph] = field(default_factory=list)
+    samples: list[AnnotatedSymbol] = field(default_factory=list)
+
+    @property
+    def num_graphs(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.samples)
+
+    def samples_of_kind(self, kind: SymbolKind) -> list[AnnotatedSymbol]:
+        return [sample for sample in self.samples if sample.kind == kind]
+
+
+@dataclass
+class DatasetConfig:
+    """Configuration of dataset assembly."""
+
+    deduplicate: bool = True
+    dedup_threshold: float = 0.8
+    augment_with_inference: bool = False
+    rarity_threshold: int = 20
+    split_fractions: tuple[float, float, float] = (0.7, 0.1, 0.2)
+    seed: int = 5
+    max_deep_parameter_depth: Optional[int] = None
+
+
+class TypeAnnotationDataset:
+    """The full dataset: splits, registry, lattice and subtoken vocabulary."""
+
+    def __init__(
+        self,
+        train: DatasetSplit,
+        valid: DatasetSplit,
+        test: DatasetSplit,
+        registry: TypeRegistry,
+        lattice: TypeLattice,
+        subtokens: SubtokenVocabulary,
+        dedup_report: Optional[DeduplicationReport] = None,
+        config: Optional[DatasetConfig] = None,
+        sources: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.train = train
+        self.valid = valid
+        self.test = test
+        self.registry = registry
+        self.lattice = lattice
+        self.subtokens = subtokens
+        self.dedup_report = dedup_report
+        self.config = config or DatasetConfig()
+        #: Original (annotated, post-dedup) sources, keyed by filename.  The
+        #: type-checking experiments of Sec. 6.3 insert predictions into these.
+        self.sources = sources or {}
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def from_sources(
+        cls,
+        files: dict[str, str],
+        class_edges: Optional[Iterable[tuple[str, str]]] = None,
+        config: Optional[DatasetConfig] = None,
+    ) -> "TypeAnnotationDataset":
+        config = config or DatasetConfig()
+        rng = SeededRNG(config.seed)
+
+        if config.augment_with_inference:
+            files = {name: _augment_with_inferred_annotations(source) for name, source in files.items()}
+
+        dedup_report: Optional[DeduplicationReport] = None
+        if config.deduplicate:
+            files, dedup_report = deduplicate_sources(files, threshold=config.dedup_threshold)
+
+        builder = GraphBuilder()
+        graphs: list[CodeGraph] = []
+        for filename in sorted(files):
+            try:
+                graphs.append(builder.build(files[filename], filename=filename))
+            except GraphBuildError:
+                continue  # skip unparsable files, like the paper's pipeline
+
+        registry = TypeRegistry(rarity_threshold=config.rarity_threshold)
+        subtokens = SubtokenVocabulary()
+        all_samples: list[AnnotatedSymbol] = []
+        for graph_index, graph in enumerate(graphs):
+            for node_index, node_subtokens in graph.node_subtokens():
+                subtokens.observe(node_subtokens)
+            for symbol_position, symbol in enumerate(graph.symbols):
+                if symbol.annotation is None or not is_informative(symbol.annotation):
+                    continue
+                canonical = registry.add(symbol.annotation)
+                if canonical is None:
+                    continue
+                all_samples.append(
+                    AnnotatedSymbol(
+                        graph_index=graph_index,
+                        symbol_position=symbol_position,
+                        node_index=symbol.node_index,
+                        name=symbol.name,
+                        kind=symbol.kind,
+                        scope=symbol.scope,
+                        annotation=canonical,
+                        filename=graph.filename,
+                    )
+                )
+        subtokens.finalise()
+
+        lattice = TypeLattice()
+        if class_edges is not None:
+            lattice.add_class_hierarchy(class_edges)
+        lattice.add_class_hierarchy(_class_edges_from_sources(files))
+
+        train, valid, test = cls._split_by_file(graphs, all_samples, config.split_fractions, rng)
+        return cls(
+            train, valid, test, registry, lattice, subtokens, dedup_report, config, sources=dict(files)
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        synthesis: Optional[SynthesisConfig] = None,
+        config: Optional[DatasetConfig] = None,
+    ) -> "TypeAnnotationDataset":
+        """Generate a synthetic corpus and assemble the dataset in one call."""
+        synthesizer = CorpusSynthesizer(synthesis)
+        files = {entry.filename: entry.source for entry in synthesizer.generate()}
+        return cls.from_sources(files, class_edges=synthesizer.class_hierarchy_edges(), config=config)
+
+    # -- splitting -----------------------------------------------------------------------
+
+    @staticmethod
+    def _split_by_file(
+        graphs: list[CodeGraph],
+        samples: list[AnnotatedSymbol],
+        fractions: tuple[float, float, float],
+        rng: SeededRNG,
+    ) -> tuple[DatasetSplit, DatasetSplit, DatasetSplit]:
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError("split fractions must sum to 1")
+        order = rng.shuffle(list(range(len(graphs))))
+        train_count = int(round(len(order) * fractions[0]))
+        valid_count = int(round(len(order) * fractions[1]))
+        assignments: dict[int, str] = {}
+        for position, graph_index in enumerate(order):
+            if position < train_count:
+                assignments[graph_index] = "train"
+            elif position < train_count + valid_count:
+                assignments[graph_index] = "valid"
+            else:
+                assignments[graph_index] = "test"
+
+        splits = {name: DatasetSplit(name=name) for name in ("train", "valid", "test")}
+        graph_positions: dict[int, tuple[str, int]] = {}
+        for graph_index, graph in enumerate(graphs):
+            split_name = assignments[graph_index]
+            split = splits[split_name]
+            graph_positions[graph_index] = (split_name, len(split.graphs))
+            split.graphs.append(graph)
+        for sample in samples:
+            split_name, local_index = graph_positions[sample.graph_index]
+            relocated = AnnotatedSymbol(
+                graph_index=local_index,
+                symbol_position=sample.symbol_position,
+                node_index=sample.node_index,
+                name=sample.name,
+                kind=sample.kind,
+                scope=sample.scope,
+                annotation=sample.annotation,
+                filename=sample.filename,
+            )
+            splits[split_name].samples.append(relocated)
+        return splits["train"], splits["valid"], splits["test"]
+
+    # -- reporting ------------------------------------------------------------------------
+
+    @property
+    def splits(self) -> dict[str, DatasetSplit]:
+        return {"train": self.train, "valid": self.valid, "test": self.test}
+
+    def summary(self) -> dict[str, object]:
+        statistics = self.registry.statistics()
+        return {
+            "files": sum(split.num_graphs for split in self.splits.values()),
+            "train_graphs": self.train.num_graphs,
+            "valid_graphs": self.valid.num_graphs,
+            "test_graphs": self.test.num_graphs,
+            "train_samples": self.train.num_samples,
+            "valid_samples": self.valid.num_samples,
+            "test_samples": self.test.num_samples,
+            "distinct_types": statistics.distinct_types,
+            "rare_annotation_fraction": statistics.rare_annotation_fraction,
+            "top10_fraction": statistics.top10_fraction,
+            "zipf_exponent": statistics.zipf_exponent,
+            "dedup_removed": self.dedup_report.removed_files if self.dedup_report else 0,
+        }
+
+
+def _augment_with_inferred_annotations(source: str) -> str:
+    """Add lenient-checker-inferred return annotations to unannotated functions.
+
+    This mirrors the paper's pytype augmentation.  Only function returns are
+    inserted (the inference for variables would require rewriting assignment
+    statements, which adds noise without changing what the experiment tests).
+    """
+    import ast
+
+    inferred = OptionalTypeChecker(CheckerMode.LENIENT).infer_annotations(source)
+    if not inferred:
+        return source
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source
+
+    class _ReturnAnnotator(ast.NodeTransformer):
+        def __init__(self) -> None:
+            self._scope = ["module"]
+
+        def _visit_scope(self, node, name):
+            self._scope.append(name)
+            self.generic_visit(node)
+            self._scope.pop()
+            return node
+
+        def visit_ClassDef(self, node: ast.ClassDef):
+            return self._visit_scope(node, node.name)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef):
+            scope_path = ".".join(self._scope + [node.name])
+            key = (scope_path, "<return>", "function_return")
+            if node.returns is None and key in inferred:
+                try:
+                    node.returns = ast.parse(inferred[key], mode="eval").body
+                except SyntaxError:
+                    pass
+            return self._visit_scope(node, node.name)
+
+        visit_AsyncFunctionDef = visit_FunctionDef
+
+    new_tree = _ReturnAnnotator().visit(tree)
+    ast.fix_missing_locations(new_tree)
+    return ast.unparse(new_tree)
+
+
+def _class_edges_from_sources(files: dict[str, str]) -> list[tuple[str, str]]:
+    """Extract ``class Sub(Base)`` edges from every file for the lattice."""
+    import ast
+
+    edges: list[tuple[str, str]] = []
+    for source in files.values():
+        try:
+            tree = ast.parse(source)
+        except SyntaxError:
+            continue
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        edges.append((node.name, base.id))
+    return edges

@@ -1,0 +1,745 @@
+"""Synthetic Python-project generator.
+
+The paper's corpus is 600 GitHub repositories whose files carry (or can be
+augmented with) type annotations.  Offline we cannot clone GitHub, so this
+module generates a corpus with the properties the learning problem needs
+(see DESIGN.md, "Substitutions"):
+
+* real, parseable Python files — everything downstream (graph construction,
+  type checking, annotation erasure) runs on genuine source code;
+* identifier names that correlate with types, per
+  :mod:`repro.corpus.vocabularies`;
+* a fat-tailed, Zipf-like type distribution: a handful of builtins dominate
+  while many user-defined and parametric types appear only a few times;
+* user-defined classes, some with inheritance, so the lattice has nominal
+  edges and rare types exist;
+* partially annotated code — each symbol is annotated only with a given
+  probability, like real optionally-typed projects;
+* optional near-duplicate files, to exercise the deduplication step the
+  paper applies before splitting (Sec. 6, "Data").
+
+The generated code type checks under :mod:`repro.checker`, so the Sec. 6.3
+experiment can run on it end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.corpus import vocabularies as vocab
+from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs of the synthetic corpus.
+
+    The defaults produce a small corpus suitable for tests; benchmarks use a
+    larger configuration (see ``benchmarks/``).
+    """
+
+    num_files: int = 40
+    functions_per_file: tuple[int, int] = (3, 7)
+    classes_per_file: tuple[int, int] = (0, 2)
+    annotation_probability: float = 0.7
+    duplicate_fraction: float = 0.1
+    num_user_classes: int = 25
+    class_inheritance_probability: float = 0.3
+    seed: int = 13
+
+
+@dataclass
+class ClassSpec:
+    """A synthesised user-defined class."""
+
+    name: str
+    base: Optional[str]
+    attributes: list[tuple[str, str]]  # (attribute name, type string)
+
+    @property
+    def constructor_parameters(self) -> list[tuple[str, str]]:
+        return self.attributes
+
+
+@dataclass
+class SynthesisedFile:
+    """One generated source file plus bookkeeping for corpus statistics."""
+
+    filename: str
+    source: str
+    annotated_symbols: int = 0
+    duplicate_of: Optional[str] = None
+
+
+# ---------------------------------------------------------------------------
+# Helpers for optional annotations
+# ---------------------------------------------------------------------------
+
+
+class _AnnotationCoin:
+    """Decides, per symbol, whether to keep its annotation in the source."""
+
+    def __init__(self, rng: SeededRNG, probability: float) -> None:
+        self._rng = rng
+        self._probability = probability
+        self.annotated = 0
+        self.total = 0
+
+    def annotate(self) -> bool:
+        self.total += 1
+        keep = self._rng.uniform() < self._probability
+        if keep:
+            self.annotated += 1
+        return keep
+
+
+def _param(name: str, annotation: str, coin: _AnnotationCoin, default: Optional[str] = None) -> str:
+    text = f"{name}: {annotation}" if coin.annotate() else name
+    if default is not None:
+        text += f" = {default}" if ": " in text else f"={default}"
+    return text
+
+
+def _returns(annotation: str, coin: _AnnotationCoin) -> str:
+    return f" -> {annotation}" if coin.annotate() else ""
+
+
+# ---------------------------------------------------------------------------
+# Function templates
+# ---------------------------------------------------------------------------
+
+# Every template returns a list of source lines.  Templates receive the RNG,
+# the annotation coin and the palette of user-defined classes available in
+# the file, and must produce code that type checks.
+
+TemplateFn = Callable[[SeededRNG, _AnnotationCoin, list[ClassSpec]], list[str]]
+
+
+def _unique_name(rng: SeededRNG, stem: str, used: set[str]) -> str:
+    candidate = stem
+    counter = 2
+    while candidate in used:
+        candidate = f"{stem}_{counter}"
+        counter += 1
+    used.add(candidate)
+    return candidate
+
+
+class FunctionTemplates:
+    """The library of function shapes used by the synthesiser."""
+
+    def __init__(self) -> None:
+        self._used_names: set[str] = set()
+
+    def reset(self) -> None:
+        self._used_names = set()
+
+    # -- individual templates -----------------------------------------------------
+
+    def count_items(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        items = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"count_{noun}s", self._used_names)
+        return [
+            f"def {name}({_param(items, 'List[str]', coin)}){_returns('int', coin)}:",
+            f"    return len({items})",
+        ]
+
+    def total_of(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        values = rng.choice(vocab.LIST_NAMES)
+        total = rng.choice(["total", "accumulated", "running_total"])
+        name = _unique_name(rng, f"total_{noun}_amount", self._used_names)
+        return [
+            f"def {name}({_param(values, 'List[float]', coin)}){_returns('float', coin)}:",
+            f"    {total} = 0.0",
+            f"    for value in {values}:",
+            f"        {total} = {total} + value",
+            f"    return {total}",
+        ]
+
+    def format_label(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        text = rng.choice(vocab.STR_NAMES)
+        count = rng.choice(vocab.INT_NAMES)
+        name = _unique_name(rng, f"format_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(text, 'str', coin)}, {_param(count, 'int', coin)}){_returns('str', coin)}:",
+            f"    return {text} + ':' + str({count})",
+        ]
+
+    def predicate(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        value = rng.choice(vocab.INT_NAMES)
+        threshold = rng.choice([n for n in vocab.INT_NAMES if n != value] or ["threshold"])
+        name = _unique_name(rng, f"is_large_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(value, 'int', coin)}, {_param(threshold, 'int', coin)}){_returns('bool', coin)}:",
+            f"    return {value} > {threshold}",
+        ]
+
+    def scale_value(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        value = rng.choice(vocab.FLOAT_NAMES)
+        factor = rng.choice([n for n in vocab.FLOAT_NAMES if n != value] or ["factor"])
+        name = _unique_name(rng, f"scale_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(value, 'float', coin)}, {_param(factor, 'float', coin)}){_returns('float', coin)}:",
+            f"    scaled = {value} * {factor}",
+            f"    return scaled",
+        ]
+
+    def lookup_value(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        mapping = rng.choice(vocab.DICT_NAMES)
+        key = rng.choice(vocab.STR_NAMES)
+        value_type = rng.choice(["int", "float", "str"])
+        name = _unique_name(rng, f"find_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(mapping, f'Dict[str, {value_type}]', coin)}, {_param(key, 'str', coin)})"
+            f"{_returns(f'Optional[{value_type}]', coin)}:",
+            f"    return {mapping}.get({key})",
+        ]
+
+    def collect_labels(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        count = rng.choice(vocab.INT_NAMES)
+        label = rng.choice(vocab.STR_NAMES)
+        name = _unique_name(rng, f"collect_{noun}_labels", self._used_names)
+        return [
+            f"def {name}({_param(count, 'int', coin)}, {_param(label, 'str', coin)}){_returns('List[str]', coin)}:",
+            "    gathered = []",
+            f"    for position in range({count}):",
+            f"        gathered.append({label} + str(position))",
+            "    return gathered",
+        ]
+
+    def make_instance(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.format_label(rng, coin, classes)
+        spec = rng.choice(classes)
+        name = _unique_name(rng, f"make_{spec.name.lower()}", self._used_names)
+        params = ", ".join(
+            _param(attribute, annotation, coin) for attribute, annotation in spec.constructor_parameters
+        )
+        arguments = ", ".join(attribute for attribute, _ in spec.constructor_parameters)
+        return [
+            f"def {name}({params}){_returns(spec.name, coin)}:",
+            f"    return {spec.name}({arguments})",
+        ]
+
+    def describe_instance(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.predicate(rng, coin, classes)
+        spec = rng.choice(classes)
+        obj = spec.name.lower()
+        name = _unique_name(rng, f"describe_{obj}", self._used_names)
+        return [
+            f"def {name}({_param(obj, spec.name, coin)}){_returns('str', coin)}:",
+            f"    return {obj}.describe()",
+        ]
+
+    def split_text(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        text = rng.choice(vocab.STR_NAMES)
+        name = _unique_name(rng, f"split_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(text, 'str', coin)}, {_param('separator', 'str', coin)}){_returns('List[str]', coin)}:",
+            f"    return {text}.split(separator)",
+        ]
+
+    def merge_counts(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        base = rng.choice(vocab.DICT_NAMES)
+        extra = rng.choice([n for n in vocab.DICT_NAMES if n != base] or ["extra"])
+        name = _unique_name(rng, f"merge_{noun}_counts", self._used_names)
+        return [
+            f"def {name}({_param(base, 'Dict[str, int]', coin)}, {_param(extra, 'Dict[str, int]', coin)})"
+            f"{_returns('Dict[str, int]', coin)}:",
+            "    merged = {}",
+            f"    for key, value in {base}.items():",
+            "        merged[key] = value",
+            f"    for key, value in {extra}.items():",
+            "        merged[key] = value",
+            "    return merged",
+        ]
+
+    def mean_of(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        values = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"mean_{noun}_score", self._used_names)
+        return [
+            f"def {name}({_param(values, 'List[float]', coin)}){_returns('float', coin)}:",
+            f"    if len({values}) == 0:",
+            "        return 0.0",
+            f"    return sum({values}) / len({values})",
+        ]
+
+    def encode_text(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        text = rng.choice(vocab.STR_NAMES)
+        name = _unique_name(rng, f"encode_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(text, 'str', coin)}){_returns('bytes', coin)}:",
+            f"    return {text}.encode('utf-8')",
+        ]
+
+    def decode_payload(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        payload = rng.choice(vocab.BYTES_NAMES)
+        name = _unique_name(rng, f"decode_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(payload, 'bytes', coin)}){_returns('str', coin)}:",
+            f"    return {payload}.decode('utf-8')",
+        ]
+
+    def clamp_value(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        value = rng.choice(vocab.FLOAT_NAMES)
+        name = _unique_name(rng, f"clamp_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(value, 'float', coin)}, {_param('low', 'float', coin)}, "
+            f"{_param('high', 'float', coin)}){_returns('float', coin)}:",
+            f"    if {value} < low:",
+            "        return low",
+            f"    if {value} > high:",
+            "        return high",
+            f"    return {value}",
+        ]
+
+    def filter_instances(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.mean_of(rng, coin, classes)
+        spec = rng.choice(classes)
+        plural = spec.name.lower() + "s"
+        int_attributes = [attribute for attribute, annotation in spec.attributes if annotation == "int"]
+        attribute = int_attributes[0] if int_attributes else None
+        name = _unique_name(rng, f"filter_{plural}", self._used_names)
+        lines = [
+            f"def {name}({_param(plural, f'List[{spec.name}]', coin)}, {_param('threshold', 'int', coin)})"
+            f"{_returns(f'List[{spec.name}]', coin)}:",
+            "    kept = []",
+            f"    for candidate in {plural}:",
+        ]
+        if attribute is not None:
+            lines.append(f"        if candidate.{attribute} > threshold:")
+        else:
+            lines.append("        if threshold > 0:")
+        lines.extend(["            kept.append(candidate)", "    return kept"])
+        return lines
+
+    def position_of(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        items = rng.choice(vocab.LIST_NAMES)
+        target = rng.choice(vocab.STR_NAMES)
+        name = _unique_name(rng, f"position_of_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(items, 'List[str]', coin)}, {_param(target, 'str', coin)}){_returns('int', coin)}:",
+            f"    return {items}.index({target})",
+        ]
+
+    def should_run(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        verb = rng.choice(vocab.FUNCTION_VERBS)
+        flag = rng.choice(vocab.BOOL_NAMES)
+        count = rng.choice(vocab.INT_NAMES)
+        name = _unique_name(rng, f"should_{verb}", self._used_names)
+        return [
+            f"def {name}({_param(flag, 'bool', coin)}, {_param(count, 'int', coin)}){_returns('bool', coin)}:",
+            f"    return {flag} and {count} > 0",
+        ]
+
+    def bounds_of(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        values = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"bounds_of_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(values, 'List[int]', coin)}){_returns('Tuple[int, int]', coin)}:",
+            f"    lowest = min({values})",
+            f"    highest = max({values})",
+            "    return (lowest, highest)",
+        ]
+
+    def greet_with_suffix(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        name_param = rng.choice(vocab.STR_NAMES)
+        name = _unique_name(rng, f"render_{rng.choice(vocab.FUNCTION_NOUNS)}_greeting", self._used_names)
+        return [
+            f"def {name}({_param(name_param, 'str', coin)}, "
+            f"{_param('suffix', 'Optional[str]', coin, default='None')}){_returns('str', coin)}:",
+            "    if suffix is None:",
+            f"        return 'hello ' + {name_param}",
+            f"    return 'hello ' + {name_param} + suffix",
+        ]
+
+    def group_lengths(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        items = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"group_{noun}_lengths", self._used_names)
+        return [
+            f"def {name}({_param(items, 'List[str]', coin)}){_returns('Dict[str, int]', coin)}:",
+            "    lengths = {}",
+            f"    for entry in {items}:",
+            "        lengths[entry] = len(entry)",
+            "    return lengths",
+        ]
+
+    def nested_matrix(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        rows = rng.choice(vocab.INT_NAMES)
+        name = _unique_name(rng, f"build_{noun}_matrix", self._used_names)
+        return [
+            f"def {name}({_param(rows, 'int', coin)}, {_param('fill', 'float', coin)})"
+            f"{_returns('List[List[float]]', coin)}:",
+            "    matrix = []",
+            f"    for row_index in range({rows}):",
+            "        row = []",
+            f"        for column_index in range({rows}):",
+            "            row.append(fill)",
+            "        matrix.append(row)",
+            "    return matrix",
+        ]
+
+    def find_optional_instance(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.lookup_value(rng, coin, classes)
+        spec = rng.choice(classes)
+        plural = spec.name.lower() + "s"
+        str_attributes = [attribute for attribute, annotation in spec.attributes if annotation == "str"]
+        attribute = str_attributes[0] if str_attributes else None
+        name = _unique_name(rng, f"find_{spec.name.lower()}", self._used_names)
+        lines = [
+            f"def {name}({_param(plural, f'List[{spec.name}]', coin)}, {_param('wanted', 'str', coin)})"
+            f"{_returns(f'Optional[{spec.name}]', coin)}:",
+            f"    for candidate in {plural}:",
+        ]
+        if attribute is not None:
+            lines.append(f"        if candidate.{attribute} == wanted:")
+        else:
+            lines.append("        if candidate.describe() == wanted:")
+        lines.extend(["            return candidate", "    return None"])
+        return lines
+
+    def pair_of(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        label = rng.choice(vocab.STR_NAMES)
+        count = rng.choice(vocab.INT_NAMES)
+        name = _unique_name(rng, f"pair_{noun}", self._used_names)
+        return [
+            f"def {name}({_param(label, 'str', coin)}, {_param(count, 'int', coin)}){_returns('Tuple[str, int]', coin)}:",
+            f"    return ({label}, {count})",
+        ]
+
+    def unique_labels(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        items = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"unique_{noun}_labels", self._used_names)
+        return [
+            f"def {name}({_param(items, 'List[str]', coin)}){_returns('Set[str]', coin)}:",
+            "    seen = set()",
+            f"    for entry in {items}:",
+            "        seen.add(entry)",
+            "    return seen",
+        ]
+
+    def index_instances(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.group_lengths(rng, coin, classes)
+        spec = rng.choice(classes)
+        plural = spec.name.lower() + "s"
+        str_attributes = [attribute for attribute, annotation in spec.attributes if annotation == "str"]
+        name = _unique_name(rng, f"index_{plural}", self._used_names)
+        key_expr = f"candidate.{str_attributes[0]}" if str_attributes else "candidate.describe()"
+        return [
+            f"def {name}({_param(plural, f'List[{spec.name}]', coin)}){_returns(f'Dict[str, {spec.name}]', coin)}:",
+            "    by_key = {}",
+            f"    for candidate in {plural}:",
+            f"        by_key[{key_expr}] = candidate",
+            "    return by_key",
+        ]
+
+    def first_instance(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        if not classes:
+            return self.bounds_of(rng, coin, classes)
+        spec = rng.choice(classes)
+        plural = spec.name.lower() + "s"
+        name = _unique_name(rng, f"first_{spec.name.lower()}", self._used_names)
+        return [
+            f"def {name}({_param(plural, f'List[{spec.name}]', coin)}){_returns(spec.name, coin)}:",
+            f"    return {plural}[0]",
+        ]
+
+    def as_groups(self, rng: SeededRNG, coin: _AnnotationCoin, classes: list[ClassSpec]) -> list[str]:
+        noun = rng.choice(vocab.FUNCTION_NOUNS)
+        items = rng.choice(vocab.LIST_NAMES)
+        name = _unique_name(rng, f"group_{noun}s_by_prefix", self._used_names)
+        return [
+            f"def {name}({_param(items, 'List[str]', coin)}){_returns('Dict[str, List[str]]', coin)}:",
+            "    groups = {}",
+            f"    for entry in {items}:",
+            "        prefix = entry[0]",
+            "        if prefix not in groups:",
+            "            groups[prefix] = []",
+            "        groups[prefix].append(entry)",
+            "    return groups",
+        ]
+
+    def all_templates(self) -> list[TemplateFn]:
+        return [
+            self.count_items,
+            self.total_of,
+            self.format_label,
+            self.predicate,
+            self.scale_value,
+            self.lookup_value,
+            self.collect_labels,
+            self.make_instance,
+            self.describe_instance,
+            self.split_text,
+            self.merge_counts,
+            self.mean_of,
+            self.encode_text,
+            self.decode_payload,
+            self.clamp_value,
+            self.filter_instances,
+            self.position_of,
+            self.should_run,
+            self.bounds_of,
+            self.greet_with_suffix,
+            self.group_lengths,
+            self.nested_matrix,
+            self.find_optional_instance,
+            self.pair_of,
+            self.unique_labels,
+            self.index_instances,
+            self.first_instance,
+            self.as_groups,
+        ]
+
+    #: Weights giving builtin-heavy templates more mass than UDT templates so
+    #: the resulting annotation distribution is Zipf-like.
+    def template_weights(self) -> list[float]:
+        return [
+            3.0,  # count_items
+            2.5,  # total_of
+            3.0,  # format_label
+            2.5,  # predicate
+            2.5,  # scale_value
+            1.5,  # lookup_value
+            1.5,  # collect_labels
+            1.0,  # make_instance
+            1.0,  # describe_instance
+            2.0,  # split_text
+            1.0,  # merge_counts
+            1.5,  # mean_of
+            0.8,  # encode_text
+            0.8,  # decode_payload
+            1.5,  # clamp_value
+            0.8,  # filter_instances
+            1.0,  # position_of
+            2.0,  # should_run
+            0.8,  # bounds_of
+            1.2,  # greet_with_suffix
+            1.0,  # group_lengths
+            0.5,  # nested_matrix
+            0.8,  # find_optional_instance
+            0.8,  # pair_of
+            0.7,  # unique_labels
+            0.6,  # index_instances
+            0.6,  # first_instance
+            0.6,  # as_groups
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Classes
+# ---------------------------------------------------------------------------
+
+_ATTRIBUTE_POOLS: list[tuple[list[str], str]] = [
+    (vocab.STR_NAMES, "str"),
+    (vocab.INT_NAMES, "int"),
+    (vocab.FLOAT_NAMES, "float"),
+    (vocab.BOOL_NAMES, "bool"),
+    (vocab.LIST_NAMES, "List[str]"),
+    (vocab.LIST_NAMES, "List[int]"),
+    (vocab.DICT_NAMES, "Dict[str, int]"),
+]
+
+
+def _generate_class_specs(rng: SeededRNG, config: SynthesisConfig) -> list[ClassSpec]:
+    """Create the project-wide palette of user-defined classes."""
+    specs: list[ClassSpec] = []
+    used_names: set[str] = set()
+    for _ in range(config.num_user_classes):
+        base_name = rng.choice(vocab.CLASS_BASE_NAMES)
+        suffix = rng.choice(vocab.CLASS_SUFFIXES)
+        class_name = _unique_name(rng, f"{base_name}{suffix}", used_names)
+        parent: Optional[str] = None
+        if specs and rng.uniform() < config.class_inheritance_probability:
+            parent = rng.choice(specs).name
+        num_attributes = rng.randint(2, 4)
+        attributes: list[tuple[str, str]] = []
+        attribute_names: set[str] = set()
+        for _ in range(num_attributes):
+            pool, annotation = rng.choice(_ATTRIBUTE_POOLS)
+            attribute = rng.choice(pool)
+            if attribute in attribute_names:
+                continue
+            attribute_names.add(attribute)
+            attributes.append((attribute, annotation))
+        if not attributes:
+            attributes = [("name", "str"), ("count", "int")]
+        specs.append(ClassSpec(name=class_name, base=parent, attributes=attributes))
+    return specs
+
+
+def render_class(spec: ClassSpec, coin: _AnnotationCoin, rng: SeededRNG) -> list[str]:
+    """Emit the source lines of one user-defined class."""
+    header = f"class {spec.name}({spec.base}):" if spec.base else f"class {spec.name}:"
+    parameters = ", ".join(
+        ["self"] + [_param(attribute, annotation, coin) for attribute, annotation in spec.attributes]
+    )
+    lines = [header, f"    def __init__({parameters}){_returns('None', coin)}:"]
+    for attribute, _ in spec.attributes:
+        lines.append(f"        self.{attribute} = {attribute}")
+
+    # describe(): every class has one so `describe_instance` templates always
+    # type check.
+    first_attribute = spec.attributes[0][0]
+    lines.extend(
+        [
+            "",
+            f"    def describe(self){_returns('str', coin)}:",
+            f"        return '{spec.name}:' + str(self.{first_attribute})",
+        ]
+    )
+
+    # One numeric helper when the class has a numeric attribute.
+    numeric = [a for a, t in spec.attributes if t in ("int", "float")]
+    if numeric:
+        attribute = numeric[0]
+        lines.extend(
+            [
+                "",
+                f"    def scaled_{attribute}(self, {_param('factor', 'float', coin)}){_returns('float', coin)}:",
+                f"        return self.{attribute} * factor",
+            ]
+        )
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# The synthesiser
+# ---------------------------------------------------------------------------
+
+
+class CorpusSynthesizer:
+    """Generates a whole synthetic project: many files plus near-duplicates."""
+
+    def __init__(self, config: Optional[SynthesisConfig] = None) -> None:
+        self.config = config or SynthesisConfig()
+        self._rng = SeededRNG(self.config.seed)
+        self._templates = FunctionTemplates()
+        self.class_specs = _generate_class_specs(self._rng.fork(1), self.config)
+
+    # -- public API -------------------------------------------------------------------
+
+    def generate(self) -> list[SynthesisedFile]:
+        """Generate the corpus: original files first, near-duplicates last."""
+        files = [self._generate_file(index) for index in range(self.config.num_files)]
+        duplicates = self._generate_duplicates(files)
+        return files + duplicates
+
+    def class_hierarchy_edges(self) -> list[tuple[str, str]]:
+        """``(subclass, superclass)`` pairs for seeding the type lattice."""
+        return [(spec.name, spec.base) for spec in self.class_specs if spec.base]
+
+    # -- file generation -----------------------------------------------------------------
+
+    def _generate_file(self, index: int) -> SynthesisedFile:
+        rng = self._rng.fork(100 + index)
+        coin = _AnnotationCoin(rng.fork(7), self.config.annotation_probability)
+        self._templates.reset()
+
+        num_classes = rng.randint(*self.config.classes_per_file)
+        num_functions = rng.randint(*self.config.functions_per_file)
+
+        file_classes = rng.sample(self.class_specs, min(num_classes + 2, len(self.class_specs)))
+        emitted_classes = file_classes[:num_classes]
+        # Classes referenced by templates must be defined in the file, so the
+        # palette passed to templates only contains emitted classes (plus their
+        # bases, which are emitted too).
+        emitted_with_bases: list[ClassSpec] = []
+        emitted_names: set[str] = set()
+        for spec in emitted_classes:
+            for candidate in self._with_bases(spec):
+                if candidate.name not in emitted_names:
+                    emitted_names.add(candidate.name)
+                    emitted_with_bases.append(candidate)
+
+        lines: list[str] = [
+            '"""Synthetic module generated for the Typilus reproduction corpus."""',
+            "from typing import Dict, List, Optional, Tuple",
+            "",
+        ]
+        for spec in emitted_with_bases:
+            lines.extend(render_class(spec, coin, rng))
+            lines.append("")
+        templates = self._templates.all_templates()
+        weights = self._templates.template_weights()
+        for _ in range(num_functions):
+            template = rng.choices(templates, weights, k=1)[0]
+            lines.extend(template(rng, coin, emitted_with_bases))
+            lines.append("")
+
+        # A couple of annotated module-level constants.
+        module_constants = rng.randint(0, 2)
+        for _ in range(module_constants):
+            pool, annotation = rng.choice(_ATTRIBUTE_POOLS[:4])
+            constant = rng.choice(pool).upper()
+            literal = {"str": "'default'", "int": "10", "float": "0.5", "bool": "True"}[annotation]
+            if coin.annotate():
+                lines.append(f"{constant}: {annotation} = {literal}")
+            else:
+                lines.append(f"{constant} = {literal}")
+        source = "\n".join(lines).rstrip() + "\n"
+        return SynthesisedFile(
+            filename=f"project/module_{index:04d}.py",
+            source=source,
+            annotated_symbols=coin.annotated,
+        )
+
+    def _with_bases(self, spec: ClassSpec) -> list[ClassSpec]:
+        chain: list[ClassSpec] = []
+        by_name = {candidate.name: candidate for candidate in self.class_specs}
+        current: Optional[ClassSpec] = spec
+        while current is not None:
+            chain.append(current)
+            current = by_name.get(current.base) if current.base else None
+        return list(reversed(chain))
+
+    # -- near-duplicates --------------------------------------------------------------------
+
+    def _generate_duplicates(self, files: list[SynthesisedFile]) -> list[SynthesisedFile]:
+        count = int(len(files) * self.config.duplicate_fraction)
+        if count == 0:
+            return []
+        rng = self._rng.fork(999)
+        duplicates: list[SynthesisedFile] = []
+        for duplicate_index, original in enumerate(rng.sample(files, min(count, len(files)))):
+            # A near-duplicate: same code with a trailing comment, which is what
+            # copy-pasted files with trivial edits look like to the deduplicator.
+            mutated = original.source + "\n# vendored copy of an upstream module\n"
+            duplicates.append(
+                SynthesisedFile(
+                    filename=f"project/dup_{duplicate_index:04d}.py",
+                    source=mutated,
+                    annotated_symbols=original.annotated_symbols,
+                    duplicate_of=original.filename,
+                )
+            )
+        return duplicates
+
+
+def generate_corpus(config: Optional[SynthesisConfig] = None) -> list[SynthesisedFile]:
+    """Convenience wrapper used by tests and examples."""
+    return CorpusSynthesizer(config).generate()

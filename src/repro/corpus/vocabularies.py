@@ -1,0 +1,84 @@
+"""Identifier vocabularies used by the synthetic-corpus generator.
+
+The learning signal Typilus exploits is the correlation between identifier
+names, code structure and types (Sec. 1: "a variable named ``counter`` is
+likely an ``int``").  The synthesiser reproduces that signal by drawing
+identifier names from per-type word lists, so a model that learns the
+correlations in the training split can exploit them on the test split.
+"""
+
+from __future__ import annotations
+
+#: Names strongly associated with ``int`` values.
+INT_NAMES = [
+    "count", "index", "size", "total", "offset", "length", "capacity", "depth",
+    "width", "height", "num_items", "num_rows", "num_nodes", "batch_size",
+    "seed", "limit", "position", "num_retries", "max_len", "step", "epoch",
+    "cursor", "rank", "num_workers", "page", "quantity", "level",
+]
+
+#: Names strongly associated with ``float`` values.
+FLOAT_NAMES = [
+    "ratio", "scale", "weight", "score", "rate", "threshold", "alpha",
+    "temperature", "price", "duration", "mean_value", "std_dev", "factor",
+    "learning_rate", "fraction", "percentage", "amount", "balance", "latitude",
+    "longitude", "velocity", "discount", "interest", "confidence",
+]
+
+#: Names strongly associated with ``str`` values.
+STR_NAMES = [
+    "name", "label", "title", "message", "text", "path", "filename", "prefix",
+    "suffix", "description", "key", "token", "url", "username", "email",
+    "address", "query", "pattern", "category", "language", "comment", "header",
+    "identifier", "slug", "hostname", "body",
+]
+
+#: Names strongly associated with ``bool`` values.
+BOOL_NAMES = [
+    "is_valid", "enabled", "has_items", "is_active", "verbose", "found",
+    "is_ready", "use_cache", "strict", "done", "is_empty", "should_retry",
+    "force", "dry_run", "is_open", "visible", "recursive", "include_hidden",
+]
+
+#: Names strongly associated with ``bytes`` values.
+BYTES_NAMES = ["payload", "raw_data", "buffer", "blob", "encoded", "digest", "chunk"]
+
+#: Plural names used for list-typed values.
+LIST_NAMES = [
+    "items", "values", "names", "records", "entries", "tokens", "children",
+    "results", "rows", "scores", "elements", "lines", "samples", "buckets",
+    "messages", "tags", "paths", "errors", "candidates", "weights",
+]
+
+#: Names used for dict-typed values.
+DICT_NAMES = [
+    "mapping", "lookup", "config", "index_map", "cache", "registry", "options",
+    "settings", "headers", "counts", "metadata", "params", "frequencies",
+    "groups", "translations",
+]
+
+#: Base names of synthesised user-defined classes.
+CLASS_BASE_NAMES = [
+    "User", "Widget", "Order", "Node", "Config", "Request", "Response",
+    "Account", "Session", "Document", "Task", "Event", "Message", "Product",
+    "Invoice", "Customer", "Report", "Job", "Worker", "Packet", "Frame",
+    "Record", "Channel", "Device", "Shipment", "Ticket", "Profile", "Project",
+    "Dataset", "Cluster", "Pipeline", "Snapshot", "Policy", "Queue", "Schema",
+]
+
+#: Suffixes combined with the base names to create the long tail of rare types.
+CLASS_SUFFIXES = ["", "Info", "Data", "Manager", "Handler", "Builder", "Spec", "State", "View"]
+
+#: Nouns used when deriving function names.
+FUNCTION_NOUNS = [
+    "user", "order", "record", "entry", "item", "batch", "report", "file",
+    "document", "payment", "session", "token", "event", "widget", "packet",
+    "message", "result", "sample", "task", "page", "invoice", "segment",
+]
+
+#: Verbs used when deriving function names.
+FUNCTION_VERBS = [
+    "process", "handle", "compute", "build", "load", "store", "update",
+    "resolve", "validate", "merge", "collect", "extract", "render", "export",
+    "normalise", "fetch", "schedule", "dispatch", "summarise",
+]

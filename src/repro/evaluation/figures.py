@@ -1,0 +1,71 @@
+"""Text rendering of figure data (series and heatmaps).
+
+The original figures are matplotlib plots; offline we render the same data
+as aligned text so the benchmark output is directly comparable with the
+curves in the paper (who wins, where the knees are).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import PrecisionRecallPoint
+from repro.evaluation.experiments import Figure4Result, Figure5Result, Figure6Result, Figure7Result
+from repro.evaluation.tables import render_table
+
+
+def format_pr_curve(points: list[PrecisionRecallPoint]) -> str:
+    headers = ["threshold", "recall", "P(exact)", "P(up-to-param)", "P(neutral)"]
+    rows = [
+        [f"{p.threshold:.2f}", f"{p.recall:.2f}", f"{p.precision_exact:.2f}",
+         f"{p.precision_up_to_parametric:.2f}", f"{p.precision_neutral:.2f}"]
+        for p in points
+    ]
+    return render_table(headers, rows)
+
+
+def format_figure4(result: Figure4Result) -> str:
+    sections = []
+    for label, points in result.curves.items():
+        sections.append(f"== {label} ==")
+        sections.append(format_pr_curve(points))
+    return "\n".join(sections)
+
+
+def format_figure5(result: Figure5Result) -> str:
+    headers = ["annotation count <=", "samples", "% exact", "% up-to-parametric"]
+    rows = [
+        [str(bucket.upper_bound), str(bucket.count), f"{100 * bucket.exact_match:.1f}", f"{100 * bucket.match_up_to_parametric:.1f}"]
+        for bucket in result.buckets
+    ]
+    return render_table(headers, rows)
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render the k/p heatmap of deltas w.r.t. the median, as in Fig. 6."""
+    headers = ["k \\ p"] + [f"{p:g}" for p in result.p_values]
+    rows = []
+    for i, k in enumerate(result.k_values):
+        rows.append([str(k)] + [f"{result.deltas[i, j]:+.1f}" for j in range(len(result.p_values))])
+    return render_table(headers, rows)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    sections = []
+    for mode, points in result.curves.items():
+        sections.append(f"== correctness against {mode} checker ==")
+        headers = ["threshold", "recall", "precision"]
+        rows = [[f"{p.threshold:.2f}", f"{p.recall:.2f}", f"{p.precision:.2f}"] for p in points]
+        sections.append(render_table(headers, rows))
+    return "\n".join(sections)
+
+
+def summarise_heatmap(result: Figure6Result) -> dict[str, float]:
+    """Headline numbers of the sweep: best (k, p) and the spread of deltas."""
+    best_index = np.unravel_index(np.argmax(result.scores), result.scores.shape)
+    return {
+        "best_k": float(result.k_values[best_index[0]]),
+        "best_p": float(result.p_values[best_index[1]]),
+        "best_score": float(result.scores[best_index]),
+        "delta_range": float(result.deltas.max() - result.deltas.min()),
+    }

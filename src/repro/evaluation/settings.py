@@ -1,0 +1,74 @@
+"""Shared configuration of the experiment runners.
+
+Every table/figure runner takes an :class:`ExperimentSettings` so the same
+code serves three purposes:
+
+* unit/integration tests use :meth:`ExperimentSettings.tiny` (seconds);
+* the benchmark harness uses :meth:`ExperimentSettings.fast` (a couple of
+  minutes for the full suite);
+* a user who wants results closer to the paper's scale can build a custom
+  configuration with more files, larger dimensions and more epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.pipeline import EncoderConfig
+from repro.core.trainer import TrainingConfig
+from repro.corpus.dataset import DatasetConfig
+from repro.corpus.synthesis import SynthesisConfig
+
+
+@dataclass
+class ExperimentSettings:
+    """Corpus, model and training knobs shared by all experiments."""
+
+    synthesis: SynthesisConfig = field(default_factory=SynthesisConfig)
+    dataset: DatasetConfig = field(default_factory=DatasetConfig)
+    encoder: EncoderConfig = field(default_factory=EncoderConfig)
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    knn_k: int = 10
+    knn_p: float = 1.0
+    seed: int = 11
+
+    # -- presets ---------------------------------------------------------------------
+
+    @classmethod
+    def tiny(cls) -> "ExperimentSettings":
+        """A few seconds per training run; used by the test suite."""
+        return cls(
+            synthesis=SynthesisConfig(num_files=18, seed=5, num_user_classes=12),
+            dataset=DatasetConfig(rarity_threshold=8, seed=5),
+            encoder=EncoderConfig(hidden_dim=24, gnn_steps=2, seed=5),
+            training=TrainingConfig(epochs=3, graphs_per_batch=6, learning_rate=8e-3, seed=5),
+        )
+
+    @classmethod
+    def fast(cls) -> "ExperimentSettings":
+        """The benchmark profile: small but large enough to show the paper's trends."""
+        return cls(
+            synthesis=SynthesisConfig(num_files=48, seed=11, num_user_classes=22),
+            dataset=DatasetConfig(rarity_threshold=12, seed=11),
+            encoder=EncoderConfig(hidden_dim=32, gnn_steps=3, seed=11),
+            training=TrainingConfig(epochs=6, graphs_per_batch=8, learning_rate=5e-3, seed=11),
+        )
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentSettings":
+        """Closer to the paper's setup (still CPU-sized); takes tens of minutes."""
+        return cls(
+            synthesis=SynthesisConfig(num_files=200, seed=11, num_user_classes=60),
+            dataset=DatasetConfig(rarity_threshold=25, seed=11),
+            encoder=EncoderConfig(hidden_dim=64, gnn_steps=8, seed=11),
+            training=TrainingConfig(epochs=15, graphs_per_batch=8, learning_rate=3e-3, seed=11),
+        )
+
+    # -- derived configurations ---------------------------------------------------------
+
+    def with_encoder(self, **overrides) -> "ExperimentSettings":
+        return replace(self, encoder=replace(self.encoder, **overrides))
+
+    def with_training(self, **overrides) -> "ExperimentSettings":
+        return replace(self, training=replace(self.training, **overrides))

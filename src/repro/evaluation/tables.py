@@ -1,0 +1,117 @@
+"""Text rendering of the experiment results as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.checker.harness import PredictionCategory
+from repro.evaluation.experiments import (
+    CorpusStatsResult,
+    SpeedComparisonResult,
+    Table2Result,
+    Table3Result,
+    Table4Result,
+    Table5Result,
+)
+
+_CATEGORY_LABELS = {
+    PredictionCategory.ADDED: "eps -> tau",
+    PredictionCategory.CHANGED: "tau -> tau'",
+    PredictionCategory.UNCHANGED: "tau -> tau",
+}
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a simple fixed-width text table."""
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(str(cell)))
+    lines = [_format_row(headers, widths), _format_row(["-" * width for width in widths], widths)]
+    lines.extend(_format_row([str(cell) for cell in row], widths) for row in rows)
+    return "\n".join(lines)
+
+
+def format_table2(result: Table2Result) -> str:
+    """Table 2: % exact match / % up-to-parametric / % neutral, all/common/rare."""
+    headers = [
+        "Model", "Exact(All)", "Exact(Common)", "Exact(Rare)",
+        "UpToParam(All)", "UpToParam(Common)", "UpToParam(Rare)", "Neutral",
+    ]
+    rows = []
+    for variant in result.rows:
+        breakdown = variant.breakdown
+        rows.append([
+            variant.label,
+            f"{100 * breakdown['all'].exact_match:.1f}",
+            f"{100 * breakdown['common'].exact_match:.1f}",
+            f"{100 * breakdown['rare'].exact_match:.1f}",
+            f"{100 * breakdown['all'].match_up_to_parametric:.1f}",
+            f"{100 * breakdown['common'].match_up_to_parametric:.1f}",
+            f"{100 * breakdown['rare'].match_up_to_parametric:.1f}",
+            f"{100 * breakdown['all'].type_neutral:.1f}",
+        ])
+    return render_table(headers, rows)
+
+
+def format_table3(result: Table3Result) -> str:
+    """Table 3: Typilus performance by symbol kind."""
+    headers = ["Metric", "Variable", "Parameter", "Return"]
+    kinds = ["variable", "parameter", "function_return"]
+    rows = [
+        ["% Exact Match"] + [f"{100 * result.by_kind[k].exact_match:.1f}" for k in kinds],
+        ["% Match up to Parametric"] + [f"{100 * result.by_kind[k].match_up_to_parametric:.1f}" for k in kinds],
+        ["% Type Neutral"] + [f"{100 * result.by_kind[k].type_neutral:.1f}" for k in kinds],
+        ["Proportion of testset"] + [f"{100 * result.proportions[k]:.1f}%" for k in kinds],
+    ]
+    return render_table(headers, rows)
+
+
+def format_table4(result: Table4Result) -> str:
+    """Table 4: ablations (edges removed / node-initialiser variants)."""
+    headers = ["Ablation", "Exact Match", "Type Neutral"]
+    rows = [
+        [row.label, f"{100 * row.exact_match:.1f}%", f"{100 * row.type_neutral:.1f}%"]
+        for row in result.rows
+    ]
+    return render_table(headers, rows)
+
+
+def format_table5(result: Table5Result) -> str:
+    """Table 5: type-check accuracy per prediction category and checker mode."""
+    headers = ["Category", "Mode", "Prop.", "Acc.", "Checked"]
+    rows = []
+    for mode, cells in result.by_mode.items():
+        for cell in cells:
+            rows.append([
+                _CATEGORY_LABELS[cell.category],
+                mode,
+                f"{100 * cell.proportion:.0f}%",
+                f"{100 * cell.accuracy:.0f}%",
+                str(cell.checked),
+            ])
+        rows.append(["Overall", mode, "100%", f"{100 * result.overall_accuracy[mode]:.0f}%", str(result.total_checked[mode])])
+    return render_table(headers, rows)
+
+
+def format_corpus_stats(result: CorpusStatsResult) -> str:
+    headers = ["Statistic", "Value"]
+    rows = [[key, str(value)] for key, value in result.summary.items()]
+    rows.append(["rare annotation fraction", f"{100 * result.rare_annotation_fraction:.1f}%"])
+    rows.append(["zipf exponent", f"{result.zipf_exponent:.2f}"])
+    rows.extend([f"top type: {name}", str(count)] for name, count in result.top_types)
+    return render_table(headers, rows)
+
+
+def format_speed_comparison(result: SpeedComparisonResult) -> str:
+    headers = ["Model", "Train s/epoch", "Inference s"]
+    rows = [
+        ["GNN", f"{result.gnn_train_seconds_per_epoch:.2f}", f"{result.gnn_inference_seconds:.2f}"],
+        ["biRNN", f"{result.rnn_train_seconds_per_epoch:.2f}", f"{result.rnn_inference_seconds:.2f}"],
+        ["speedup", f"{result.train_speedup:.1f}x", f"{result.inference_speedup:.1f}x"],
+    ]
+    return render_table(headers, rows)

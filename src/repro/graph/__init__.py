@@ -1,0 +1,45 @@
+"""Python source → program graph extraction (Sec. 5.1 of the paper)."""
+
+from repro.graph.builder import (
+    GraphBuildError,
+    GraphBuilder,
+    build_graph,
+    collect_annotations,
+    erase_annotations,
+)
+from repro.graph.codegraph import CodeGraph
+from repro.graph.edges import (
+    ALL_EDGE_KINDS,
+    DATAFLOW_USE_EDGES,
+    SYNTACTIC_EDGES,
+    EdgeKind,
+)
+from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
+from repro.graph.subtokens import (
+    CharacterVocabulary,
+    SubtokenVocabulary,
+    split_identifier,
+)
+from repro.graph.visualize import to_dot, write_dot
+
+__all__ = [
+    "CodeGraph",
+    "GraphBuilder",
+    "GraphBuildError",
+    "build_graph",
+    "collect_annotations",
+    "erase_annotations",
+    "EdgeKind",
+    "ALL_EDGE_KINDS",
+    "SYNTACTIC_EDGES",
+    "DATAFLOW_USE_EDGES",
+    "GraphNode",
+    "NodeKind",
+    "SymbolInfo",
+    "SymbolKind",
+    "SubtokenVocabulary",
+    "CharacterVocabulary",
+    "split_identifier",
+    "to_dot",
+    "write_dot",
+]

@@ -1,0 +1,151 @@
+"""The program-graph container produced by :mod:`repro.graph.builder`."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from repro.graph.edges import EdgeKind
+from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
+from repro.graph.subtokens import split_identifier
+
+
+@dataclass
+class CodeGraph:
+    """A program graph for a single Python file.
+
+    The graph stores the four node categories of Sec. 5.1, the labelled edge
+    lists of Table 1, and one :class:`SymbolInfo` per symbol node carrying
+    the (erased) ground-truth annotation used for supervision and evaluation.
+    """
+
+    filename: str = "<unknown>"
+    source: str = ""
+    nodes: list[GraphNode] = field(default_factory=list)
+    edges: dict[EdgeKind, list[tuple[int, int]]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    symbols: list[SymbolInfo] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, kind: NodeKind, text: str, lineno: int = -1, col: int = -1) -> int:
+        node = GraphNode(index=len(self.nodes), kind=kind, text=text, lineno=lineno, col=col)
+        self.nodes.append(node)
+        return node.index
+
+    def add_edge(self, kind: EdgeKind, source: int, target: int) -> None:
+        if source == target:
+            return
+        if not (0 <= source < len(self.nodes) and 0 <= target < len(self.nodes)):
+            raise IndexError(
+                f"edge {kind.value} references missing node ({source}, {target}); "
+                f"graph has {len(self.nodes)} nodes"
+            )
+        self.edges[kind].append((source, target))
+
+    def add_symbol(
+        self,
+        name: str,
+        kind: SymbolKind,
+        scope: str,
+        annotation: Optional[str] = None,
+        lineno: int = -1,
+    ) -> SymbolInfo:
+        node_index = self.add_node(NodeKind.SYMBOL, name, lineno=lineno)
+        info = SymbolInfo(
+            node_index=node_index,
+            name=name,
+            kind=kind,
+            scope=scope,
+            annotation=annotation,
+            lineno=lineno,
+        )
+        self.symbols.append(info)
+        return info
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(pairs) for pairs in self.edges.values())
+
+    def edges_of(self, kind: EdgeKind) -> list[tuple[int, int]]:
+        return list(self.edges.get(kind, ()))
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[GraphNode]:
+        return [node for node in self.nodes if node.kind == kind]
+
+    def symbol_nodes(self) -> list[GraphNode]:
+        return self.nodes_of_kind(NodeKind.SYMBOL)
+
+    def annotated_symbols(self) -> list[SymbolInfo]:
+        return [symbol for symbol in self.symbols if symbol.is_annotated]
+
+    def symbol_by_node(self, node_index: int) -> Optional[SymbolInfo]:
+        for symbol in self.symbols:
+            if symbol.node_index == node_index:
+                return symbol
+        return None
+
+    def find_symbol(self, name: str, scope: Optional[str] = None, kind: Optional[SymbolKind] = None) -> Optional[SymbolInfo]:
+        for symbol in self.symbols:
+            if symbol.name != name:
+                continue
+            if scope is not None and symbol.scope != scope:
+                continue
+            if kind is not None and symbol.kind != kind:
+                continue
+            return symbol
+        return None
+
+    def node_subtokens(self) -> Iterator[tuple[int, list[str]]]:
+        """Yield ``(node_index, subtokens)`` for initialising node states (Eq. 7)."""
+        for node in self.nodes:
+            yield node.index, split_identifier(node.text)
+
+    def without_edges(self, excluded: Iterable[EdgeKind]) -> "CodeGraph":
+        """Return a copy of the graph with the given edge kinds removed.
+
+        Used by the ablation experiments of Table 4; nodes and symbols are
+        shared (they are not mutated by the models).
+        """
+        excluded_set = set(excluded)
+        clone = CodeGraph(filename=self.filename, source=self.source)
+        clone.nodes = self.nodes
+        clone.symbols = self.symbols
+        clone.edges = defaultdict(
+            list,
+            {kind: list(pairs) for kind, pairs in self.edges.items() if kind not in excluded_set},
+        )
+        return clone
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ValueError`` on violation."""
+        for kind, pairs in self.edges.items():
+            for source, target in pairs:
+                if not (0 <= source < len(self.nodes)) or not (0 <= target < len(self.nodes)):
+                    raise ValueError(f"dangling edge {kind.value}: ({source}, {target})")
+        node_indices = {node.index for node in self.nodes}
+        if node_indices != set(range(len(self.nodes))):
+            raise ValueError("node indices are not contiguous")
+        for symbol in self.symbols:
+            if self.nodes[symbol.node_index].kind != NodeKind.SYMBOL:
+                raise ValueError(f"symbol {symbol.qualified_name} does not point at a symbol node")
+
+    def summary(self) -> dict[str, int]:
+        """Small statistics dictionary used by corpus reporting."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "tokens": len(self.nodes_of_kind(NodeKind.TOKEN)),
+            "non_terminals": len(self.nodes_of_kind(NodeKind.NON_TERMINAL)),
+            "vocabulary": len(self.nodes_of_kind(NodeKind.VOCABULARY)),
+            "symbols": len(self.symbols),
+            "annotated_symbols": len(self.annotated_symbols()),
+        }

@@ -1,0 +1,100 @@
+"""Subtoken handling for vocabulary nodes and node initialisation.
+
+The initial state of every node is the average of the embeddings of its
+subtokens (Eq. 7); identifiers additionally get ``SUBTOKEN_OF`` edges to
+shared vocabulary nodes.  This module centralises the splitting rule and the
+subtoken vocabulary used by the models.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.utils.text import camel_and_snake_split
+
+#: Subtoken reserved for out-of-vocabulary words.
+UNKNOWN_SUBTOKEN = "%UNK%"
+#: Subtoken used for nodes whose text yields no subtokens (punctuation etc.).
+EMPTY_SUBTOKEN = "%EMPTY%"
+
+
+def split_identifier(text: str) -> list[str]:
+    """Split an identifier or syntax label into subtokens.
+
+    Non-identifier lexemes (operators, literals) map to a single pseudo
+    subtoken so every node has at least one subtoken to average over.
+    """
+    parts = camel_and_snake_split(text)
+    if parts:
+        return parts
+    return [EMPTY_SUBTOKEN]
+
+
+class SubtokenVocabulary:
+    """A frequency-pruned mapping from subtokens to integer ids."""
+
+    def __init__(self, max_size: int = 10_000, min_count: int = 1) -> None:
+        self.max_size = max_size
+        self.min_count = min_count
+        self._counts: Counter[str] = Counter()
+        self._token_to_id: dict[str, int] = {}
+        self._finalised = False
+
+    def observe(self, subtokens: Iterable[str]) -> None:
+        if self._finalised:
+            raise RuntimeError("cannot observe new subtokens after finalise()")
+        self._counts.update(subtokens)
+
+    def observe_identifier(self, text: str) -> None:
+        self.observe(split_identifier(text))
+
+    def finalise(self) -> "SubtokenVocabulary":
+        """Freeze the vocabulary, keeping the most frequent subtokens."""
+        self._token_to_id = {UNKNOWN_SUBTOKEN: 0, EMPTY_SUBTOKEN: 1}
+        for token, count in self._counts.most_common():
+            if count < self.min_count or len(self._token_to_id) >= self.max_size:
+                break
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._token_to_id)
+        self._finalised = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def lookup(self, token: str) -> int:
+        return self._token_to_id.get(token, self._token_to_id.get(UNKNOWN_SUBTOKEN, 0))
+
+    def lookup_many(self, tokens: Iterable[str]) -> list[int]:
+        return [self.lookup(token) for token in tokens]
+
+    def ids_for_identifier(self, text: str) -> list[int]:
+        return self.lookup_many(split_identifier(text))
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._token_to_id)
+
+
+class CharacterVocabulary:
+    """Character-level vocabulary for the char-CNN node initialiser."""
+
+    PAD = 0
+    UNKNOWN = 1
+
+    def __init__(self) -> None:
+        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_."
+        self._char_to_id = {ch: i + 2 for i, ch in enumerate(alphabet)}
+
+    def __len__(self) -> int:
+        return len(self._char_to_id) + 2
+
+    def encode(self, text: str, max_chars: int) -> list[int]:
+        """Encode ``text`` into a fixed-length list of character ids."""
+        ids = [self._char_to_id.get(ch, self.UNKNOWN) for ch in text[:max_chars]]
+        ids.extend([self.PAD] * (max_chars - len(ids)))
+        return ids

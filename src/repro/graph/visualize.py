@@ -1,0 +1,57 @@
+"""Graph export utilities (DOT format), useful for debugging and examples."""
+
+from __future__ import annotations
+
+from repro.graph.codegraph import CodeGraph
+from repro.graph.nodes import NodeKind
+
+_NODE_STYLE = {
+    NodeKind.TOKEN: 'shape=box, style=filled, fillcolor="#dbe9ff"',
+    NodeKind.NON_TERMINAL: 'shape=ellipse, style=filled, fillcolor="#ffe7c2"',
+    NodeKind.VOCABULARY: 'shape=diamond, style=filled, fillcolor="#e4ffd9"',
+    NodeKind.SYMBOL: 'shape=hexagon, style=filled, fillcolor="#ffd9ec"',
+}
+
+_EDGE_COLOURS = {
+    "NEXT_TOKEN": "#888888",
+    "CHILD": "#2b6cb0",
+    "NEXT_MAY_USE": "#c05621",
+    "NEXT_LEXICAL_USE": "#b7791f",
+    "ASSIGNED_FROM": "#276749",
+    "RETURNS_TO": "#702459",
+    "OCCURRENCE_OF": "#553c9a",
+    "SUBTOKEN_OF": "#319795",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: CodeGraph, max_label_length: int = 24) -> str:
+    """Render the graph as a Graphviz DOT string.
+
+    Figure 3 of the paper shows a small example graph; this export makes it
+    easy to regenerate similar figures from any snippet.
+    """
+    lines = ["digraph code_graph {", "  rankdir=LR;", "  node [fontsize=10];"]
+    for node in graph.nodes:
+        label = node.text if len(node.text) <= max_label_length else node.text[: max_label_length - 1] + "…"
+        style = _NODE_STYLE[node.kind]
+        lines.append(f'  n{node.index} [label="{_escape(label)}", {style}];')
+    for kind, pairs in graph.edges.items():
+        colour = _EDGE_COLOURS.get(kind.value, "#000000")
+        for source, target in pairs:
+            lines.append(
+                f'  n{source} -> n{target} [label="{kind.value}", color="{colour}", fontsize=8];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(graph: CodeGraph, path: str) -> str:
+    """Write :func:`to_dot` output to ``path`` and return the path."""
+    dot = to_dot(graph)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dot)
+    return path

@@ -1,0 +1,44 @@
+"""Symbol-encoder models: GGNN, DeepTyper-style biGRU, and code2seq paths."""
+
+from repro.models.base import SymbolEncoder
+from repro.models.batching import (
+    GraphBatch,
+    PathBatch,
+    SequenceBatch,
+    SyntaxPath,
+    build_graph_batch,
+    build_path_batch,
+    build_sequence_batch,
+)
+from repro.models.encoder_init import (
+    CharCNNNodeInitializer,
+    NodeInitializer,
+    SubtokenNodeInitializer,
+    TokenNodeInitializer,
+    TokenVocabulary,
+    build_initializer,
+)
+from repro.models.ggnn import GGNNEncoder, NameOnlyEncoder
+from repro.models.path import PathEncoder
+from repro.models.seq import SequenceEncoder
+
+__all__ = [
+    "SymbolEncoder",
+    "GraphBatch",
+    "SequenceBatch",
+    "PathBatch",
+    "SyntaxPath",
+    "build_graph_batch",
+    "build_sequence_batch",
+    "build_path_batch",
+    "NodeInitializer",
+    "SubtokenNodeInitializer",
+    "TokenNodeInitializer",
+    "CharCNNNodeInitializer",
+    "TokenVocabulary",
+    "build_initializer",
+    "GGNNEncoder",
+    "NameOnlyEncoder",
+    "SequenceEncoder",
+    "PathEncoder",
+]

@@ -1,0 +1,266 @@
+"""Batch construction for the three model families.
+
+Each model family consumes a different view of the program:
+
+* the GNN consumes a *disjoint union* of several program graphs
+  (:class:`GraphBatch`): node texts, per-edge-kind index arrays, and the node
+  indices of the target symbols;
+* the sequence model consumes padded token sequences plus, for every target
+  symbol, the positions of the tokens bound to it (:class:`SequenceBatch`) —
+  this is the "consistency module" input of DeepTyper;
+* the path model consumes samples of leaf-to-leaf syntax paths per target
+  symbol (:class:`PathBatch`), following code2seq.
+
+All three are built from the same inputs: a list of
+:class:`~repro.graph.codegraph.CodeGraph` and, per graph, the list of target
+symbol node indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.codegraph import CodeGraph
+from repro.graph.edges import EdgeKind
+from repro.graph.nodes import NodeKind
+from repro.utils.rng import SeededRNG
+
+
+# ---------------------------------------------------------------------------
+# Graph batches (GNN)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GraphBatch:
+    """A disjoint union of program graphs ready for the GGNN."""
+
+    node_texts: list[str]
+    edges: dict[EdgeKind, np.ndarray]  # (2, num_edges) int arrays, rows = (source, target)
+    target_nodes: np.ndarray  # indices (into the union) of the target symbol nodes
+    graph_of_node: np.ndarray  # graph index per node (for diagnostics)
+    num_graphs: int
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_texts)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.target_nodes)
+
+
+def build_graph_batch(graphs: Sequence[CodeGraph], targets_per_graph: Sequence[Sequence[int]]) -> GraphBatch:
+    """Merge graphs into one disjoint graph, remapping target node indices."""
+    if len(graphs) != len(targets_per_graph):
+        raise ValueError("graphs and targets_per_graph must have the same length")
+    node_texts: list[str] = []
+    graph_of_node: list[int] = []
+    edge_lists: dict[EdgeKind, list[tuple[int, int]]] = {}
+    target_nodes: list[int] = []
+
+    offset = 0
+    for graph_index, (graph, targets) in enumerate(zip(graphs, targets_per_graph)):
+        for node in graph.nodes:
+            node_texts.append(node.text)
+            graph_of_node.append(graph_index)
+        for kind, pairs in graph.edges.items():
+            bucket = edge_lists.setdefault(kind, [])
+            bucket.extend((source + offset, target + offset) for source, target in pairs)
+        for node_index in targets:
+            target_nodes.append(node_index + offset)
+        offset += graph.num_nodes
+
+    edges = {
+        kind: np.asarray(pairs, dtype=np.int64).T if pairs else np.zeros((2, 0), dtype=np.int64)
+        for kind, pairs in edge_lists.items()
+    }
+    return GraphBatch(
+        node_texts=node_texts,
+        edges=edges,
+        target_nodes=np.asarray(target_nodes, dtype=np.int64),
+        graph_of_node=np.asarray(graph_of_node, dtype=np.int64),
+        num_graphs=len(graphs),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sequence batches (DeepTyper-style biGRU)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SequenceBatch:
+    """Padded token sequences plus symbol-occurrence positions."""
+
+    token_texts: list[list[str]]  # per sequence, padded with ""
+    sequence_length: int
+    #: For each target symbol: (sequence index, occurrence positions in that sequence).
+    target_occurrences: list[tuple[int, list[int]]]
+
+    @property
+    def num_sequences(self) -> int:
+        return len(self.token_texts)
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.target_occurrences)
+
+
+def build_sequence_batch(
+    graphs: Sequence[CodeGraph],
+    targets_per_graph: Sequence[Sequence[int]],
+    max_tokens: int = 192,
+) -> SequenceBatch:
+    """Extract the token sequence of each file and locate symbol occurrences.
+
+    Occurrence positions come from the graph's ``OCCURRENCE_OF`` edges between
+    token nodes and the target symbol node; occurrences past ``max_tokens``
+    are dropped (DeepTyper similarly truncates very long files).  Symbols with
+    no surviving occurrence fall back to position 0 so every target receives
+    an embedding.
+    """
+    token_texts: list[list[str]] = []
+    target_occurrences: list[tuple[int, list[int]]] = []
+    longest = 1
+
+    for sequence_index, (graph, targets) in enumerate(zip(graphs, targets_per_graph)):
+        token_nodes = [node for node in graph.nodes if node.kind == NodeKind.TOKEN]
+        token_nodes = token_nodes[:max_tokens]
+        position_of_node = {node.index: position for position, node in enumerate(token_nodes)}
+        texts = [node.text for node in token_nodes]
+        longest = max(longest, len(texts))
+        token_texts.append(texts)
+
+        occurrences_by_symbol: dict[int, list[int]] = {}
+        for source, target in graph.edges_of(EdgeKind.OCCURRENCE_OF):
+            if target in targets and source in position_of_node:
+                occurrences_by_symbol.setdefault(target, []).append(position_of_node[source])
+        for node_index in targets:
+            positions = sorted(occurrences_by_symbol.get(node_index, [])) or [0]
+            target_occurrences.append((sequence_index, positions))
+
+    padded = [texts + [""] * (longest - len(texts)) for texts in token_texts]
+    return SequenceBatch(token_texts=padded, sequence_length=longest, target_occurrences=target_occurrences)
+
+
+# ---------------------------------------------------------------------------
+# Path batches (code2seq-style)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SyntaxPath:
+    """A leaf-to-leaf path: two terminal texts and the non-terminal labels between."""
+
+    start_text: str
+    inner_labels: list[str]
+    end_text: str
+
+
+@dataclass
+class PathBatch:
+    """Per target symbol, a sample of syntax paths rooted at its occurrences."""
+
+    paths_per_target: list[list[SyntaxPath]]
+
+    @property
+    def num_targets(self) -> int:
+        return len(self.paths_per_target)
+
+
+@dataclass
+class _TreeIndex:
+    """Parent pointers over CHILD edges, built once per graph."""
+
+    parent: dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_graph(cls, graph: CodeGraph) -> "_TreeIndex":
+        index = cls()
+        for source, target in graph.edges_of(EdgeKind.CHILD):
+            # CHILD edges go parent -> child; keep the first parent seen.
+            index.parent.setdefault(target, source)
+        return index
+
+    def path_to_root(self, node: int) -> list[int]:
+        path = [node]
+        seen = {node}
+        while path[-1] in self.parent:
+            nxt = self.parent[path[-1]]
+            if nxt in seen:
+                break
+            path.append(nxt)
+            seen.add(nxt)
+        return path
+
+
+def _path_between(tree: _TreeIndex, start: int, end: int) -> Optional[list[int]]:
+    """Nodes along the tree path start → common ancestor → end (exclusive of leaves)."""
+    up_start = tree.path_to_root(start)
+    up_end = tree.path_to_root(end)
+    ancestors_of_start = {node: depth for depth, node in enumerate(up_start)}
+    for depth_end, node in enumerate(up_end):
+        if node in ancestors_of_start:
+            depth_start = ancestors_of_start[node]
+            inner = up_start[1 : depth_start + 1] + list(reversed(up_end[1:depth_end]))
+            return inner
+    return None
+
+
+def build_path_batch(
+    graphs: Sequence[CodeGraph],
+    targets_per_graph: Sequence[Sequence[int]],
+    rng: SeededRNG,
+    max_paths_per_target: int = 8,
+    max_path_length: int = 12,
+) -> PathBatch:
+    """Sample leaf-to-leaf syntax paths anchored at each target symbol.
+
+    For every occurrence token of the target symbol we sample other identifier
+    tokens in the same file and extract the AST path between them (via CHILD
+    parent pointers).  This mirrors code2seq's path extraction with the
+    adaptation described in Sec. 6.1: paths are later pooled into a single
+    vector per symbol.
+    """
+    paths_per_target: list[list[SyntaxPath]] = []
+    for graph, targets in zip(graphs, targets_per_graph):
+        tree = _TreeIndex.from_graph(graph)
+        occurrence_map: dict[int, list[int]] = {}
+        for source, target in graph.edges_of(EdgeKind.OCCURRENCE_OF):
+            if target in targets and graph.nodes[source].kind == NodeKind.TOKEN:
+                occurrence_map.setdefault(target, []).append(source)
+        identifier_tokens = [
+            node.index
+            for node in graph.nodes
+            if node.kind == NodeKind.TOKEN and node.is_identifier_like()
+        ]
+        for node_index in targets:
+            symbol_text = graph.nodes[node_index].text
+            occurrences = occurrence_map.get(node_index, [])
+            sampled: list[SyntaxPath] = []
+            if occurrences and identifier_tokens:
+                for _ in range(max_paths_per_target):
+                    start = rng.choice(occurrences)
+                    end = rng.choice(identifier_tokens)
+                    if end == start:
+                        continue
+                    inner = _path_between(tree, start, end)
+                    if inner is None or len(inner) > max_path_length:
+                        continue
+                    sampled.append(
+                        SyntaxPath(
+                            start_text=graph.nodes[start].text,
+                            inner_labels=[graph.nodes[n].text for n in inner],
+                            end_text=graph.nodes[end].text,
+                        )
+                    )
+            if not sampled:
+                # Degenerate fallback: a single pseudo-path over the symbol name,
+                # so the encoder always has something to pool.
+                sampled = [SyntaxPath(start_text=symbol_text, inner_labels=["Symbol"], end_text=symbol_text)]
+            paths_per_target.append(sampled)
+    return PathBatch(paths_per_target=paths_per_target)

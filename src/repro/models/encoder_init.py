@@ -1,0 +1,143 @@
+"""Initial node representations for the graph models (Table 4, bottom half).
+
+The paper compares three ways of computing the initial GNN node state
+``h^0``:
+
+* **subtoken** — the average of learned subtoken embeddings (Eq. 7), the
+  default;
+* **token** — one embedding per whole lexeme, as in DeepTyper;
+* **character** — a 1-D character CNN over the node's text.
+
+All three share the same interface: given the list of node texts of a graph
+batch they return a ``(num_nodes, dim)`` tensor.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.subtokens import CharacterVocabulary, SubtokenVocabulary, split_identifier
+from repro.nn import functional as F
+from repro.nn.conv import CharCNNEncoder
+from repro.nn.layers import Embedding, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+
+
+class NodeInitializer(Module):
+    """Common interface of the three node-state initialisers."""
+
+    dim: int
+
+    def encode_texts(self, texts: Sequence[str]) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SubtokenNodeInitializer(NodeInitializer):
+    """Average of subtoken embeddings (Eq. 7)."""
+
+    def __init__(self, vocabulary: SubtokenVocabulary, dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self.embedding = Embedding(max(len(vocabulary), 2), dim, rng)
+
+    def encode_texts(self, texts: Sequence[str]) -> Tensor:
+        subtoken_ids: list[int] = []
+        segment_ids: list[int] = []
+        for node_index, text in enumerate(texts):
+            ids = self.vocabulary.ids_for_identifier(text)
+            subtoken_ids.extend(ids)
+            segment_ids.extend([node_index] * len(ids))
+        embedded = self.embedding(np.asarray(subtoken_ids, dtype=np.int64))
+        return F.segment_mean(embedded, np.asarray(segment_ids), len(texts))
+
+
+class TokenVocabulary:
+    """Whole-lexeme vocabulary used by the token-level initialiser."""
+
+    UNKNOWN = 0
+
+    def __init__(self, max_size: int = 10_000) -> None:
+        self.max_size = max_size
+        self._counts: Counter[str] = Counter()
+        self._token_to_id: dict[str, int] = {"%UNK%": 0}
+        self._finalised = False
+
+    def observe(self, texts: Iterable[str]) -> None:
+        self._counts.update(texts)
+
+    def finalise(self) -> "TokenVocabulary":
+        for token, _ in self._counts.most_common(self.max_size - 1):
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._token_to_id)
+        self._finalised = True
+        return self
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def lookup(self, text: str) -> int:
+        return self._token_to_id.get(text, self.UNKNOWN)
+
+    @classmethod
+    def from_texts(cls, texts: Iterable[str], max_size: int = 10_000) -> "TokenVocabulary":
+        vocabulary = cls(max_size=max_size)
+        vocabulary.observe(texts)
+        return vocabulary.finalise()
+
+
+class TokenNodeInitializer(NodeInitializer):
+    """One embedding per whole lexeme (the DeepTyper representation)."""
+
+    def __init__(self, vocabulary: TokenVocabulary, dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.vocabulary = vocabulary
+        self.dim = dim
+        self.embedding = Embedding(max(len(vocabulary), 2), dim, rng)
+
+    def encode_texts(self, texts: Sequence[str]) -> Tensor:
+        ids = np.asarray([self.vocabulary.lookup(text) for text in texts], dtype=np.int64)
+        return self.embedding(ids)
+
+
+class CharCNNNodeInitializer(NodeInitializer):
+    """Character-level CNN representation (Kim et al. 2016)."""
+
+    def __init__(self, dim: int, rng: SeededRNG, char_dim: int = 16, max_chars: int = 16) -> None:
+        super().__init__()
+        self.dim = dim
+        self.max_chars = max_chars
+        self.characters = CharacterVocabulary()
+        self.encoder = CharCNNEncoder(len(self.characters), char_dim, dim, rng, max_chars=max_chars)
+
+    def encode_texts(self, texts: Sequence[str]) -> Tensor:
+        encoded = np.asarray(
+            [self.characters.encode(text if text else "_", self.max_chars) for text in texts],
+            dtype=np.int64,
+        )
+        return self.encoder(encoded)
+
+
+def build_initializer(
+    kind: str,
+    dim: int,
+    rng: SeededRNG,
+    subtoken_vocabulary: SubtokenVocabulary | None = None,
+    token_vocabulary: TokenVocabulary | None = None,
+) -> NodeInitializer:
+    """Factory used by the models and the Table 4 ablation harness."""
+    if kind == "subtoken":
+        if subtoken_vocabulary is None:
+            raise ValueError("subtoken initialiser requires a subtoken vocabulary")
+        return SubtokenNodeInitializer(subtoken_vocabulary, dim, rng)
+    if kind == "token":
+        if token_vocabulary is None:
+            raise ValueError("token initialiser requires a token vocabulary")
+        return TokenNodeInitializer(token_vocabulary, dim, rng)
+    if kind == "character":
+        return CharCNNNodeInitializer(dim, rng)
+    raise ValueError(f"unknown node initialiser kind: {kind!r}")

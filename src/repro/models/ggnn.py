@@ -1,0 +1,138 @@
+"""Gated graph neural network encoder (Sec. 4.3).
+
+The GGNN follows Li et al. (2016) as used by the paper:
+
+* initial node states come from a node initialiser (subtoken average by
+  default, Eq. 7);
+* for ``T`` timesteps, each node receives messages from its neighbours —
+  one learned linear map ``E_k`` per edge label ``k`` (plus, optionally, a
+  separate map for the reverse direction) — aggregated with element-wise
+  **max** (the paper's choice of ⊕), and updates its state with a single
+  shared GRU cell;
+* the type embedding of a symbol is the final state of its symbol node.
+
+Setting ``num_steps=0`` yields the "Only Names (No GNN)" ablation of
+Table 4: symbols are represented purely by their name subtokens.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.graph.codegraph import CodeGraph
+from repro.graph.edges import ALL_EDGE_KINDS, EdgeKind
+from repro.models.base import SymbolEncoder
+from repro.models.batching import GraphBatch, build_graph_batch
+from repro.models.encoder_init import NodeInitializer
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Linear
+from repro.nn.rnn import GRUCell
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+
+
+class GGNNEncoder(SymbolEncoder):
+    """Message-passing GNN with max-pooling aggregation and GRU updates."""
+
+    family = "graph"
+
+    def __init__(
+        self,
+        initializer: NodeInitializer,
+        hidden_dim: int,
+        rng: SeededRNG,
+        num_steps: int = 4,
+        edge_kinds: Optional[Sequence[EdgeKind]] = None,
+        use_reverse_edges: bool = True,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.initializer = initializer
+        self.hidden_dim = hidden_dim
+        self.output_dim = hidden_dim
+        self.num_steps = num_steps
+        self.edge_kinds = tuple(edge_kinds) if edge_kinds is not None else ALL_EDGE_KINDS
+        self.use_reverse_edges = use_reverse_edges
+
+        self.input_projection = (
+            Linear(initializer.dim, hidden_dim, rng.fork(1)) if initializer.dim != hidden_dim else None
+        )
+        self.edge_transforms: dict[str, Linear] = {}
+        for index, kind in enumerate(self.edge_kinds):
+            self.edge_transforms[kind.value] = Linear(hidden_dim, hidden_dim, rng.fork(10 + index), bias=False)
+            if use_reverse_edges:
+                self.edge_transforms[f"{kind.value}::rev"] = Linear(
+                    hidden_dim, hidden_dim, rng.fork(200 + index), bias=False
+                )
+        self.update_cell = GRUCell(hidden_dim, hidden_dim, rng.fork(3))
+        self.dropout = Dropout(dropout, rng.fork(4)) if dropout > 0 else None
+
+    # -- batching -------------------------------------------------------------------
+
+    def prepare_batch(self, graphs: Sequence[CodeGraph], targets_per_graph: Sequence[Sequence[int]]) -> GraphBatch:
+        return build_graph_batch(graphs, targets_per_graph)
+
+    # -- forward --------------------------------------------------------------------
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        states = self.initializer.encode_texts(batch.node_texts)
+        if self.input_projection is not None:
+            states = self.input_projection(states).tanh()
+        if self.dropout is not None:
+            states = self.dropout(states)
+
+        for _ in range(self.num_steps):
+            aggregated = self._aggregate_messages(states, batch)
+            states = self.update_cell(aggregated, states)
+
+        return states.gather_rows(batch.target_nodes)
+
+    def _aggregate_messages(self, states: Tensor, batch: GraphBatch) -> Tensor:
+        """Compute per-node max-pooled messages across all edge kinds."""
+        message_chunks: list[Tensor] = []
+        destination_chunks: list[np.ndarray] = []
+        for kind in self.edge_kinds:
+            pairs = batch.edges.get(kind)
+            if pairs is None or pairs.shape[1] == 0:
+                continue
+            sources, targets = pairs[0], pairs[1]
+            forward_messages = self.edge_transforms[kind.value](states.gather_rows(sources))
+            message_chunks.append(forward_messages)
+            destination_chunks.append(targets)
+            if self.use_reverse_edges:
+                reverse_messages = self.edge_transforms[f"{kind.value}::rev"](states.gather_rows(targets))
+                message_chunks.append(reverse_messages)
+                destination_chunks.append(sources)
+        if not message_chunks:
+            return Tensor(np.zeros((batch.num_nodes, self.hidden_dim)))
+        all_messages = F.concatenate(message_chunks, axis=0)
+        all_destinations = np.concatenate(destination_chunks)
+        return F.segment_max(all_messages, all_destinations, batch.num_nodes)
+
+
+class NameOnlyEncoder(SymbolEncoder):
+    """The "Only Names (No GNN)" baseline of Table 4.
+
+    Symbols are embedded purely from their name subtokens — no propagation
+    over the program structure at all.
+    """
+
+    family = "graph"
+
+    def __init__(self, initializer: NodeInitializer, hidden_dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.initializer = initializer
+        self.output_dim = hidden_dim
+        self.projection = Linear(initializer.dim, hidden_dim, rng) if initializer.dim != hidden_dim else None
+
+    def prepare_batch(self, graphs: Sequence[CodeGraph], targets_per_graph: Sequence[Sequence[int]]) -> GraphBatch:
+        return build_graph_batch(graphs, targets_per_graph)
+
+    def forward(self, batch: GraphBatch) -> Tensor:
+        target_texts = [batch.node_texts[index] for index in batch.target_nodes]
+        states = self.initializer.encode_texts(target_texts)
+        if self.projection is not None:
+            states = self.projection(states).tanh()
+        return states

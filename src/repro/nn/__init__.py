@@ -1,0 +1,45 @@
+"""A small NumPy-based neural network substrate.
+
+The original Typilus implementation builds on a GPU deep-learning framework;
+this package replaces it with a CPU reverse-mode autodiff engine plus the
+handful of layers the paper's models need (linear, embedding, GRU, 1-D CNN,
+layer norm) and the Adam optimiser.  See DESIGN.md for the substitution
+rationale.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    Module,
+    Sequential,
+)
+from repro.nn.rnn import BiGRU, GRU, GRUCell
+from repro.nn.conv import CharCNNEncoder, Conv1D
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn import functional
+from repro.nn import serialization
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "GRUCell",
+    "GRU",
+    "BiGRU",
+    "Conv1D",
+    "CharCNNEncoder",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "functional",
+    "serialization",
+]

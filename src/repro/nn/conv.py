@@ -1,0 +1,84 @@
+"""1-D character convolution used by the character-level node initialiser.
+
+Table 4 of the paper compares three initial node representations for the
+GNN: subtoken averages, whole-token embeddings, and a character-level 1-D
+CNN (Kim et al. 2016).  This module implements the CNN variant: embed each
+character, convolve over the character axis with several filter widths,
+apply max-over-time pooling and project to the node dimension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Embedding, Linear, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+
+
+class Conv1D(Module):
+    """A single 1-D convolution over sequences of shape ``(batch, steps, dim)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, kernel_size: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.weight = Tensor(
+            init.glorot_uniform(rng, kernel_size * in_dim, out_dim), requires_grad=True
+        )
+        self.bias = Tensor(init.zeros((out_dim,)), requires_grad=True)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        batch, steps, dim = inputs.shape
+        if steps < self.kernel_size:
+            raise ValueError(
+                f"sequence of length {steps} is shorter than kernel size {self.kernel_size}"
+            )
+        windows = []
+        for start in range(steps - self.kernel_size + 1):
+            window = inputs[:, start : start + self.kernel_size, :].reshape(
+                batch, self.kernel_size * dim
+            )
+            windows.append(window)
+        stacked = F.stack(windows, axis=1)  # (batch, positions, k*dim)
+        positions = stacked.shape[1]
+        flat = stacked.reshape(batch * positions, self.kernel_size * dim)
+        out = (flat @ self.weight + self.bias).reshape(batch, positions, self.out_dim)
+        return out
+
+
+class CharCNNEncoder(Module):
+    """Character CNN producing one vector per identifier string."""
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        char_dim: int,
+        out_dim: int,
+        rng: SeededRNG,
+        kernel_sizes: tuple[int, ...] = (2, 3),
+        max_chars: int = 16,
+    ) -> None:
+        super().__init__()
+        self.max_chars = max(max_chars, max(kernel_sizes))
+        self.char_embedding = Embedding(alphabet_size, char_dim, rng.fork(1))
+        self.convs = [
+            Conv1D(char_dim, out_dim, k, rng.fork(10 + k)) for k in kernel_sizes
+        ]
+        self.project = Linear(out_dim * len(kernel_sizes), out_dim, rng.fork(2))
+
+    def forward(self, char_ids: np.ndarray) -> Tensor:
+        """Encode a batch of padded character-id matrices ``(batch, max_chars)``."""
+        char_ids = np.asarray(char_ids, dtype=np.int64)
+        batch = char_ids.shape[0]
+        embedded = self.char_embedding(char_ids.reshape(-1)).reshape(
+            batch, char_ids.shape[1], self.char_embedding.dim
+        )
+        pooled = []
+        for conv in self.convs:
+            convolved = conv(embedded).relu()
+            pooled.append(convolved.max(axis=1))
+        return self.project(F.concatenate(pooled, axis=-1)).tanh()

@@ -1,0 +1,175 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These cover the pieces of the models that are not naturally methods on a
+single tensor: softmax/cross-entropy, concatenation and stacking, and the
+segment operations that graph neural networks use to aggregate messages
+per target node (the paper uses element-wise *max* aggregation, Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets`` under ``logits``.
+
+    This is the classification loss of Eq. 1 in the paper: the logits are
+    ``r_s · r̃_τ + b_τ`` for each candidate type τ and ``targets`` holds the
+    index of the ground-truth type.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("cross_entropy expects logits of shape (batch, classes)")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def nll_of_probabilities(probabilities: Tensor, targets: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Mean negative log of already-normalised probabilities."""
+    targets = np.asarray(targets, dtype=np.int64)
+    batch = probabilities.shape[0]
+    picked = probabilities[np.arange(batch), targets]
+    return -(picked + eps).log().mean()
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing to each input."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("cannot concatenate an empty sequence of tensors")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tensors if requires else ())
+    if requires:
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+                slicer = [slice(None)] * grad.ndim
+                slicer[axis] = slice(start, end)
+                tensor._accumulate(grad[tuple(slicer)])
+
+        out._backward = backward
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack same-shaped tensors along a new axis."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ValueError("cannot stack an empty sequence of tensors")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _parents=tensors if requires else ())
+    if requires:
+
+        def backward(grad: np.ndarray) -> None:
+            moved = np.moveaxis(grad, axis, 0)
+            for i, tensor in enumerate(tensors):
+                tensor._accumulate(moved[i])
+
+        out._backward = backward
+    return out
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` that share a segment id.
+
+    ``values`` has shape ``(N, D)`` and the result has shape
+    ``(num_segments, D)``.  Used for sum-style message aggregation and for
+    pooling subtoken embeddings per node (Eq. 7 uses the mean, built on this).
+    """
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    data = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+    np.add.at(data, ids, values.data)
+    requires = values.requires_grad
+    out = Tensor(data, requires_grad=requires, _parents=(values,) if requires else ())
+    if requires:
+
+        def backward(grad: np.ndarray) -> None:
+            values._accumulate(grad[ids])
+
+        out._backward = backward
+    return out
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean of rows per segment; empty segments produce zeros."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (values.ndim - 1))
+    summed = segment_sum(values, ids, num_segments)
+    return summed / Tensor(counts)
+
+
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int, empty_value: float = 0.0) -> Tensor:
+    """Element-wise max of rows per segment (the paper's ⊕ operator).
+
+    Empty segments receive ``empty_value`` (no incoming message for the node).
+    Gradient flows only to the rows that achieved the maximum; ties split the
+    gradient equally.
+    """
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    data = np.full((num_segments,) + values.shape[1:], -np.inf, dtype=np.float64)
+    np.maximum.at(data, ids, values.data)
+    empty_mask = ~np.isfinite(data)
+    data[empty_mask] = empty_value
+
+    requires = values.requires_grad
+    out = Tensor(data, requires_grad=requires, _parents=(values,) if requires else ())
+    if requires:
+
+        def backward(grad: np.ndarray) -> None:
+            winners = (values.data == data[ids]).astype(np.float64)
+            # Divide gradient among ties within each segment.
+            tie_counts = np.zeros_like(data)
+            np.add.at(tie_counts, ids, winners)
+            denom = np.maximum(tie_counts[ids], 1.0)
+            values._accumulate(grad[ids] * winners / denom)
+
+        out._backward = backward
+    return out
+
+
+def dropout(values: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; a no-op when not training or ``rate`` is zero."""
+    if not training or rate <= 0.0:
+        return values
+    keep = 1.0 - rate
+    mask = (rng.random(values.shape) < keep).astype(np.float64) / keep
+    return values * Tensor(mask)
+
+
+def pairwise_l1_distances(a: Tensor, b: Tensor) -> Tensor:
+    """All-pairs L1 (Manhattan) distances between rows of ``a`` and ``b``.
+
+    The similarity loss (Eq. 3) and the kNN prediction (Eq. 5) both use the
+    L1 distance, following the paper.  Returns shape ``(len(a), len(b))``.
+    """
+    # (N, 1, D) - (1, M, D) -> (N, M, D); |.| summed over D.
+    n, d = a.shape
+    m = b.shape[0]
+    a3 = a.reshape(n, 1, d)
+    b3 = b.reshape(1, m, d)
+    return (a3 - b3).abs().sum(axis=2)

@@ -1,0 +1,30 @@
+"""Weight initialisation schemes for the neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeededRNG
+
+
+def glorot_uniform(rng: SeededRNG, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_in, fan_out)`` matrix."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.np.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def normal_scaled(rng: SeededRNG, shape: tuple[int, ...], scale: float = 0.1) -> np.ndarray:
+    """Small-scale Gaussian initialisation, used for embedding tables."""
+    return rng.np.normal(0.0, scale, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(rng: SeededRNG, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal initialisation, the usual choice for recurrent weights."""
+    matrix = rng.np.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, _ = np.linalg.qr(matrix)
+    q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
+    return np.ascontiguousarray(q[:rows, :cols])

@@ -1,0 +1,202 @@
+"""Neural network layers built on the autograd tensor.
+
+The layer/module system mirrors the conventional PyTorch shape —
+``Module.parameters()`` walks the attribute tree collecting trainable
+tensors — but only implements what the Typilus reproduction needs:
+``Linear``, ``Embedding``, ``LayerNorm``, ``Dropout`` and ``Sequential``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval switching."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield every trainable tensor reachable from this module."""
+        seen: set[int] = set()
+        yield from self._walk(self, seen)
+
+    @staticmethod
+    def _walk(obj: "Module", seen: set[int]) -> Iterator[Tensor]:
+        for value in vars(obj).values():
+            if isinstance(value, Tensor) and value.requires_grad:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from Module._walk(value, seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from Module._walk(item, seen)
+                    elif isinstance(item, Tensor) and item.requires_grad and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield from Module._walk(item, seen)
+                    elif isinstance(item, Tensor) and item.requires_grad and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        """Yield ``(dotted_name, parameter)`` pairs for serialization."""
+        for name, value in vars(self).items():
+            path = f"{prefix}{name}"
+            if isinstance(value, Tensor) and value.requires_grad:
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{i}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{path}.{i}", item
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{path}.{key}.")
+                    elif isinstance(item, Tensor) and item.requires_grad:
+                        yield f"{path}.{key}", item
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine transformation ``y = xW + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: SeededRNG, bias: bool = True) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init.glorot_uniform(rng, in_features, out_features), requires_grad=True, name="weight")
+        self.bias = Tensor(init.zeros((out_features,)), requires_grad=True, name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """A lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Tensor(init.normal_scaled(rng, (num_embeddings, dim)), requires_grad=True, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range: [{indices.min()}, {indices.max()}] "
+                f"for table of size {self.num_embeddings}"
+            )
+        return self.weight.gather_rows(indices)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gain = Tensor(np.ones(dim), requires_grad=True, name="ln_gain")
+        self.shift = Tensor(np.zeros(dim), requires_grad=True, name="ln_shift")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centred = inputs - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / (variance + self.eps).sqrt()
+        return normalised * self.gain + self.shift
+
+
+class Dropout(Module):
+    """Inverted dropout driven by the module's own RNG stream."""
+
+    def __init__(self, rate: float, rng: SeededRNG) -> None:
+        super().__init__()
+        self.rate = rate
+        self._np_rng = rng.fork(77).np
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return F.dropout(inputs, self.rate, self._np_rng, self.training)
+
+
+class Sequential(Module):
+    """Apply a list of modules in order."""
+
+    def __init__(self, modules: Iterable[Module]) -> None:
+        super().__init__()
+        self.stages = list(modules)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        out = inputs
+        for stage in self.stages:
+            out = stage(out)
+        return out
+
+
+class MLP(Module):
+    """Two-layer perceptron with a tanh non-linearity, used for model heads."""
+
+    def __init__(self, in_features: int, hidden: int, out_features: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.first = Linear(in_features, hidden, rng.fork(1))
+        self.second = Linear(hidden, out_features, rng.fork(2))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.second(self.first(inputs).tanh())

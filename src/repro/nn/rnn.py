@@ -1,0 +1,82 @@
+"""Recurrent layers: GRU cell and bidirectional GRU.
+
+The DeepTyper-style baselines in the paper (the ``Seq*`` rows of Table 2)
+use two layers of bidirectional GRUs with "consistency modules" in between.
+The GRU cell here is also reused by the gated graph neural network, which
+updates node states with a single GRU cell (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeededRNG
+
+
+class GRUCell(Module):
+    """A gated recurrent unit cell operating on batches of vectors.
+
+    Given inputs ``x`` of shape ``(batch, input_dim)`` and previous hidden
+    state ``h`` of shape ``(batch, hidden_dim)``, produces the next hidden
+    state.  This is the ``Gru(·,·)`` update function of the GGNN (Eq. 6).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.w_input = Tensor(init.glorot_uniform(rng.fork(1), input_dim, 3 * hidden_dim), requires_grad=True)
+        self.w_hidden = Tensor(init.glorot_uniform(rng.fork(2), hidden_dim, 3 * hidden_dim), requires_grad=True)
+        self.bias = Tensor(init.zeros((3 * hidden_dim,)), requires_grad=True)
+
+    def forward(self, inputs: Tensor, hidden: Tensor) -> Tensor:
+        gates_x = inputs @ self.w_input + self.bias
+        gates_h = hidden @ self.w_hidden
+        h = self.hidden_dim
+
+        update = (gates_x[:, 0:h] + gates_h[:, 0:h]).sigmoid()
+        reset = (gates_x[:, h : 2 * h] + gates_h[:, h : 2 * h]).sigmoid()
+        candidate = (gates_x[:, 2 * h : 3 * h] + reset * gates_h[:, 2 * h : 3 * h]).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+    def initial_state(self, batch: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.hidden_dim)))
+
+
+class GRU(Module):
+    """Unidirectional GRU over a sequence ``(seq_len, batch, input_dim)``."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: SeededRNG, reverse: bool = False) -> None:
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.reverse = reverse
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        seq_len = sequence.shape[0]
+        batch = sequence.shape[1]
+        hidden = self.cell.initial_state(batch)
+        order = range(seq_len - 1, -1, -1) if self.reverse else range(seq_len)
+        outputs: list[Tensor] = [None] * seq_len  # type: ignore[list-item]
+        for t in order:
+            hidden = self.cell(sequence[t], hidden)
+            outputs[t] = hidden
+        return F.stack(outputs, axis=0)
+
+
+class BiGRU(Module):
+    """Bidirectional GRU: concatenation of a forward and a backward GRU."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: SeededRNG) -> None:
+        super().__init__()
+        self.forward_rnn = GRU(input_dim, hidden_dim, rng.fork(1), reverse=False)
+        self.backward_rnn = GRU(input_dim, hidden_dim, rng.fork(2), reverse=True)
+        self.output_dim = 2 * hidden_dim
+
+    def forward(self, sequence: Tensor) -> Tensor:
+        fwd = self.forward_rnn(sequence)
+        bwd = self.backward_rnn(sequence)
+        return F.concatenate([fwd, bwd], axis=-1)

@@ -1,0 +1,61 @@
+"""Saving and loading model parameters.
+
+Trained TypeSpaces and the models that produce them can be persisted to a
+single ``.npz`` file keyed by the dotted parameter names returned by
+:meth:`repro.nn.layers.Module.named_parameters`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def state_dict(module: Module) -> dict[str, np.ndarray]:
+    """Collect a copy of every named parameter's values."""
+    return {name: parameter.data.copy() for name, parameter in module.named_parameters()}
+
+
+def load_state_dict(module: Module, state: dict[str, np.ndarray], strict: bool = True) -> list[str]:
+    """Load values into a module's parameters by name.
+
+    Returns the list of parameter names present in the module but missing
+    from ``state`` (empty when ``strict`` and nothing is missing; raises
+    otherwise).
+    """
+    missing: list[str] = []
+    for name, parameter in module.named_parameters():
+        if name not in state:
+            missing.append(name)
+            continue
+        values = state[name]
+        if values.shape != parameter.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: saved {values.shape}, expected {parameter.data.shape}"
+            )
+        parameter.data[...] = values
+    if strict:
+        extra = set(state) - {name for name, _ in module.named_parameters()}
+        if missing or extra:
+            raise KeyError(f"state dict mismatch: missing={missing}, unexpected={sorted(extra)}")
+    return missing
+
+
+def save(module: Module, path: Union[str, Path]) -> Path:
+    """Serialize a module's parameters to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state_dict(module))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load(module: Module, path: Union[str, Path], strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save` into ``module`` and return it."""
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    load_state_dict(module, state, strict=strict)
+    return module

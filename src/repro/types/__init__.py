@@ -1,0 +1,36 @@
+"""Type expressions, parsing, normalisation, lattice and registry."""
+
+from repro.types.expr import ANY, ELLIPSIS_TYPE, NONE, TypeExpr, canonical_name
+from repro.types.lattice import TypeLattice, lattice_from_class_edges
+from repro.types.normalize import (
+    canonical_string,
+    canonicalise,
+    erase_parameters,
+    flatten_unions,
+    is_informative,
+    rewrite_deep_parameters,
+)
+from repro.types.parser import TypeParseError, parse_type, try_parse_type
+from repro.types.registry import DEFAULT_RARITY_THRESHOLD, TypeRegistry, TypeStatistics
+
+__all__ = [
+    "TypeExpr",
+    "ANY",
+    "NONE",
+    "ELLIPSIS_TYPE",
+    "canonical_name",
+    "parse_type",
+    "try_parse_type",
+    "TypeParseError",
+    "canonicalise",
+    "canonical_string",
+    "erase_parameters",
+    "flatten_unions",
+    "rewrite_deep_parameters",
+    "is_informative",
+    "TypeLattice",
+    "lattice_from_class_edges",
+    "TypeRegistry",
+    "TypeStatistics",
+    "DEFAULT_RARITY_THRESHOLD",
+]

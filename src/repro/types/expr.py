@@ -1,0 +1,126 @@
+"""Structured representation of Python type annotations.
+
+Annotations collected from source are strings (``"Dict[str, List[int]]"``).
+The evaluation metrics, the type-parameter erasure of Eq. 4 and the
+type-neutrality check all need a structured view of those strings, which
+:class:`TypeExpr` provides: a name plus a (possibly empty) tuple of argument
+expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Canonical names for builtin containers written in lowercase in source.
+_CANONICAL_NAMES = {
+    "list": "List",
+    "dict": "Dict",
+    "set": "Set",
+    "tuple": "Tuple",
+    "frozenset": "FrozenSet",
+    "type": "Type",
+    "typing.List": "List",
+    "typing.Dict": "Dict",
+    "typing.Set": "Set",
+    "typing.Tuple": "Tuple",
+    "typing.FrozenSet": "FrozenSet",
+    "typing.Optional": "Optional",
+    "typing.Union": "Union",
+    "typing.Any": "Any",
+    "typing.Callable": "Callable",
+    "typing.Iterable": "Iterable",
+    "typing.Iterator": "Iterator",
+    "typing.Sequence": "Sequence",
+    "typing.Mapping": "Mapping",
+    "typing.Type": "Type",
+}
+
+#: The top element of the optional type lattice.
+ANY_NAME = "Any"
+NONE_NAME = "None"
+ELLIPSIS_NAME = "..."
+
+
+def canonical_name(name: str) -> str:
+    """Map aliases (``list``, ``typing.List``) onto a canonical spelling."""
+    return _CANONICAL_NAMES.get(name, name)
+
+
+@dataclass(frozen=True)
+class TypeExpr:
+    """An immutable type expression: a name applied to argument expressions."""
+
+    name: str
+    args: tuple["TypeExpr", ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", canonical_name(self.name))
+
+    # -- constructors --------------------------------------------------------------
+
+    @staticmethod
+    def atom(name: str) -> "TypeExpr":
+        return TypeExpr(name=name)
+
+    @staticmethod
+    def generic(name: str, *args: "TypeExpr") -> "TypeExpr":
+        return TypeExpr(name=name, args=tuple(args))
+
+    # -- structure -----------------------------------------------------------------
+
+    @property
+    def is_parametric(self) -> bool:
+        return bool(self.args)
+
+    @property
+    def is_any(self) -> bool:
+        return self.name == ANY_NAME and not self.args
+
+    @property
+    def is_none(self) -> bool:
+        return self.name == NONE_NAME and not self.args
+
+    @property
+    def is_union(self) -> bool:
+        return self.name == "Union"
+
+    @property
+    def is_optional(self) -> bool:
+        return self.name == "Optional"
+
+    def base(self) -> "TypeExpr":
+        """The type with all parameters erased: ``Dict[str, int]`` → ``Dict``."""
+        return TypeExpr(self.name)
+
+    def depth(self) -> int:
+        """Nesting depth of type parameters: ``int`` → 0, ``List[int]`` → 1."""
+        if not self.args:
+            return 0
+        return 1 + max(arg.depth() for arg in self.args)
+
+    def walk(self) -> Iterator["TypeExpr"]:
+        """Yield this expression and, recursively, every argument expression."""
+        yield self
+        for arg in self.args:
+            yield from arg.walk()
+
+    def mentioned_names(self) -> set[str]:
+        return {expr.name for expr in self.walk()}
+
+    # -- rendering ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.name}[{inner}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TypeExpr({self!s})"
+
+
+#: Frequently used atoms.
+ANY = TypeExpr.atom(ANY_NAME)
+NONE = TypeExpr.atom(NONE_NAME)
+ELLIPSIS_TYPE = TypeExpr.atom(ELLIPSIS_NAME)

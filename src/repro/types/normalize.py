@@ -1,0 +1,122 @@
+"""Normalisation and erasure of type expressions.
+
+Three operations from the paper live here:
+
+* **deep-parameter rewriting** (Sec. 6.1): components of a parametric type
+  nested deeper than level 2 are rewritten to ``Any``
+  (``List[List[List[int]]]`` → ``List[List[Any]]``) before the type
+  hierarchy is built;
+* **type-parameter erasure** ``Er(·)`` (Eq. 4): drop all parameters so the
+  classification part of the Typilus loss operates on base types
+  (``List[int]`` → ``List``);
+* **canonicalisation** used by the exact-match metric: a single spelling for
+  aliases, ``Optional``/``Union`` flattening and deterministic member order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.types.expr import ANY, NONE, TypeExpr
+from repro.types.parser import try_parse_type
+
+
+def rewrite_deep_parameters(expr: TypeExpr, max_depth: int = 2) -> TypeExpr:
+    """Replace parametric sub-expressions nested deeper than ``max_depth`` with ``Any``.
+
+    ``List[List[List[int]]]`` with the default depth of 2 becomes
+    ``List[List[Any]]``, matching the preprocessing described in Sec. 6.1.
+    Atoms are never rewritten regardless of their depth.
+    """
+    return _rewrite_at_depth(expr, depth=0, max_depth=max_depth)
+
+
+def _rewrite_at_depth(expr: TypeExpr, depth: int, max_depth: int) -> TypeExpr:
+    if not expr.args:
+        return expr
+    if depth >= max_depth:
+        return ANY
+    return TypeExpr(
+        expr.name,
+        tuple(_rewrite_at_depth(arg, depth + 1, max_depth) for arg in expr.args),
+    )
+
+
+def erase_parameters(expr: TypeExpr) -> TypeExpr:
+    """The Er(·) operator of Eq. 4: drop every type parameter."""
+    return expr.base()
+
+
+def flatten_unions(expr: TypeExpr) -> TypeExpr:
+    """Flatten nested unions, deduplicate members and sort them by name.
+
+    ``Union[int, Union[str, int]]`` → ``Union[int, str]``; a union containing
+    ``None`` becomes ``Optional[...]``; single-member unions collapse.
+    """
+    if not expr.args:
+        return expr
+    args = tuple(flatten_unions(arg) for arg in expr.args)
+    if expr.name == "Optional":
+        inner = args[0] if args else ANY
+        return _make_optional(inner)
+    if expr.name != "Union":
+        return TypeExpr(expr.name, args)
+
+    members: list[TypeExpr] = []
+    has_none = False
+    for arg in args:
+        if arg.is_none:
+            has_none = True
+        elif arg.is_union:
+            members.extend(arg.args)
+        elif arg.is_optional:
+            has_none = True
+            members.extend(arg.args)
+        else:
+            members.append(arg)
+    unique = sorted(set(members), key=str)
+    if not unique:
+        return NONE if has_none else ANY
+    core = unique[0] if len(unique) == 1 else TypeExpr("Union", tuple(unique))
+    return _make_optional(core) if has_none else core
+
+
+def _make_optional(inner: TypeExpr) -> TypeExpr:
+    if inner.is_none:
+        return NONE
+    if inner.is_optional:
+        return inner
+    return TypeExpr("Optional", (inner,))
+
+
+def canonicalise(expr: TypeExpr, max_depth: Optional[int] = None) -> TypeExpr:
+    """Full normalisation: flatten unions then optionally cap nesting depth."""
+    normalised = flatten_unions(expr)
+    if max_depth is not None:
+        normalised = rewrite_deep_parameters(normalised, max_depth)
+    return normalised
+
+
+def canonical_string(annotation: str, max_depth: Optional[int] = None) -> Optional[str]:
+    """Parse an annotation string and return its canonical rendering.
+
+    Returns ``None`` when the string cannot be parsed (the dataset drops such
+    annotations, mirroring how the paper's pipeline skips malformed ones).
+    """
+    parsed = try_parse_type(annotation)
+    if parsed is None:
+        return None
+    return str(canonicalise(parsed, max_depth=max_depth))
+
+
+def is_informative(annotation: str) -> bool:
+    """Whether an annotation should enter the dataset.
+
+    The paper excludes ``Any`` and ``None`` annotations from its corpus
+    (Sec. 6, footnote 2); unparsable annotations are excluded too.
+    """
+    parsed = try_parse_type(annotation)
+    if parsed is None:
+        return False
+    canonical = canonicalise(parsed)
+    return not (canonical.is_any or canonical.is_none)

@@ -1,0 +1,145 @@
+"""Type vocabulary with frequency accounting.
+
+The paper's analysis of its corpus (Sec. 6) revolves around the Zipfian
+frequency distribution of annotations: the top-10 types cover about half the
+dataset while 32% of annotations use *rare* types (seen fewer than 100
+times).  The registry tracks those counts, assigns stable integer ids for
+classification heads, and answers the common/rare question for metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.types.normalize import canonical_string
+
+#: Rare/common threshold used throughout the paper.
+DEFAULT_RARITY_THRESHOLD = 100
+
+
+@dataclass
+class TypeStatistics:
+    """Aggregate corpus statistics mirroring Sec. 6's data description."""
+
+    total_annotations: int
+    distinct_types: int
+    common_types: int
+    rare_types: int
+    rare_annotation_fraction: float
+    top10_fraction: float
+    zipf_exponent: float
+
+
+class TypeRegistry:
+    """Maps canonical type strings to ids and tracks their frequencies."""
+
+    def __init__(self, rarity_threshold: int = DEFAULT_RARITY_THRESHOLD) -> None:
+        self.rarity_threshold = rarity_threshold
+        self._counts: Counter[str] = Counter()
+        self._type_to_id: dict[str, int] = {}
+        self._id_to_type: list[str] = []
+
+    # -- population -------------------------------------------------------------
+
+    def add(self, annotation: str, count: int = 1) -> Optional[str]:
+        """Record an annotation occurrence; returns its canonical form.
+
+        Unparsable annotations are ignored and ``None`` is returned.
+        """
+        canonical = canonical_string(annotation, max_depth=None)
+        if canonical is None:
+            return None
+        self._counts[canonical] += count
+        if canonical not in self._type_to_id:
+            self._type_to_id[canonical] = len(self._id_to_type)
+            self._id_to_type.append(canonical)
+        return canonical
+
+    def add_many(self, annotations: Iterable[str]) -> None:
+        for annotation in annotations:
+            self.add(annotation)
+
+    # -- lookups ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._id_to_type)
+
+    def __contains__(self, canonical: str) -> bool:
+        return canonical in self._type_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_type)
+
+    def id_of(self, canonical: str) -> Optional[int]:
+        return self._type_to_id.get(canonical)
+
+    def type_of(self, type_id: int) -> str:
+        return self._id_to_type[type_id]
+
+    def count_of(self, canonical: str) -> int:
+        return self._counts.get(canonical, 0)
+
+    def is_rare(self, canonical: str) -> bool:
+        """A type is rare if it is annotated fewer than the threshold times."""
+        return self.count_of(canonical) < self.rarity_threshold
+
+    def is_common(self, canonical: str) -> bool:
+        return not self.is_rare(canonical)
+
+    def common_types(self) -> list[str]:
+        return [t for t in self._id_to_type if self.is_common(t)]
+
+    def rare_types(self) -> list[str]:
+        return [t for t in self._id_to_type if self.is_rare(t)]
+
+    def most_common(self, k: int = 10) -> list[tuple[str, int]]:
+        return self._counts.most_common(k)
+
+    def classification_vocabulary(self, max_types: Optional[int] = None) -> dict[str, int]:
+        """Closed vocabulary for the classification loss (Eq. 1).
+
+        Types are ordered by frequency; an ``%UNK%`` bucket at index 0 absorbs
+        everything outside the chosen vocabulary, mirroring how closed-world
+        baselines must handle unseen types.
+        """
+        vocabulary = {"%UNK%": 0}
+        for type_name, _ in self._counts.most_common(max_types):
+            if type_name not in vocabulary:
+                vocabulary[type_name] = len(vocabulary)
+        return vocabulary
+
+    # -- statistics ---------------------------------------------------------------
+
+    def statistics(self) -> TypeStatistics:
+        total = sum(self._counts.values())
+        distinct = len(self._counts)
+        rare = self.rare_types()
+        rare_annotations = sum(self._counts[t] for t in rare)
+        top10 = sum(count for _, count in self._counts.most_common(10))
+        return TypeStatistics(
+            total_annotations=total,
+            distinct_types=distinct,
+            common_types=distinct - len(rare),
+            rare_types=len(rare),
+            rare_annotation_fraction=rare_annotations / total if total else 0.0,
+            top10_fraction=top10 / total if total else 0.0,
+            zipf_exponent=self._estimate_zipf_exponent(),
+        )
+
+    def _estimate_zipf_exponent(self) -> float:
+        """Least-squares slope of log(count) vs log(rank)."""
+        counts = [count for _, count in self._counts.most_common() if count > 0]
+        if len(counts) < 2:
+            return 0.0
+        xs = [math.log(rank + 1) for rank in range(len(counts))]
+        ys = [math.log(count) for count in counts]
+        mean_x = sum(xs) / len(xs)
+        mean_y = sum(ys) / len(ys)
+        denom = sum((x - mean_x) ** 2 for x in xs)
+        if denom == 0:
+            return 0.0
+        slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denom
+        return -slope

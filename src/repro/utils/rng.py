@@ -1,0 +1,90 @@
+"""Deterministic random number helpers.
+
+Every stochastic component in the reproduction (corpus synthesis, parameter
+initialisation, mini-batch shuffling, negative sampling) accepts either a
+seed or a :class:`SeededRNG` so experiments are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+from typing import Iterator, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+class SeededRNG:
+    """A small façade over ``numpy.random.Generator`` and ``random.Random``.
+
+    Both generators are seeded from the same integer so code that needs
+    Python-level choice functions (e.g. corpus synthesis picking identifier
+    names) and code that needs ndarray sampling (e.g. weight initialisation)
+    share a single reproducible stream of entropy.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.np = np.random.default_rng(self.seed)
+        self.py = random.Random(self.seed)
+
+    def fork(self, offset: int = 1) -> "SeededRNG":
+        """Return a new independent RNG derived from this one.
+
+        Forking is preferred over sharing a single RNG between components
+        because it keeps each component's stream stable even when another
+        component changes how many samples it draws.
+        """
+        return SeededRNG(self.seed * 1_000_003 + offset)
+
+    # -- convenience wrappers -------------------------------------------------
+
+    def randint(self, low: int, high: int) -> int:
+        """Return a random integer in the inclusive range ``[low, high]``."""
+        return self.py.randint(low, high)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self.py.uniform(low, high)
+
+    def choice(self, items: Sequence[T]) -> T:
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return self.py.choice(list(items))
+
+    def choices(self, items: Sequence[T], weights: Sequence[float], k: int) -> list[T]:
+        return self.py.choices(list(items), weights=list(weights), k=k)
+
+    def sample(self, items: Sequence[T], k: int) -> list[T]:
+        return self.py.sample(list(items), k)
+
+    def shuffle(self, items: list[T]) -> list[T]:
+        """Return a shuffled *copy* of ``items`` (the input is not mutated)."""
+        copied = list(items)
+        self.py.shuffle(copied)
+        return copied
+
+    def normal(self, shape: tuple[int, ...], scale: float = 1.0) -> np.ndarray:
+        return self.np.normal(0.0, scale, size=shape)
+
+    def permutation(self, n: int) -> np.ndarray:
+        return self.np.permutation(n)
+
+
+@contextlib.contextmanager
+def temp_seed(seed: int) -> Iterator[None]:
+    """Temporarily seed the *global* ``numpy`` and ``random`` states.
+
+    Only used in tests that exercise code relying on global randomness; the
+    library itself always threads explicit :class:`SeededRNG` objects.
+    """
+    np_state = np.random.get_state()
+    py_state = random.getstate()
+    np.random.seed(seed)
+    random.seed(seed)
+    try:
+        yield
+    finally:
+        np.random.set_state(np_state)
+        random.setstate(py_state)

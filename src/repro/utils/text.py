@@ -1,0 +1,48 @@
+"""Text helpers shared by the graph builder and corpus synthesiser."""
+
+from __future__ import annotations
+
+import re
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^A-Za-z0-9]+")
+
+
+def camel_and_snake_split(identifier: str) -> list[str]:
+    """Split an identifier into lower-cased subtokens.
+
+    The splitting rule follows the paper (Sec. 4.3 / Eq. 7): identifiers are
+    split on ``camelCase`` boundaries and on underscores, and each resulting
+    word-like element becomes a subtoken.  Digits stay attached to the word
+    they follow (``conv2d`` → ``["conv2d"]``) which matches how developers
+    read such names.
+
+    >>> camel_and_snake_split("numNodes")
+    ['num', 'nodes']
+    >>> camel_and_snake_split("get_node_count")
+    ['get', 'node', 'count']
+    """
+    if not identifier:
+        return []
+    pieces: list[str] = []
+    for chunk in _NON_ALNUM.split(identifier):
+        if not chunk:
+            continue
+        for part in _CAMEL_BOUNDARY.split(chunk):
+            if part:
+                pieces.append(part.lower())
+    return pieces
+
+
+def normalise_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and strip the ends."""
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def truncate(text: str, limit: int = 60) -> str:
+    """Shorten ``text`` to at most ``limit`` characters with an ellipsis."""
+    if len(text) <= limit:
+        return text
+    if limit <= 1:
+        return text[:limit]
+    return text[: limit - 1] + "…"

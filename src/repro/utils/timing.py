@@ -1,0 +1,55 @@
+"""Timing helpers used by the speed-comparison experiment (Sec. 6.1)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across named sections.
+
+    The speed experiment reports per-epoch training and inference times for
+    the GNN and biRNN models; a stopwatch per model keeps those numbers
+    comparable without scattering ``time.perf_counter`` calls around.
+    """
+
+    sections: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.sections[name] = self.sections.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.sections.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        count = self.counts.get(name, 0)
+        if count == 0:
+            return 0.0
+        return self.sections[name] / count
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        return {
+            name: {"total": self.sections[name], "mean": self.mean(name)}
+            for name in self.sections
+        }
+
+
+def timed(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

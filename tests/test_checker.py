@@ -1,0 +1,286 @@
+"""Tests for the optional type checker (strict/mypy-like, lenient/pytype-like)."""
+
+import pytest
+
+from repro.checker import (
+    CheckerMode,
+    ErrorCode,
+    OptionalTypeChecker,
+    apply_annotation,
+    AnnotationRewriteError,
+    PredictionCategory,
+    PredictionChecker,
+    check_source,
+    is_assignable,
+)
+from repro.graph.nodes import SymbolKind
+from repro.types import TypeLattice, parse_type
+
+
+WELL_TYPED = '''
+def add(a: int, b: int) -> int:
+    total = a + b
+    return total
+
+
+def greet(name: str) -> str:
+    return "hello " + name
+
+
+class Point:
+    def __init__(self, x: float, y: float) -> None:
+        self.x = x
+        self.y = y
+
+    def norm(self) -> float:
+        return self.x * self.x + self.y * self.y
+
+
+def length_of(items):
+    return len(items)
+
+
+origin = Point(0.0, 0.0)
+distance: float = origin.norm()
+message: str = greet("world")
+count: int = add(1, 2)
+'''
+
+
+class TestAssignability:
+    @pytest.fixture()
+    def lattice(self):
+        return TypeLattice()
+
+    @pytest.mark.parametrize(
+        "value,target,expected",
+        [
+            ("int", "int", True),
+            ("int", "float", True),
+            ("float", "int", False),
+            ("Any", "int", True),
+            ("int", "Any", True),
+            ("None", "Optional[int]", True),
+            ("int", "Optional[int]", True),
+            ("str", "Optional[int]", False),
+            ("List[int]", "List", True),
+            ("List", "List[int]", True),
+            ("List[int]", "Sequence[int]", True),
+            ("int", "Union[int, str]", True),
+            ("bytes", "Union[int, str]", False),
+            ("int", "object", True),
+        ],
+    )
+    def test_strict_assignability(self, lattice, value, target, expected):
+        assert is_assignable(parse_type(value), parse_type(target), lattice, strict=True) is expected
+
+    def test_lenient_allows_numeric_narrowing(self, lattice):
+        assert is_assignable(parse_type("float"), parse_type("int"), lattice, strict=False)
+        assert not is_assignable(parse_type("str"), parse_type("int"), lattice, strict=False)
+
+
+class TestWellTypedPrograms:
+    def test_strict_accepts_well_typed_module(self):
+        assert check_source(WELL_TYPED, CheckerMode.STRICT).ok
+
+    def test_lenient_accepts_well_typed_module(self):
+        assert check_source(WELL_TYPED, CheckerMode.LENIENT).ok
+
+    def test_unannotated_code_produces_no_errors(self):
+        source = "def f(x):\n    y = x + 1\n    return y\n"
+        assert check_source(source).ok
+
+    def test_optional_narrowing_with_is_none_guard(self):
+        source = (
+            "from typing import Optional\n"
+            "def greet(name: str, suffix: Optional[str] = None) -> str:\n"
+            "    if suffix is None:\n"
+            "        return 'hi ' + name\n"
+            "    return 'hi ' + name + suffix\n"
+        )
+        assert check_source(source, CheckerMode.STRICT).ok
+
+    def test_optional_narrowing_with_is_not_none_guard(self):
+        source = (
+            "from typing import Optional\n"
+            "def scale(value: Optional[float]) -> float:\n"
+            "    result = 0.0\n"
+            "    if value is not None:\n"
+            "        result = value * 2.0\n"
+            "    return result\n"
+        )
+        assert check_source(source, CheckerMode.STRICT).ok
+
+    def test_syntax_error_reported_not_raised(self):
+        result = check_source("def broken(:\n")
+        assert not result.ok
+        assert result.errors[0].code == ErrorCode.ANNOTATION_UNPARSABLE
+
+
+class TestErrorDetection:
+    def test_wrong_return_type(self):
+        result = check_source("def f() -> int:\n    return 'text'\n")
+        assert any(e.code == ErrorCode.RETURN_VALUE for e in result.errors)
+
+    def test_wrong_argument_type(self):
+        source = "def f(x: int) -> int:\n    return x\n\ny = f('nope')\n"
+        result = check_source(source)
+        assert any(e.code == ErrorCode.ARG_TYPE for e in result.errors)
+
+    def test_wrong_annotated_assignment(self):
+        result = check_source("x: int = 'text'\n")
+        assert any(e.code == ErrorCode.ASSIGNMENT for e in result.errors)
+
+    def test_declared_variable_reassignment_checked(self):
+        source = "def f() -> None:\n    x: int = 1\n    x = 'text'\n"
+        result = check_source(source)
+        assert any(e.code == ErrorCode.ASSIGNMENT for e in result.errors)
+
+    def test_operator_mismatch(self):
+        result = check_source("def f(a: str, b: int) -> str:\n    return a + b\n")
+        assert any(e.code == ErrorCode.OPERATOR for e in result.errors)
+
+    def test_attribute_error_strict_only(self):
+        source = (
+            "class Box:\n"
+            "    def __init__(self, width: int) -> None:\n"
+            "        self.width = width\n"
+            "\n"
+            "def f(box: Box) -> int:\n"
+            "    return box.height\n"
+        )
+        assert any(e.code == ErrorCode.ATTR_DEFINED for e in check_source(source, CheckerMode.STRICT).errors)
+        assert check_source(source, CheckerMode.LENIENT).ok
+
+    def test_too_many_arguments_strict_only(self):
+        source = "def f(x: int) -> int:\n    return x\n\ny = f(1, 2, 3)\n"
+        assert any(e.code == ErrorCode.ARG_COUNT for e in check_source(source, CheckerMode.STRICT).errors)
+        assert not any(e.code == ErrorCode.ARG_COUNT for e in check_source(source, CheckerMode.LENIENT).errors)
+
+    def test_invalid_annotation_reported(self):
+        result = check_source("value: 'List[' = []\n")
+        assert any(e.code == ErrorCode.ANNOTATION_UNPARSABLE for e in result.errors)
+
+    def test_lenient_reports_fewer_errors_than_strict(self):
+        source = (
+            "def f(x: int) -> int:\n"
+            "    y: float = 2.5\n"
+            "    return y\n"  # strict: return-value error; lenient tolerates numeric narrowing
+        )
+        strict_errors = len(check_source(source, CheckerMode.STRICT).errors)
+        lenient_errors = len(check_source(source, CheckerMode.LENIENT).errors)
+        assert lenient_errors <= strict_errors
+
+    def test_dict_index_type_checked_strict(self):
+        source = (
+            "from typing import Dict\n"
+            "def f(mapping: Dict[str, int]) -> int:\n"
+            "    return mapping[3]\n"
+        )
+        assert any(e.code == ErrorCode.INDEX for e in check_source(source, CheckerMode.STRICT).errors)
+
+    def test_class_attribute_assignment_checked(self):
+        source = (
+            "class Config:\n"
+            "    def __init__(self, limit: int) -> None:\n"
+            "        self.limit: int = limit\n"
+            "\n"
+            "    def reset(self) -> None:\n"
+            "        self.limit = 'unbounded'\n"
+        )
+        assert any(e.code == ErrorCode.ASSIGNMENT for e in check_source(source, CheckerMode.STRICT).errors)
+
+
+class TestInference:
+    def test_infer_return_annotation(self):
+        source = "def count(items):\n    return len(items)\n"
+        inferred = OptionalTypeChecker(CheckerMode.LENIENT).infer_annotations(source)
+        assert inferred[("module.count", "<return>", "function_return")] == "int"
+
+    def test_infer_variable_types_from_literals(self):
+        source = "def f():\n    label = 'x'\n    return label\n"
+        inferred = OptionalTypeChecker(CheckerMode.LENIENT).infer_annotations(source)
+        assert inferred[("module.f", "label", "variable")] == "str"
+
+    def test_infer_module_level_constant(self):
+        inferred = OptionalTypeChecker(CheckerMode.LENIENT).infer_annotations("LIMIT = 10\n")
+        assert inferred[("module", "LIMIT", "variable")] == "int"
+
+    def test_no_inference_for_annotated_returns(self):
+        inferred = OptionalTypeChecker(CheckerMode.LENIENT).infer_annotations("def f() -> int:\n    return 1\n")
+        assert ("module.f", "<return>", "function_return") not in inferred
+
+
+class TestPredictionHarness:
+    SOURCE = (
+        "def repeat(text: str, times: int) -> str:\n"
+        "    return text * times\n"
+        "\n"
+        "def run(count):\n"
+        "    label = repeat('x', count)\n"
+        "    return label\n"
+    )
+
+    def test_apply_annotation_to_parameter(self):
+        modified = apply_annotation(self.SOURCE, "module.run", "count", SymbolKind.PARAMETER, "int")
+        assert "def run(count: int):" in modified
+
+    def test_apply_annotation_to_return(self):
+        modified = apply_annotation(self.SOURCE, "module.run", "<return>", SymbolKind.FUNCTION_RETURN, "str")
+        assert "-> str" in modified
+
+    def test_apply_annotation_to_variable(self):
+        modified = apply_annotation(self.SOURCE, "module.run", "label", SymbolKind.VARIABLE, "str")
+        assert "label: str =" in modified
+
+    def test_apply_annotation_unknown_symbol_raises(self):
+        with pytest.raises(AnnotationRewriteError):
+            apply_annotation(self.SOURCE, "module.run", "missing", SymbolKind.PARAMETER, "int")
+
+    def test_apply_annotation_invalid_type_raises(self):
+        with pytest.raises(AnnotationRewriteError):
+            apply_annotation(self.SOURCE, "module.run", "count", SymbolKind.PARAMETER, "List[")
+
+    def test_apply_annotation_to_self_attribute(self):
+        source = (
+            "class Box:\n"
+            "    def __init__(self, width):\n"
+            "        self.width = width\n"
+        )
+        modified = apply_annotation(source, "module.Box", "self.width", SymbolKind.VARIABLE, "int")
+        assert "self.width: int = width" in modified
+
+    def test_good_prediction_accepted(self):
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(self.SOURCE, "module.run", "count", SymbolKind.PARAMETER, "int")
+        assert outcome.ok and outcome.category == PredictionCategory.ADDED
+
+    def test_bad_prediction_rejected(self):
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(self.SOURCE, "module.run", "count", SymbolKind.PARAMETER, "str")
+        assert not outcome.ok and outcome.introduced_errors >= 1
+
+    def test_identical_prediction_categorised_tau_to_tau(self):
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(
+            self.SOURCE, "module.repeat", "times", SymbolKind.PARAMETER, "int", original_annotation="int"
+        )
+        assert outcome.ok and outcome.category == PredictionCategory.UNCHANGED
+
+    def test_changed_prediction_categorised_tau_to_tau_prime(self):
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(
+            self.SOURCE, "module.repeat", "times", SymbolKind.PARAMETER, "float", original_annotation="int"
+        )
+        assert outcome.category == PredictionCategory.CHANGED
+
+    def test_any_prediction_skipped(self):
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(self.SOURCE, "module.run", "count", SymbolKind.PARAMETER, "Any")
+        assert outcome.skipped
+
+    def test_pre_existing_errors_do_not_count_against_prediction(self):
+        source = "x: int = 'wrong'\n\ndef f(value):\n    return value + 1\n"
+        checker = PredictionChecker(CheckerMode.STRICT)
+        outcome = checker.check_prediction(source, "module.f", "value", SymbolKind.PARAMETER, "int")
+        assert outcome.ok  # the unrelated baseline error is not attributed to the prediction

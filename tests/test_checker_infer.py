@@ -1,0 +1,190 @@
+"""Unit tests for expression-level type inference (repro.checker.infer)."""
+
+import ast
+
+import pytest
+
+from repro.checker.env import ModuleContext, Scope
+from repro.checker.infer import ExpressionTyper, join_types
+from repro.checker.checker import OptionalTypeChecker
+from repro.types import TypeLattice, parse_type
+
+
+def _typer_and_scope(prelude: str = ""):
+    """Build a typer whose module context comes from ``prelude`` source."""
+    checker = OptionalTypeChecker()
+    context = checker._build_module_context(ast.parse(prelude))
+    errors = []
+    typer = ExpressionTyper(context, TypeLattice(), errors.append, strict=True)
+    return typer, Scope(), errors
+
+
+def _infer(expression: str, bindings: dict[str, str] | None = None, prelude: str = "") -> str:
+    typer, scope, _ = _typer_and_scope(prelude)
+    for name, annotation in (bindings or {}).items():
+        scope.bind(name, parse_type(annotation))
+    return str(typer.infer(ast.parse(expression, mode="eval").body, scope))
+
+
+class TestLiteralInference:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("1", "int"),
+            ("1.5", "float"),
+            ("True", "bool"),
+            ("'text'", "str"),
+            ("b'raw'", "bytes"),
+            ("None", "None"),
+            ("[1, 2, 3]", "List[int]"),
+            ("[1, 'x']", "List[Union[int, str]]"),
+            ("{'a': 1}", "Dict[str, int]"),
+            ("{1, 2}", "Set[int]"),
+            ("(1, 'a')", "Tuple[int, str]"),
+            ("f'{1}'", "str"),
+            ("[x for x in [1, 2]]", "List[int]"),
+            ("{x: str(x) for x in [1, 2]}", "Dict[int, str]"),
+        ],
+    )
+    def test_literals(self, expression, expected):
+        assert _infer(expression) == expected
+
+
+class TestOperatorInference:
+    @pytest.mark.parametrize(
+        "expression,bindings,expected",
+        [
+            ("a + b", {"a": "int", "b": "int"}, "int"),
+            ("a + b", {"a": "int", "b": "float"}, "float"),
+            ("a / b", {"a": "int", "b": "int"}, "float"),
+            ("a + b", {"a": "str", "b": "str"}, "str"),
+            ("a * 3", {"a": "str"}, "str"),
+            ("a == b", {"a": "int", "b": "int"}, "bool"),
+            ("not a", {"a": "int"}, "bool"),
+            ("-a", {"a": "float"}, "float"),
+            ("a and b", {"a": "bool", "b": "bool"}, "bool"),
+            ("a if True else b", {"a": "int", "b": "int"}, "int"),
+        ],
+    )
+    def test_operators(self, expression, bindings, expected):
+        assert _infer(expression, bindings) == expected
+
+    def test_invalid_operand_combination_reports_error(self):
+        typer, scope, errors = _typer_and_scope()
+        scope.bind("text", parse_type("str"))
+        scope.bind("count", parse_type("int"))
+        typer.infer(ast.parse("text + count", mode="eval").body, scope)
+        assert errors and errors[0].code.value == "operator"
+
+    def test_any_operand_suppresses_errors(self):
+        typer, scope, errors = _typer_and_scope()
+        scope.bind("count", parse_type("int"))
+        result = typer.infer(ast.parse("unknown + count", mode="eval").body, scope)
+        assert str(result) == "Any" and not errors
+
+
+class TestContainerAndCallInference:
+    def test_subscript_of_list(self):
+        assert _infer("items[0]", {"items": "List[str]"}) == "str"
+
+    def test_subscript_of_dict(self):
+        assert _infer("mapping['k']", {"mapping": "Dict[str, int]"}) == "int"
+
+    def test_slice_preserves_container(self):
+        assert _infer("items[1:]", {"items": "List[int]"}) == "List[int]"
+
+    def test_str_methods(self):
+        assert _infer("text.upper()", {"text": "str"}) == "str"
+        assert _infer("text.split(',')", {"text": "str"}) == "List[str]"
+        assert _infer("text.encode('utf-8')", {"text": "str"}) == "bytes"
+
+    def test_dict_get_returns_optional_value(self):
+        assert _infer("mapping.get('k')", {"mapping": "Dict[str, int]"}) == "Optional[int]"
+
+    def test_builtin_calls(self):
+        assert _infer("len(items)", {"items": "List[int]"}) == "int"
+        assert _infer("str(3)") == "str"
+        assert _infer("sorted(items)", {"items": "List[int]"}) == "List"
+
+    def test_user_function_call_uses_signature(self):
+        prelude = "def scale(x: float) -> float:\n    return x * 2.0\n"
+        assert _infer("scale(1.0)", prelude=prelude) == "float"
+
+    def test_constructor_call_returns_class_type(self):
+        prelude = (
+            "class Widget:\n"
+            "    def __init__(self, name: str) -> None:\n"
+            "        self.name = name\n"
+        )
+        assert _infer("Widget('x')", prelude=prelude) == "Widget"
+
+    def test_method_call_on_user_class(self):
+        prelude = (
+            "class Widget:\n"
+            "    def __init__(self, name: str) -> None:\n"
+            "        self.name = name\n"
+            "    def describe(self) -> str:\n"
+            "        return self.name\n"
+        )
+        assert _infer("w.describe()", {"w": "Widget"}, prelude=prelude) == "str"
+
+    def test_attribute_on_user_class(self):
+        prelude = (
+            "class Widget:\n"
+            "    def __init__(self, size: int) -> None:\n"
+            "        self.size = size\n"
+        )
+        assert _infer("w.size", {"w": "Widget"}, prelude=prelude) == "Any"  # unannotated attribute
+        prelude_annotated = (
+            "class Widget:\n"
+            "    def __init__(self, size: int) -> None:\n"
+            "        self.size: int = size\n"
+        )
+        assert _infer("w.size", {"w": "Widget"}, prelude=prelude_annotated) == "int"
+
+    def test_inherited_attribute_lookup(self):
+        prelude = (
+            "class Base:\n"
+            "    def __init__(self, name: str) -> None:\n"
+            "        self.name: str = name\n"
+            "class Derived(Base):\n"
+            "    def __init__(self, name: str) -> None:\n"
+            "        self.name: str = name\n"
+            "    def extra(self) -> int:\n"
+            "        return 1\n"
+        )
+        assert _infer("d.name", {"d": "Derived"}, prelude=prelude) == "str"
+
+
+class TestHelpers:
+    def test_join_types(self):
+        lattice = TypeLattice()
+        assert str(join_types([parse_type("int"), parse_type("int")], lattice)) == "int"
+        assert str(join_types([parse_type("bool"), parse_type("int")], lattice)) == "int"
+        assert str(join_types([parse_type("int"), parse_type("str")], lattice)) == "Union[int, str]"
+        assert str(join_types([parse_type("int"), parse_type("None")], lattice)) == "Optional[int]"
+        assert join_types([], lattice).is_any
+
+    def test_element_type(self):
+        typer, _, _ = _typer_and_scope()
+        assert str(typer.element_type(parse_type("List[int]"))) == "int"
+        assert str(typer.element_type(parse_type("Dict[str, int]"))) == "str"
+        assert str(typer.element_type(parse_type("str"))) == "str"
+        assert typer.element_type(parse_type("CustomThing")).is_any
+
+    def test_bind_target_tuple_unpacking(self):
+        typer, scope, _ = _typer_and_scope()
+        target = ast.parse("a, b = value", mode="exec").body[0].targets[0]
+        typer.bind_target(target, parse_type("Tuple[int, str]"), scope)
+        assert str(scope.lookup("a")) == "int"
+        assert str(scope.lookup("b")) == "str"
+
+    def test_scope_chain_lookup_and_declared(self):
+        outer = Scope()
+        outer.bind("x", parse_type("int"), declared=True)
+        inner = outer.child("f")
+        assert str(inner.lookup("x")) == "int"
+        assert inner.is_declared("x")
+        inner.bind("x", parse_type("str"))
+        assert str(inner.lookup("x")) == "str"
+        assert not inner.is_declared("x")

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_corpus_defaults(self):
+        args = build_parser().parse_args(["corpus"])
+        assert args.command == "corpus" and args.num_files == 40
+
+    def test_train_arguments(self):
+        args = build_parser().parse_args(["train", "--family", "names", "--loss", "space", "--epochs", "2"])
+        assert args.family == "names" and args.loss == "space" and args.epochs == 2
+
+    def test_suggest_requires_files(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suggest"])
+
+    def test_check_mode_choices(self):
+        args = build_parser().parse_args(["check", "x.py", "--mode", "lenient"])
+        assert args.mode == "lenient"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "x.py", "--mode", "bogus"])
+
+
+class TestCorpusCommand:
+    def test_writes_files_and_prints_statistics(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        exit_code = main(["corpus", "--num-files", "6", "--out", str(out_dir)])
+        assert exit_code == 0
+        written = list(out_dir.glob("*.py"))
+        assert len(written) >= 6
+        output = capsys.readouterr().out
+        assert "distinct_types" in output
+
+    def test_statistics_only_without_out(self, capsys):
+        assert main(["corpus", "--num-files", "4"]) == 0
+        assert "train_samples" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_clean_file_returns_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.py"
+        path.write_text("def f(x: int) -> int:\n    return x + 1\n")
+        assert main(["check", str(path)]) == 0
+        assert "no type errors" in capsys.readouterr().out
+
+    def test_file_with_errors_returns_nonzero_and_prints_diagnostics(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("def f() -> int:\n    return 'text'\n")
+        assert main(["check", str(path)]) == 1
+        assert "return-value" in capsys.readouterr().out
+
+    def test_lenient_mode_can_accept_what_strict_rejects(self, tmp_path):
+        path = tmp_path / "narrowing.py"
+        path.write_text("def f(x: float) -> int:\n    return x\n")
+        strict_code = main(["check", str(path), "--mode", "strict"])
+        lenient_code = main(["check", str(path), "--mode", "lenient"])
+        assert strict_code == 1 and lenient_code == 0
+
+
+class TestTrainAndSuggestCommands:
+    def test_train_reports_metrics_and_saves_typespace(self, tmp_path, capsys):
+        space_path = tmp_path / "space.npz"
+        exit_code = main([
+            "train", "--num-files", "10", "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names", "--loss", "typilus",
+            "--save-typespace", str(space_path),
+        ])
+        assert exit_code == 0
+        assert space_path.exists()
+        output = capsys.readouterr().out
+        assert "exact" in output
+
+    def test_suggest_prints_table_for_user_file(self, tmp_path, capsys):
+        target = tmp_path / "snippet.py"
+        target.write_text("def scale_price(price, factor):\n    return price * factor\n")
+        exit_code = main([
+            "suggest", str(target), "--num-files", "10", "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names", "--no-type-checker",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "scale_price" in output and "suggested" in output
+
+    def test_train_on_directory_corpus(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "proj"
+        corpus_dir.mkdir()
+        for index in range(6):
+            (corpus_dir / f"m{index}.py").write_text(
+                "def count_items(items: list) -> int:\n    return len(items)\n"
+                f"def label_{index}(name: str) -> str:\n    return name\n"
+            )
+        exit_code = main([
+            "train", "--corpus-dir", str(corpus_dir), "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names",
+        ])
+        assert exit_code == 0
+
+    def test_train_on_empty_directory_fails_cleanly(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(SystemExit):
+            main(["train", "--corpus-dir", str(empty), "--epochs", "1"])

@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts: they import cleanly and expose main()."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {"quickstart.py", "find_annotation_errors.py", "annotate_project.py", "rare_type_adaptation.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_and_defines_main(path):
+    module = _load(path)
+    assert hasattr(module, "main") and callable(module.main)
+    assert module.__doc__, "examples must explain what they demonstrate"
+
+
+def test_example_snippets_are_valid_python():
+    quickstart = _load(EXAMPLES_DIR / "quickstart.py")
+    errors_example = _load(EXAMPLES_DIR / "find_annotation_errors.py")
+    adaptation = _load(EXAMPLES_DIR / "rare_type_adaptation.py")
+    import ast
+
+    for source in (
+        quickstart.SNIPPET,
+        errors_example.SUSPICIOUS_MODULE,
+        adaptation.ADAPTATION_EXAMPLE,
+        adaptation.QUERY_SNIPPET,
+    ):
+        ast.parse(source)
+
+
+def test_quickstart_suggestion_path_runs_on_trained_pipeline(trained_pipeline):
+    """The quickstart's final step (suggesting on its snippet) works end to end."""
+    quickstart = _load(EXAMPLES_DIR / "quickstart.py")
+    suggestions = trained_pipeline.suggest_for_source(quickstart.SNIPPET, use_type_checker=False)
+    assert suggestions
+    assert all(s.suggested_type is not None for s in suggestions)

@@ -1,0 +1,194 @@
+"""Tests for the program-graph builder (nodes, edges, symbols, annotations)."""
+
+import pytest
+
+from repro.graph import (
+    CodeGraph,
+    EdgeKind,
+    GraphBuildError,
+    GraphBuilder,
+    NodeKind,
+    SymbolKind,
+    build_graph,
+    collect_annotations,
+    erase_annotations,
+    to_dot,
+)
+from repro.graph.builder import RETURN_SYMBOL_NAME, SymbolKey
+
+
+@pytest.fixture()
+def graph(sample_source) -> CodeGraph:
+    return build_graph(sample_source, "sample.py")
+
+
+class TestAnnotationCollection:
+    def test_parameter_annotations_collected(self, sample_source):
+        annotations = collect_annotations(sample_source)
+        assert annotations[SymbolKey("module.get_foo", "i", SymbolKind.PARAMETER)] == "int"
+        assert annotations[SymbolKey("module.Widget.__init__", "sizes", SymbolKind.PARAMETER)] == "List[int]"
+        assert annotations[SymbolKey("module.process", "scale", SymbolKind.PARAMETER)] == "Optional[float]"
+
+    def test_return_annotations_collected(self, sample_source):
+        annotations = collect_annotations(sample_source)
+        assert annotations[SymbolKey("module.get_foo", RETURN_SYMBOL_NAME, SymbolKind.FUNCTION_RETURN)] == "str"
+        assert annotations[SymbolKey("module.process", RETURN_SYMBOL_NAME, SymbolKind.FUNCTION_RETURN)] == "float"
+
+    def test_variable_annotations_collected(self, sample_source):
+        annotations = collect_annotations(sample_source)
+        assert annotations[SymbolKey("module", "MAX_RETRIES", SymbolKind.VARIABLE)] == "int"
+        assert annotations[SymbolKey("module.get_foo", "result", SymbolKind.VARIABLE)] == "str"
+
+    def test_self_attribute_annotations_recorded_under_class_scope(self, sample_source):
+        annotations = collect_annotations(sample_source)
+        assert annotations[SymbolKey("module.Widget", "self.name", SymbolKind.VARIABLE)] == "str"
+
+
+class TestAnnotationErasure:
+    def test_erased_source_has_no_annotations(self, sample_source):
+        erased = erase_annotations(sample_source)
+        assert collect_annotations(erased) == {}
+        assert "->" not in erased
+        assert ": int" not in erased and ": str" not in erased
+
+    def test_erased_source_still_parses_and_keeps_structure(self, sample_source):
+        import ast
+
+        original = ast.parse(sample_source)
+        erased = ast.parse(erase_annotations(sample_source))
+        original_functions = [n.name for n in ast.walk(original) if isinstance(n, ast.FunctionDef)]
+        erased_functions = [n.name for n in ast.walk(erased) if isinstance(n, ast.FunctionDef)]
+        assert original_functions == erased_functions
+
+    def test_bare_annotated_declaration_becomes_assignment(self):
+        erased = erase_annotations("x: int\ny = x")
+        assert "x = None" in erased
+
+    def test_graph_nodes_never_contain_annotation_text(self):
+        source = "def f(parameter: SomeVeryUniqueTypeName) -> AnotherUniqueType:\n    return parameter\n"
+        graph = build_graph(source)
+        texts = {node.text for node in graph.nodes}
+        assert "SomeVeryUniqueTypeName" not in texts
+        assert "AnotherUniqueType" not in texts
+
+
+class TestGraphStructure:
+    def test_all_node_kinds_present(self, graph):
+        kinds = {node.kind for node in graph.nodes}
+        assert kinds == {NodeKind.TOKEN, NodeKind.NON_TERMINAL, NodeKind.VOCABULARY, NodeKind.SYMBOL}
+
+    def test_all_edge_kinds_present(self, graph):
+        assert set(graph.edges) == set(EdgeKind)
+
+    def test_next_token_edges_form_a_chain(self, graph):
+        token_count = len(graph.nodes_of_kind(NodeKind.TOKEN))
+        assert len(graph.edges_of(EdgeKind.NEXT_TOKEN)) == token_count - 1
+
+    def test_symbols_have_occurrences(self, graph):
+        symbol = graph.find_symbol("widget", kind=SymbolKind.PARAMETER)
+        assert symbol is not None
+        assert len(symbol.occurrence_indices) >= 2  # declaration plus at least one use
+
+    def test_return_symbol_exists_per_function(self, graph):
+        scopes = {s.scope for s in graph.symbols if s.kind == SymbolKind.FUNCTION_RETURN}
+        assert "module.get_foo" in scopes and "module.process" in scopes
+        assert "module.Widget.total_size" in scopes
+
+    def test_symbol_kinds_assigned_correctly(self, graph):
+        assert graph.find_symbol("MAX_RETRIES").kind == SymbolKind.VARIABLE
+        assert graph.find_symbol("scale").kind == SymbolKind.PARAMETER
+        assert graph.find_symbol("self.name").kind == SymbolKind.VARIABLE
+
+    def test_annotations_attached_to_symbols(self, graph):
+        assert graph.find_symbol("i", kind=SymbolKind.PARAMETER).annotation == "int"
+        assert graph.find_symbol(RETURN_SYMBOL_NAME, scope="module.summarise").annotation == "str"
+        assert graph.find_symbol("value", scope="module.process").annotation is None
+
+    def test_returns_to_edges_point_at_function_definitions(self, graph):
+        for source, target in graph.edges_of(EdgeKind.RETURNS_TO):
+            assert graph.nodes[source].text in ("Return", "Yield", "YieldFrom")
+            assert graph.nodes[target].text in ("FunctionDef", "AsyncFunctionDef")
+
+    def test_assigned_from_edges_exist(self, graph):
+        assert len(graph.edges_of(EdgeKind.ASSIGNED_FROM)) >= 3
+
+    def test_subtoken_edges_connect_to_vocabulary_nodes(self, graph):
+        for _, target in graph.edges_of(EdgeKind.SUBTOKEN_OF):
+            assert graph.nodes[target].kind == NodeKind.VOCABULARY
+
+    def test_occurrence_edges_target_symbol_nodes(self, graph):
+        for _, target in graph.edges_of(EdgeKind.OCCURRENCE_OF):
+            assert graph.nodes[target].kind == NodeKind.SYMBOL
+
+    def test_validate_passes(self, graph):
+        graph.validate()
+
+    def test_summary_counts_are_consistent(self, graph):
+        summary = graph.summary()
+        assert summary["nodes"] == graph.num_nodes
+        assert summary["annotated_symbols"] == len(graph.annotated_symbols())
+        assert summary["symbols"] == len(graph.symbols)
+
+
+class TestScoping:
+    def test_module_scope_excludes_function_locals(self):
+        graph = build_graph("total = 0\n\ndef f(x):\n    local_value = x\n    return local_value\n")
+        module_names = {s.name for s in graph.symbols if s.scope == "module"}
+        assert module_names == {"total"}
+
+    def test_shadowed_names_create_separate_symbols(self):
+        source = "count = 1\n\ndef f(count):\n    return count\n"
+        graph = build_graph(source)
+        symbols = [s for s in graph.symbols if s.name == "count"]
+        assert len(symbols) == 2
+        assert {s.scope for s in symbols} == {"module", "module.f"}
+
+    def test_nested_function_scopes(self):
+        source = "def outer(a):\n    def inner(b):\n        return b\n    return inner(a)\n"
+        graph = build_graph(source)
+        assert graph.find_symbol("b", scope="module.outer.inner") is not None
+        assert graph.find_symbol("a", scope="module.outer") is not None
+
+
+class TestEdgeAblation:
+    def test_include_edges_filters_graph(self, sample_source):
+        builder = GraphBuilder(include_edges=[EdgeKind.CHILD, EdgeKind.OCCURRENCE_OF])
+        graph = builder.build(sample_source)
+        assert set(graph.edges) <= {EdgeKind.CHILD, EdgeKind.OCCURRENCE_OF}
+        assert graph.edges_of(EdgeKind.CHILD)
+
+    def test_without_edges_returns_filtered_copy(self, graph):
+        filtered = graph.without_edges([EdgeKind.NEXT_TOKEN])
+        assert EdgeKind.NEXT_TOKEN not in filtered.edges
+        assert EdgeKind.NEXT_TOKEN in graph.edges  # original untouched
+        assert filtered.num_nodes == graph.num_nodes
+
+
+class TestErrorsAndExport:
+    def test_unparsable_source_raises_graph_build_error(self):
+        with pytest.raises(GraphBuildError):
+            build_graph("def broken(:\n")
+
+    def test_build_file_reads_from_disk(self, tmp_path, sample_source):
+        path = tmp_path / "module.py"
+        path.write_text(sample_source)
+        graph = GraphBuilder().build_file(str(path))
+        assert graph.filename == str(path)
+        assert graph.num_nodes > 0
+
+    def test_dot_export_mentions_every_node(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("digraph")
+        assert dot.count("->") == graph.num_edges
+
+    def test_add_edge_rejects_dangling_indices(self):
+        graph = CodeGraph()
+        graph.add_node(NodeKind.TOKEN, "x")
+        with pytest.raises(IndexError):
+            graph.add_edge(EdgeKind.CHILD, 0, 5)
+
+    def test_self_loops_are_dropped(self):
+        graph = CodeGraph()
+        index = graph.add_node(NodeKind.TOKEN, "x")
+        graph.add_edge(EdgeKind.CHILD, index, index)
+        assert graph.num_edges == 0

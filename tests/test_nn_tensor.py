@@ -1,0 +1,228 @@
+"""Tests for the autograd engine: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(fn, x0, eps=1e-6):
+    grad = np.zeros_like(x0)
+    for index in np.ndindex(x0.shape):
+        plus, minus = x0.copy(), x0.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        grad[index] = (float(fn(Tensor(plus)).data) - float(fn(Tensor(minus)).data)) / (2 * eps)
+    return grad
+
+
+def assert_gradient_matches(fn, x0, tolerance=1e-4):
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    assert x.grad is not None
+    numeric = numeric_gradient(fn, x0)
+    assert np.max(np.abs(numeric - x.grad)) < tolerance
+
+
+class TestBasicProperties:
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((3, 4)))
+        assert t.shape == (3, 4) and t.ndim == 2 and t.size == 12 and len(t) == 3
+
+    def test_data_is_float64(self):
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_repr_mentions_requires_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+        assert "requires_grad" not in repr(Tensor([1.0]))
+
+    def test_detach_shares_data_but_no_grad(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_item(self):
+        assert Tensor([[3.5]]).item() == 3.5
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(ValueError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_grad_argument(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2).backward()
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 3).sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_gradients_accumulate_across_backward_calls(self):
+        t = Tensor([2.0], requires_grad=True)
+        (t * 1).sum().backward()
+        (t * 1).sum().backward()
+        assert np.allclose(t.grad, [2.0])
+
+
+class TestArithmeticGradients:
+    def setup_method(self):
+        np.random.seed(0)
+        self.x = np.random.randn(3, 4)
+
+    def test_add(self):
+        assert_gradient_matches(lambda x: (x + 2.5).sum(), self.x)
+
+    def test_radd_and_rsub(self):
+        assert_gradient_matches(lambda x: (1.0 + x).sum(), self.x)
+        assert_gradient_matches(lambda x: (1.0 - x).sum(), self.x)
+
+    def test_mul(self):
+        other = np.random.randn(3, 4)
+        assert_gradient_matches(lambda x: (x * Tensor(other)).sum(), self.x)
+
+    def test_div(self):
+        denominator = np.abs(np.random.randn(3, 4)) + 1.0
+        assert_gradient_matches(lambda x: (x / Tensor(denominator)).sum(), self.x)
+        assert_gradient_matches(lambda x: (2.0 / (x * x + 1.0)).sum(), self.x)
+
+    def test_pow(self):
+        assert_gradient_matches(lambda x: (x**3).sum(), self.x)
+
+    def test_neg_sub(self):
+        assert_gradient_matches(lambda x: (-x - x * 2).sum(), self.x)
+
+    def test_matmul(self):
+        weight = Tensor(np.random.randn(4, 5))
+        assert_gradient_matches(lambda x: (x @ weight).sum(), self.x)
+
+    def test_matmul_gradient_flows_to_both_operands(self):
+        a = Tensor(np.random.randn(2, 3), requires_grad=True)
+        b = Tensor(np.random.randn(3, 4), requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3) and b.grad.shape == (3, 4)
+
+    def test_broadcasting_add_bias(self):
+        bias = np.random.randn(4)
+        x = Tensor(self.x, requires_grad=True)
+        b = Tensor(bias, requires_grad=True)
+        (x + b).sum().backward()
+        assert np.allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcasting_multiplication(self):
+        scale = Tensor(np.random.randn(1, 4), requires_grad=True)
+        x = Tensor(self.x)
+        (x * scale).sum().backward()
+        assert scale.grad.shape == (1, 4)
+        assert np.allclose(scale.grad, self.x.sum(axis=0, keepdims=True))
+
+
+class TestNonLinearityGradients:
+    def setup_method(self):
+        np.random.seed(1)
+        self.x = np.random.randn(4, 3)
+
+    def test_exp_log(self):
+        assert_gradient_matches(lambda x: (x.exp() + 1.0).log().sum(), self.x)
+
+    def test_tanh_sigmoid(self):
+        assert_gradient_matches(lambda x: (x.tanh() * x.sigmoid()).sum(), self.x)
+
+    def test_relu(self):
+        assert_gradient_matches(lambda x: x.relu().sum(), self.x + 0.1)
+
+    def test_relu_zeroes_negative_gradient(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        assert np.allclose(t.grad, [0.0, 1.0])
+
+    def test_abs(self):
+        assert_gradient_matches(lambda x: x.abs().sum(), self.x)
+
+    def test_sqrt(self):
+        assert_gradient_matches(lambda x: (x * x + 1.0).sqrt().sum(), self.x)
+
+    def test_clip(self):
+        assert_gradient_matches(lambda x: x.clip(-0.5, 0.5).sum(), self.x)
+
+
+class TestReductionsAndShapes:
+    def setup_method(self):
+        np.random.seed(2)
+        self.x = np.random.randn(3, 4)
+
+    def test_sum_axis(self):
+        assert_gradient_matches(lambda x: (x.sum(axis=0) ** 2).sum(), self.x)
+        assert_gradient_matches(lambda x: (x.sum(axis=1, keepdims=True) * 2).sum(), self.x)
+
+    def test_mean(self):
+        assert_gradient_matches(lambda x: x.mean(), self.x)
+        assert_gradient_matches(lambda x: (x.mean(axis=1) ** 2).sum(), self.x)
+
+    def test_max(self):
+        distinct = self.x + np.arange(12).reshape(3, 4) * 0.01
+        assert_gradient_matches(lambda x: x.max(axis=1).sum(), distinct)
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([[1.0, 1.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.5, 0.5]])
+
+    def test_reshape_transpose(self):
+        assert_gradient_matches(lambda x: (x.reshape(4, 3).transpose() * 2).sum(), self.x)
+
+    def test_getitem_slice(self):
+        assert_gradient_matches(lambda x: x[:, 1:3].sum(), self.x)
+
+    def test_getitem_fancy_index(self):
+        rows = np.array([0, 0, 2])
+        x = Tensor(self.x, requires_grad=True)
+        x[rows].sum().backward()
+        assert np.allclose(x.grad[0], np.full(4, 2.0))
+        assert np.allclose(x.grad[1], np.zeros(4))
+        assert np.allclose(x.grad[2], np.ones(4))
+
+    def test_gather_rows_accumulates_repeats(self):
+        x = Tensor(np.ones((3, 2)), requires_grad=True)
+        x.gather_rows(np.array([1, 1, 1])).sum().backward()
+        assert np.allclose(x.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_sum_all(self):
+        assert_gradient_matches(lambda x: (x * x).sum(), self.x)
+
+
+class TestGraphReuse:
+    def test_diamond_dependency(self):
+        """A value used twice must receive the sum of both gradient paths."""
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * 2
+        z = (y + y * y).sum()  # dz/dx = 2 + 2*y*2 = 2 + 24 = 26 at x=3 (y=6)
+        z.backward()
+        assert np.allclose(x.grad, [26.0])
+
+    def test_intermediate_gradients_are_cleared(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = x * 3
+        y.sum().backward()
+        assert y.grad is None and x.grad is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_composite_gradient_matches_finite_difference(rows, cols, seed):
+    """Random small tensors: analytic gradient of a composite expression is correct."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=(rows, cols))
+
+    def fn(x):
+        return ((x.tanh() * 2 + x.sigmoid()) ** 2).mean()
+
+    assert_gradient_matches(fn, x0, tolerance=1e-4)

@@ -1,0 +1,173 @@
+"""Tests for the subtyping lattice, type neutrality and the type registry."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import TypeLattice, TypeRegistry, lattice_from_class_edges, parse_type
+
+
+@pytest.fixture()
+def lattice() -> TypeLattice:
+    lat = TypeLattice()
+    lat.add_class_hierarchy([("Dog", "Animal"), ("Cat", "Animal"), ("Puppy", "Dog")])
+    return lat
+
+
+class TestNominalSubtyping:
+    def test_numeric_tower(self, lattice):
+        assert lattice.is_subtype(parse_type("bool"), parse_type("int"))
+        assert lattice.is_subtype(parse_type("int"), parse_type("float"))
+        assert lattice.is_subtype(parse_type("bool"), parse_type("float"))
+        assert not lattice.is_subtype(parse_type("float"), parse_type("int"))
+
+    def test_user_hierarchy_is_transitive(self, lattice):
+        assert lattice.is_subtype(parse_type("Puppy"), parse_type("Animal"))
+        assert lattice.is_subtype(parse_type("Dog"), parse_type("Animal"))
+        assert not lattice.is_subtype(parse_type("Animal"), parse_type("Dog"))
+        assert not lattice.is_subtype(parse_type("Cat"), parse_type("Dog"))
+
+    def test_everything_below_any_and_object(self, lattice):
+        for name in ["int", "str", "Dog", "List[int]", "Optional[str]"]:
+            assert lattice.is_subtype(parse_type(name), parse_type("Any"))
+            assert lattice.is_subtype(parse_type(name), parse_type("object"))
+
+    def test_container_protocols(self, lattice):
+        assert lattice.is_subtype(parse_type("List"), parse_type("Sequence"))
+        assert lattice.is_subtype(parse_type("Dict"), parse_type("Mapping"))
+        assert lattice.is_subtype(parse_type("List"), parse_type("Iterable"))
+        assert lattice.is_subtype(parse_type("str"), parse_type("Sequence"))
+
+    def test_reflexivity(self, lattice):
+        for name in ["int", "List[str]", "Dog", "Optional[Dict[str, int]]"]:
+            assert lattice.is_subtype(parse_type(name), parse_type(name))
+
+
+class TestStructuralSubtyping:
+    def test_parametric_base(self, lattice):
+        assert lattice.is_subtype(parse_type("List[int]"), parse_type("List"))
+        assert lattice.is_subtype(parse_type("Dict[str, int]"), parse_type("Mapping"))
+
+    def test_universal_covariance(self, lattice):
+        assert lattice.is_subtype(parse_type("List[bool]"), parse_type("List[int]"))
+        assert lattice.is_subtype(parse_type("List[int]"), parse_type("Sequence[float]"))
+        assert not lattice.is_subtype(parse_type("List[str]"), parse_type("List[int]"))
+
+    def test_optional_rules(self, lattice):
+        assert lattice.is_subtype(parse_type("int"), parse_type("Optional[int]"))
+        assert lattice.is_subtype(parse_type("None"), parse_type("Optional[int]"))
+        assert not lattice.is_subtype(parse_type("Optional[int]"), parse_type("int"))
+        assert lattice.is_subtype(parse_type("Optional[int]"), parse_type("Optional[float]"))
+
+    def test_union_rules(self, lattice):
+        assert lattice.is_subtype(parse_type("int"), parse_type("Union[int, str]"))
+        assert lattice.is_subtype(parse_type("Union[int, bool]"), parse_type("int"))
+        assert not lattice.is_subtype(parse_type("Union[int, str]"), parse_type("int"))
+
+    def test_arity_mismatch_without_ellipsis_is_not_subtype(self, lattice):
+        assert not lattice.is_subtype(parse_type("Dict[str, int]"), parse_type("Dict[str]"))
+
+    def test_tuple_ellipsis_tolerated(self, lattice):
+        assert lattice.is_subtype(parse_type("Tuple[int, ...]"), parse_type("Tuple[int, ...]"))
+
+
+class TestTypeNeutrality:
+    def test_exact_match_is_neutral(self, lattice):
+        assert lattice.is_type_neutral(parse_type("int"), parse_type("int"))
+
+    def test_supertype_prediction_is_neutral(self, lattice):
+        assert lattice.is_type_neutral(parse_type("Sequence[int]"), parse_type("List[int]"))
+        assert lattice.is_type_neutral(parse_type("Animal"), parse_type("Dog"))
+        assert lattice.is_type_neutral(parse_type("Optional[int]"), parse_type("int"))
+
+    def test_subtype_prediction_is_not_neutral(self, lattice):
+        assert not lattice.is_type_neutral(parse_type("Dog"), parse_type("Animal"))
+        assert not lattice.is_type_neutral(parse_type("int"), parse_type("float"))
+
+    def test_top_predictions_never_neutral(self, lattice):
+        assert not lattice.is_type_neutral(parse_type("Any"), parse_type("int"))
+        assert not lattice.is_type_neutral(parse_type("object"), parse_type("int"))
+
+    def test_unrelated_types_not_neutral(self, lattice):
+        assert not lattice.is_type_neutral(parse_type("str"), parse_type("int"))
+        assert not lattice.is_type_neutral(parse_type("Dict[str, int]"), parse_type("List[int]"))
+
+    def test_string_level_interface_handles_unparsable(self, lattice):
+        assert lattice.is_type_neutral_str("weird!!", "weird!!")
+        assert not lattice.is_type_neutral_str("weird!!", "int")
+
+    def test_deeply_nested_types_are_preprocessed(self, lattice):
+        # Both sides get the depth-2 rewriting of Sec. 6.1 before comparison.
+        assert lattice.is_type_neutral(
+            parse_type("List[List[List[str]]]"), parse_type("List[List[List[int]]]")
+        )
+
+    @given(st.sampled_from(["int", "str", "bool", "List[int]", "Dog", "Optional[str]", "Dict[str, int]"]))
+    def test_property_neutrality_is_reflexive(self, name):
+        lattice = TypeLattice()
+        lattice.add_class_hierarchy([("Dog", "Animal")])
+        assert lattice.is_type_neutral(parse_type(name), parse_type(name))
+
+    def test_lattice_from_class_edges(self):
+        lat = lattice_from_class_edges([("Sub", "Base")])
+        assert lat.is_subtype(parse_type("Sub"), parse_type("Base"))
+
+
+class TestTypeRegistry:
+    def test_counts_and_rarity(self):
+        registry = TypeRegistry(rarity_threshold=3)
+        for _ in range(5):
+            registry.add("int")
+        registry.add("MyRareType")
+        assert registry.is_common("int") and registry.is_rare("MyRareType")
+        assert registry.count_of("int") == 5
+        assert len(registry) == 2
+        assert set(registry.common_types()) == {"int"}
+        assert set(registry.rare_types()) == {"MyRareType"}
+
+    def test_canonicalisation_merges_aliases(self):
+        registry = TypeRegistry()
+        registry.add("typing.List[int]")
+        registry.add("list[int]")
+        assert registry.count_of("List[int]") == 2
+        assert len(registry) == 1
+
+    def test_unparsable_annotations_are_ignored(self):
+        registry = TypeRegistry()
+        assert registry.add("!!!") is None
+        assert len(registry) == 0
+
+    def test_ids_are_stable_and_invertible(self):
+        registry = TypeRegistry()
+        registry.add_many(["int", "str", "int", "List[int]"])
+        for name in ["int", "str", "List[int]"]:
+            assert registry.type_of(registry.id_of(name)) == name
+
+    def test_classification_vocabulary_has_unk_and_frequency_order(self):
+        registry = TypeRegistry()
+        registry.add("int", count=10)
+        registry.add("str", count=5)
+        registry.add("Rare", count=1)
+        vocabulary = registry.classification_vocabulary(max_types=2)
+        assert vocabulary["%UNK%"] == 0
+        assert vocabulary["int"] == 1 and vocabulary["str"] == 2
+        assert "Rare" not in vocabulary
+
+    def test_statistics(self):
+        registry = TypeRegistry(rarity_threshold=3)
+        registry.add("int", count=50)
+        registry.add("str", count=30)
+        for index in range(10):
+            registry.add(f"Rare{index}", count=1)
+        stats = registry.statistics()
+        assert stats.total_annotations == 90
+        assert stats.distinct_types == 12
+        assert stats.rare_types == 10
+        assert 0.0 < stats.rare_annotation_fraction < 0.2
+        assert stats.top10_fraction > 0.9
+        assert stats.zipf_exponent > 0
+
+    def test_most_common(self):
+        registry = TypeRegistry()
+        registry.add("int", count=3)
+        registry.add("str", count=1)
+        assert registry.most_common(1) == [("int", 3)]

@@ -1,0 +1,139 @@
+"""Tests for type-annotation parsing and normalisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.types import (
+    ANY,
+    NONE,
+    TypeExpr,
+    TypeParseError,
+    canonical_string,
+    canonicalise,
+    erase_parameters,
+    flatten_unions,
+    is_informative,
+    parse_type,
+    rewrite_deep_parameters,
+    try_parse_type,
+)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("int", "int"),
+            ("str", "str"),
+            ("List[int]", "List[int]"),
+            ("list[int]", "List[int]"),
+            ("typing.List[int]", "List[int]"),
+            ("Dict[str, List[int]]", "Dict[str, List[int]]"),
+            ("Optional[float]", "Optional[float]"),
+            ("Union[int, str]", "Union[int, str]"),
+            ("Tuple[int, ...]", "Tuple[int, ...]"),
+            ("torch.Tensor", "torch.Tensor"),
+            ("mx.nd.NDArray", "mx.nd.NDArray"),
+            ("None", "None"),
+            ("'Widget'", "Widget"),
+            ('"Widget"', "Widget"),
+            ("Callable[[int, str], bool]", "Callable[__arglist__[int, str], bool]"),
+        ],
+    )
+    def test_parse_and_render(self, text, expected):
+        assert str(parse_type(text)) == expected
+
+    @pytest.mark.parametrize("bad", ["", "   ", "List[", "List[int]]", "[int]extra", "?!", "int,"])
+    def test_malformed_annotations_raise(self, bad):
+        with pytest.raises(TypeParseError):
+            parse_type(bad)
+
+    def test_try_parse_returns_none_on_failure(self):
+        assert try_parse_type("List[") is None
+        assert try_parse_type("int") == TypeExpr("int")
+
+    def test_pep604_union_normalised(self):
+        assert str(parse_type("int | str")) == "Union[int, str]"
+        assert str(parse_type("int | None")) == "Optional[int]"
+        assert str(parse_type("int | str | None")) == "Optional[Union[int, str]]"
+
+    def test_nested_forward_reference(self):
+        assert str(parse_type("List['Node']")) == "List[Node]"
+
+    @given(st.recursive(
+        st.sampled_from(["int", "str", "bool", "float", "bytes", "MyType"]),
+        lambda children: st.builds(
+            lambda base, args: f"{base}[{', '.join(args)}]",
+            st.sampled_from(["List", "Set", "Dict", "Tuple", "Optional"]),
+            st.lists(children, min_size=1, max_size=2),
+        ),
+        max_leaves=6,
+    ))
+    def test_property_roundtrip_is_stable(self, text):
+        """str(parse(x)) is a fixpoint: parsing its own rendering is identity."""
+        rendered = str(parse_type(text))
+        assert str(parse_type(rendered)) == rendered
+
+
+class TestTypeExpr:
+    def test_depth(self):
+        assert parse_type("int").depth() == 0
+        assert parse_type("List[int]").depth() == 1
+        assert parse_type("List[List[List[int]]]").depth() == 3
+
+    def test_base_and_flags(self):
+        expr = parse_type("Dict[str, int]")
+        assert str(expr.base()) == "Dict"
+        assert expr.is_parametric and not expr.is_any
+        assert parse_type("Any").is_any
+        assert parse_type("None").is_none
+        assert parse_type("Optional[int]").is_optional
+        assert parse_type("Union[int, str]").is_union
+
+    def test_walk_and_mentioned_names(self):
+        expr = parse_type("Dict[str, List[Widget]]")
+        assert {"Dict", "str", "List", "Widget"} == expr.mentioned_names()
+        assert len(list(expr.walk())) == 4
+
+    def test_equality_and_hash(self):
+        assert parse_type("List[int]") == parse_type("list[int]")
+        assert hash(parse_type("List[int]")) == hash(parse_type("list[int]"))
+        assert parse_type("List[int]") != parse_type("List[str]")
+
+
+class TestNormalisation:
+    def test_rewrite_deep_parameters(self):
+        assert str(rewrite_deep_parameters(parse_type("List[List[List[int]]]"))) == "List[List[Any]]"
+        assert str(rewrite_deep_parameters(parse_type("List[List[int]]"))) == "List[List[int]]"
+        assert str(rewrite_deep_parameters(parse_type("List[int]"), max_depth=0)) == "Any"
+
+    def test_erase_parameters(self):
+        assert str(erase_parameters(parse_type("Dict[str, List[int]]"))) == "Dict"
+        assert str(erase_parameters(parse_type("int"))) == "int"
+
+    def test_flatten_unions_dedupes_and_sorts(self):
+        assert str(flatten_unions(parse_type("Union[str, int, str]"))) == "Union[int, str]"
+        assert str(flatten_unions(parse_type("Union[int, Union[str, int]]"))) == "Union[int, str]"
+        assert str(flatten_unions(parse_type("Union[int]"))) == "int"
+        assert str(flatten_unions(parse_type("Union[int, None]"))) == "Optional[int]"
+        assert str(flatten_unions(parse_type("Optional[Optional[int]]"))) == "Optional[int]"
+
+    def test_canonical_string(self):
+        assert canonical_string("typing.Optional[int]") == "Optional[int]"
+        assert canonical_string("not a type !!") is None
+        assert canonical_string("List[List[List[int]]]", max_depth=2) == "List[List[Any]]"
+
+    def test_canonicalise_idempotent(self):
+        for text in ["Union[str, int, None]", "Optional[List[int]]", "Dict[str, Union[int, int]]"]:
+            once = canonicalise(parse_type(text))
+            twice = canonicalise(once)
+            assert once == twice
+
+    def test_is_informative(self):
+        assert is_informative("int") and is_informative("List[str]")
+        assert not is_informative("Any")
+        assert not is_informative("None")
+        assert not is_informative("garbage[[")
+
+    def test_constants(self):
+        assert ANY.is_any and NONE.is_none
