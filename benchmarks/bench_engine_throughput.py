@@ -1,0 +1,151 @@
+"""Throughput of the batched annotation engine vs. the legacy per-symbol path.
+
+The tentpole claim of the engine refactor is that project-scale annotation is
+batch-shaped end to end: one vectorized kNN query plus one numpy
+scatter-accumulate for all symbols, instead of a Python-level
+``nearest`` + dict-voting loop per symbol.  This benchmark measures
+symbols/second over a 500-symbol corpus for
+
+* the **legacy** per-symbol path (a faithful inline reproduction of the
+  pre-refactor ``KNNTypePredictor.predict``: one index query and one Python
+  scoring dict per symbol);
+* the current per-symbol API (``predict`` in a loop — itself now routed
+  through the batch machinery);
+* the batched path (``predict_batch``).
+
+The batched path must beat the legacy per-symbol path by at least 3×.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import run_once
+from repro.core import KNNTypePredictor, TypePrediction, TypeSpace
+from repro.utils.timing import Stopwatch
+
+NUM_SYMBOLS = 500
+NUM_MARKERS = 1000
+NUM_TYPES = 40
+DIM = 32
+K = 10
+P = 1.0
+EPSILON = 1e-6
+
+
+@pytest.fixture(scope="module")
+def populated_space() -> TypeSpace:
+    rng = np.random.default_rng(7)
+    space = TypeSpace(dim=DIM)
+    type_names = [f"type_{index % NUM_TYPES}" for index in range(NUM_MARKERS)]
+    space.add_markers(type_names, rng.normal(size=(NUM_MARKERS, DIM)), source="bench")
+    space.index()  # build once, outside the timed region
+    return space
+
+
+@pytest.fixture(scope="module")
+def query_embeddings() -> np.ndarray:
+    return np.random.default_rng(8).normal(size=(NUM_SYMBOLS, DIM))
+
+
+def _legacy_nearest(space: TypeSpace, embedding: np.ndarray, k: int) -> list[tuple[str, float]]:
+    """The pre-refactor single-query index path: a broadcast distance per call."""
+    points = space.marker_matrix()
+    vector = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
+    distances = np.abs(vector[:, None, :] - points[None, :, :]).sum(axis=2)
+    nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    indices = nearest[0]
+    row_distances = distances[0, indices]
+    order = np.argsort(row_distances, kind="stable")
+    type_names = _marker_type_names(space)
+    return [
+        (type_names[int(index)], float(distance))
+        for index, distance in zip(indices[order], row_distances[order])
+    ]
+
+
+_TYPE_NAME_CACHE: dict[int, list[str]] = {}
+
+
+def _marker_type_names(space: TypeSpace) -> list[str]:
+    """Marker type names without per-call list copies (as legacy ``_markers`` access)."""
+    names = _TYPE_NAME_CACHE.get(id(space))
+    if names is None:
+        names = [marker.type_name for marker in space.markers]
+        _TYPE_NAME_CACHE[id(space)] = names
+    return names
+
+
+def _legacy_predict(space: TypeSpace, embedding: np.ndarray) -> TypePrediction:
+    """The pre-refactor per-symbol path: one query + one Python scoring dict."""
+    neighbours = _legacy_nearest(space, embedding, K)
+    if not neighbours:
+        return TypePrediction()
+    scores: dict[str, float] = {}
+    for type_name, distance in neighbours:
+        weight = (distance + EPSILON) ** (-P)
+        scores[type_name] = scores.get(type_name, 0.0) + weight
+    normaliser = sum(scores.values())
+    ranked = sorted(
+        ((type_name, score / normaliser) for type_name, score in scores.items()),
+        key=lambda item: (-item[1], item[0]),
+    )
+    return TypePrediction(candidates=ranked)
+
+
+def _time(fn) -> float:
+    stopwatch = Stopwatch()
+    with stopwatch.measure("run"):
+        fn()
+    return stopwatch.sections["run"]
+
+
+def test_batched_vs_per_symbol_prediction(benchmark, populated_space, query_embeddings):
+    """Batched prediction beats the legacy per-symbol loop by ≥ 3× on 500 symbols."""
+    predictor = KNNTypePredictor(populated_space, k=K, p=P, epsilon=EPSILON)
+
+    def measure():
+        legacy_seconds = _time(
+            lambda: [_legacy_predict(populated_space, embedding) for embedding in query_embeddings]
+        )
+        loop_seconds = _time(
+            lambda: [predictor.predict(embedding) for embedding in query_embeddings]
+        )
+        batched_seconds = _time(lambda: predictor.predict_batch(query_embeddings))
+        return {
+            "symbols": NUM_SYMBOLS,
+            "legacy_rate": NUM_SYMBOLS / legacy_seconds,
+            "predict_loop_rate": NUM_SYMBOLS / loop_seconds,
+            "batched_rate": NUM_SYMBOLS / batched_seconds,
+            "speedup_vs_legacy": legacy_seconds / batched_seconds,
+            "speedup_vs_loop": loop_seconds / batched_seconds,
+        }
+
+    result = run_once(benchmark, measure)
+    print(
+        f"\nlegacy per-symbol: {result['legacy_rate']:.0f} symbols/s, "
+        f"predict loop: {result['predict_loop_rate']:.0f} symbols/s, "
+        f"batched: {result['batched_rate']:.0f} symbols/s "
+        f"({result['speedup_vs_legacy']:.1f}x vs legacy, {result['speedup_vs_loop']:.1f}x vs loop)"
+    )
+    assert result["speedup_vs_legacy"] >= 3.0
+
+
+def test_batched_prediction_consistency(benchmark, populated_space, query_embeddings):
+    """All three paths predict identical top-1 types (batching changes speed, not answers)."""
+    predictor = KNNTypePredictor(populated_space, k=K, p=P, epsilon=EPSILON)
+
+    def measure():
+        batched = predictor.predict_batch(query_embeddings)
+        per_symbol = [predictor.predict(embedding) for embedding in query_embeddings]
+        legacy = [_legacy_predict(populated_space, embedding) for embedding in query_embeddings]
+        loop_matches = sum(
+            1 for one, other in zip(per_symbol, batched) if one.top_type == other.top_type
+        )
+        legacy_matches = sum(
+            1 for one, other in zip(legacy, batched) if one.top_type == other.top_type
+        )
+        return {"loop_matches": loop_matches, "legacy_matches": legacy_matches, "total": NUM_SYMBOLS}
+
+    result = run_once(benchmark, measure)
+    assert result["loop_matches"] == result["total"]
+    assert result["legacy_matches"] == result["total"]

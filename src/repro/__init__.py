@@ -8,7 +8,9 @@ The package is organised as one subpackage per subsystem (see DESIGN.md):
 * :mod:`repro.checker` — optional type checker (mypy-like / pytype-like);
 * :mod:`repro.corpus` — synthetic corpus, deduplication, dataset assembly;
 * :mod:`repro.models` — GGNN, sequence and path symbol encoders;
-* :mod:`repro.core` — losses, TypeSpace, kNN prediction, training pipeline;
+* :mod:`repro.core` — losses, TypeSpace, batched kNN prediction, training
+  pipeline with save/load persistence;
+* :mod:`repro.engine` — project-scale batched annotation engine;
 * :mod:`repro.evaluation` — experiment runners for every table and figure.
 
 Quickstart::

@@ -47,6 +47,9 @@ class PredictionCheckOutcome:
     ok: bool
     skipped: bool = False
     reason: str = ""
+    #: True when the skip is intrinsic to the predicted type (Any/unparsable)
+    #: and therefore holds for every symbol, not just this one.
+    type_level_skip: bool = False
 
 
 class AnnotationRewriteError(ValueError):
@@ -212,16 +215,23 @@ class PredictionChecker:
         kind: SymbolKind,
         predicted_type: str,
         original_annotation: Optional[str] = None,
+        baseline_result: Optional[CheckResult] = None,
     ) -> PredictionCheckOutcome:
-        """Insert one prediction into ``source`` and report whether it type checks."""
+        """Insert one prediction into ``source`` and report whether it type checks.
+
+        ``baseline_result`` lets batch callers compute the unmodified file's
+        diagnostics once and share them across every prediction for that file.
+        """
         category = self._categorise(predicted_type, original_annotation)
         canonical_prediction = canonical_string(predicted_type)
         if canonical_prediction is None or canonical_prediction in ("Any",):
             return PredictionCheckOutcome(
                 scope, name, kind, predicted_type, original_annotation, category,
                 introduced_errors=0, ok=False, skipped=True, reason="prediction skipped (Any or unparsable)",
+                type_level_skip=True,
             )
-        baseline_result = self.baseline(source)
+        if baseline_result is None:
+            baseline_result = self.baseline(source)
         try:
             modified = apply_annotation(source, scope, name, kind, predicted_type)
         except AnnotationRewriteError as error:

@@ -1,23 +1,30 @@
 """Command-line interface for the Typilus reproduction.
 
-Four subcommands cover the library's main workflows without writing Python:
+Five subcommands cover the library's main workflows without writing Python:
 
 ``corpus``
     Generate a synthetic corpus to a directory and print its statistics.
 ``train``
     Train a model on a (synthetic or on-disk) corpus, report test metrics and
-    optionally save the TypeSpace to a ``.npz`` file.
+    optionally save the TypeSpace (``--save-typespace``) or the whole trained
+    pipeline (``--save-model``).
 ``suggest``
-    Train (or reuse a cached pipeline within the invocation) and print
+    Train (or load a saved pipeline with ``--load-model``) and print
     checker-filtered type suggestions for one or more Python files.
+``annotate``
+    Run the batched project annotation engine over a whole directory:
+    suggestions, disagreement findings and throughput in one pass.  Combine
+    with ``--load-model`` to serve a previously trained pipeline without
+    re-training, or ``--save-model`` to persist the freshly trained one.
 ``check``
     Run the optional type checker over Python files and print diagnostics.
 
 Examples::
 
     python -m repro.cli corpus --num-files 40 --out /tmp/corpus
-    python -m repro.cli train --num-files 60 --epochs 8 --family graph --loss typilus
+    python -m repro.cli train --num-files 60 --epochs 8 --save-model /tmp/model
     python -m repro.cli suggest path/to/file.py --confidence 0.5
+    python -m repro.cli annotate path/to/project --load-model /tmp/model
     python -m repro.cli check path/to/file.py --mode strict
 """
 
@@ -31,6 +38,7 @@ from typing import Optional, Sequence
 from repro.checker import CheckerMode, OptionalTypeChecker
 from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
 from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.engine import AnnotatorConfig, ProjectAnnotator
 from repro.evaluation import render_table
 
 
@@ -67,6 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(train)
     _add_training_arguments(train)
     train.add_argument("--save-typespace", type=Path, default=None, help="write the TypeSpace to this .npz file")
+    train.add_argument("--save-model", type=Path, default=None,
+                       help="persist the trained pipeline (weights + TypeSpace) to this directory")
 
     suggest = subparsers.add_parser("suggest", help="suggest types for Python files")
     _add_corpus_arguments(suggest)
@@ -74,6 +84,25 @@ def build_parser() -> argparse.ArgumentParser:
     suggest.add_argument("files", nargs="+", type=Path, help="Python files to annotate")
     suggest.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
     suggest.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
+    suggest.add_argument("--load-model", type=Path, default=None,
+                         help="serve a pipeline saved with --save-model instead of training")
+
+    annotate = subparsers.add_parser(
+        "annotate", help="annotate a whole project directory in one batched pass"
+    )
+    _add_corpus_arguments(annotate)
+    _add_training_arguments(annotate)
+    annotate.add_argument("directory", type=Path, help="project directory of .py files to annotate")
+    annotate.add_argument("--load-model", type=Path, default=None,
+                          help="serve a pipeline saved with --save-model instead of training")
+    annotate.add_argument("--save-model", type=Path, default=None,
+                          help="persist the (freshly trained) pipeline to this directory")
+    annotate.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
+    annotate.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
+    annotate.add_argument("--disagreements-only", action="store_true",
+                          help="print only confident contradictions of existing annotations")
+    annotate.add_argument("--disagreement-threshold", type=float, default=0.8,
+                          help="confidence needed for a disagreement finding")
 
     check = subparsers.add_parser("check", help="run the optional type checker")
     check.add_argument("files", nargs="+", type=Path, help="Python files to check")
@@ -131,6 +160,23 @@ def command_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _obtain_pipeline(args: argparse.Namespace) -> TypilusPipeline:
+    """Load a saved pipeline when ``--load-model`` was given, else train one."""
+    load_model: Optional[Path] = getattr(args, "load_model", None)
+    if load_model is not None:
+        try:
+            pipeline = TypilusPipeline.load(load_model)
+        except FileNotFoundError as error:
+            raise SystemExit(
+                f"no saved pipeline at {load_model} (missing {Path(error.filename).name}); "
+                "create one with --save-model"
+            ) from error
+        print(f"loaded pipeline from {load_model} ({len(pipeline.type_space)} markers)")
+        return pipeline
+    dataset = _build_dataset(args)
+    return _fit_pipeline(args, dataset)
+
+
 def command_train(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     pipeline = _fit_pipeline(args, dataset)
@@ -139,26 +185,62 @@ def command_train(args: argparse.Namespace) -> int:
     if args.save_typespace is not None:
         pipeline.type_space.save(str(args.save_typespace))
         print(f"TypeSpace ({len(pipeline.type_space)} markers) saved to {args.save_typespace}")
+    if args.save_model is not None:
+        pipeline.save(args.save_model)
+        print(f"pipeline saved to {args.save_model}")
     return 0
 
 
 def command_suggest(args: argparse.Namespace) -> int:
-    dataset = _build_dataset(args)
-    pipeline = _fit_pipeline(args, dataset)
-    for path in args.files:
-        source = path.read_text(encoding="utf-8")
-        suggestions = pipeline.suggest_for_source(
-            source,
-            filename=str(path),
-            use_type_checker=not args.no_type_checker,
-            confidence_threshold=args.confidence,
-        )
-        print(f"\n=== {path} ===")
+    pipeline = _obtain_pipeline(args)
+    sources = {str(path): path.read_text(encoding="utf-8") for path in args.files}
+    suggestions_by_file = pipeline.suggest_for_sources(
+        sources,
+        use_type_checker=not args.no_type_checker,
+        confidence_threshold=args.confidence,
+    )
+    for filename, suggestions in suggestions_by_file.items():
+        print(f"\n=== {filename} ===")
         rows = [
             [s.scope, s.name, s.kind, s.existing_annotation or "-", s.suggested_type or "-", f"{s.confidence:.2f}"]
             for s in suggestions
         ]
         print(render_table(["scope", "symbol", "kind", "existing", "suggested", "confidence"], rows))
+    return 0
+
+
+def command_annotate(args: argparse.Namespace) -> int:
+    if not args.directory.is_dir():
+        raise SystemExit(f"{args.directory} is not a directory")
+    pipeline = _obtain_pipeline(args)
+    if args.save_model is not None:
+        pipeline.save(args.save_model)
+        print(f"pipeline saved to {args.save_model}")
+    annotator = ProjectAnnotator(
+        pipeline,
+        AnnotatorConfig(
+            use_type_checker=not args.no_type_checker,
+            confidence_threshold=args.confidence,
+            disagreement_threshold=args.disagreement_threshold,
+        ),
+    )
+    report = annotator.annotate_directory(args.directory)
+    if args.disagreements_only:
+        rows = [
+            [filename, s.scope, s.name, s.existing_annotation or "-", s.suggested_type or "-", f"{s.confidence:.2f}"]
+            for filename, s in report.disagreements()
+        ]
+        print(render_table(["file", "scope", "symbol", "existing", "suggested", "confidence"], rows))
+    else:
+        for file_report in report.files:
+            print(f"\n=== {file_report.filename} ===")
+            rows = [
+                [s.scope, s.name, s.kind, s.existing_annotation or "-", s.suggested_type or "-", f"{s.confidence:.2f}"]
+                for s in file_report.suggestions
+            ]
+            print(render_table(["scope", "symbol", "kind", "existing", "suggested", "confidence"], rows))
+    print()
+    print(render_table(["statistic", "value"], [[key, str(value)] for key, value in report.summary().items()]))
     return 0
 
 
@@ -180,6 +262,7 @@ _COMMANDS = {
     "corpus": command_corpus,
     "train": command_train,
     "suggest": command_suggest,
+    "annotate": command_annotate,
     "check": command_check,
 }
 

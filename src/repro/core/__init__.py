@@ -1,7 +1,14 @@
 """The paper's core contribution: losses, TypeSpace, kNN prediction, pipeline."""
 
-from repro.core.filter import FilteredSuggestion, TypeCheckedFilter
-from repro.core.knn import ExactL1Index, NeighbourResult, RandomProjectionIndex, build_index
+from repro.core.embedder import SymbolEmbedder
+from repro.core.filter import FilteredSuggestion, FilterRequest, TypeCheckedFilter
+from repro.core.knn import (
+    BatchNeighbourResult,
+    ExactL1Index,
+    NeighbourResult,
+    RandomProjectionIndex,
+    build_index,
+)
 from repro.core.losses import (
     UNKNOWN_TYPE,
     ClassificationHead,
@@ -26,10 +33,12 @@ from repro.core.metrics import (
     summarise_by_rarity,
 )
 from repro.core.pipeline import (
+    PIPELINE_FORMAT_VERSION,
     EncoderConfig,
     SymbolSuggestion,
     TypilusPipeline,
     build_encoder,
+    build_encoder_from_vocabularies,
 )
 from repro.core.predictor import KNNTypePredictor, TypePrediction, adapt_space_with_new_type
 from repro.core.trainer import (
@@ -39,9 +48,15 @@ from repro.core.trainer import (
     TrainingConfig,
     TrainingResult,
 )
-from repro.core.typespace import TypeMarker, TypeSpace
+from repro.core.typespace import TypeMarker, TypeNeighbourBatch, TypeSpace
 
 __all__ = [
+    "SymbolEmbedder",
+    "BatchNeighbourResult",
+    "TypeNeighbourBatch",
+    "FilterRequest",
+    "PIPELINE_FORMAT_VERSION",
+    "build_encoder_from_vocabularies",
     "ClassificationHead",
     "TypilusLoss",
     "classification_loss",

@@ -6,14 +6,22 @@ below walks a symbol's ranked candidates in order of decreasing probability
 and returns the first candidate the checker accepts, together with what was
 rejected on the way — which is exactly what the tool would surface to a
 developer.
+
+For project-scale runs :meth:`TypeCheckedFilter.filter_many` filters every
+symbol of one file in a single pass: the file's baseline diagnostics are
+computed once and shared, and checker verdicts are cached per unique
+``(candidate type, symbol kind)`` pair rather than re-derived per symbol —
+the dominant cost of annotating a file is re-checking the same handful of
+common types over and over, so one verdict per candidate covers the file.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.checker.checker import CheckerMode
+from repro.checker.errors import CheckResult
 from repro.checker.harness import PredictionChecker
 from repro.core.predictor import TypePrediction
 from repro.graph.nodes import SymbolKind
@@ -33,6 +41,26 @@ class FilteredSuggestion:
     @property
     def has_suggestion(self) -> bool:
         return self.accepted_type is not None
+
+
+@dataclass
+class FilterRequest:
+    """One symbol of a file whose ranked candidates should be filtered."""
+
+    scope: str
+    name: str
+    kind: SymbolKind
+    prediction: TypePrediction
+    original_annotation: Optional[str] = None
+
+
+@dataclass
+class _CandidateVerdict:
+    """A cached checker verdict for one (type, symbol kind) candidate."""
+
+    ok: bool
+    skipped: bool
+    reason: str
 
 
 class TypeCheckedFilter:
@@ -59,23 +87,64 @@ class TypeCheckedFilter:
         original_annotation: Optional[str] = None,
     ) -> FilteredSuggestion:
         """Return the highest-probability candidate that passes type checking."""
-        suggestion = FilteredSuggestion(scope=scope, name=name, kind=kind, accepted_type=None, accepted_confidence=0.0)
-        for candidate_type, probability in prediction.top(self.max_candidates):
-            if probability < self.confidence_threshold:
-                suggestion.rejected.append((candidate_type, "below confidence threshold"))
-                continue
-            if candidate_type in ("Any", "None"):
-                suggestion.rejected.append((candidate_type, "uninformative type"))
-                continue
-            outcome = self._checker.check_prediction(
-                source, scope, name, kind, candidate_type, original_annotation=original_annotation
+        request = FilterRequest(scope=scope, name=name, kind=kind, prediction=prediction,
+                                original_annotation=original_annotation)
+        return self.filter_many(source, [request])[0]
+
+    def filter_many(self, source: str, requests: Sequence[FilterRequest]) -> list[FilteredSuggestion]:
+        """Filter every symbol of one file, sharing checker work across symbols.
+
+        The baseline check of ``source`` runs once for the whole batch, and
+        each unique ``(candidate type, symbol kind)`` is checked against the
+        file only the first time it appears; later symbols carrying the same
+        candidate reuse the cached verdict.  (The verdict of inserting a type
+        at one symbol of a kind thus stands in for its siblings of the same
+        kind in the file — the batch-throughput trade-off of the engine.)
+        """
+        baseline: Optional[CheckResult] = None
+        verdicts: dict[tuple[str, str], _CandidateVerdict] = {}
+        filtered: list[FilteredSuggestion] = []
+        for request in requests:
+            suggestion = FilteredSuggestion(
+                scope=request.scope, name=request.name, kind=request.kind,
+                accepted_type=None, accepted_confidence=0.0,
             )
-            if outcome.skipped:
-                suggestion.rejected.append((candidate_type, outcome.reason or "skipped"))
-                continue
-            if outcome.ok:
-                suggestion.accepted_type = candidate_type
-                suggestion.accepted_confidence = probability
-                return suggestion
-            suggestion.rejected.append((candidate_type, f"{outcome.introduced_errors} type error(s)"))
-        return suggestion
+            for candidate_type, probability in request.prediction.top(self.max_candidates):
+                if probability < self.confidence_threshold:
+                    suggestion.rejected.append((candidate_type, "below confidence threshold"))
+                    continue
+                if candidate_type in ("Any", "None"):
+                    suggestion.rejected.append((candidate_type, "uninformative type"))
+                    continue
+                key = (candidate_type, request.kind.value)
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    if baseline is None:
+                        baseline = self._checker.baseline(source)
+                    outcome = self._checker.check_prediction(
+                        source, request.scope, request.name, request.kind, candidate_type,
+                        original_annotation=request.original_annotation,
+                        baseline_result=baseline,
+                    )
+                    if outcome.skipped:
+                        verdict = _CandidateVerdict(ok=False, skipped=True, reason=outcome.reason or "skipped")
+                        # A type-level skip (unparsable/Any) holds for every
+                        # symbol; a skip because *this* symbol could not be
+                        # rewritten is symbol-specific, so don't cache it.
+                        if outcome.type_level_skip:
+                            verdicts[key] = verdict
+                    elif outcome.ok:
+                        verdict = _CandidateVerdict(ok=True, skipped=False, reason="")
+                        verdicts[key] = verdict
+                    else:
+                        verdict = _CandidateVerdict(
+                            ok=False, skipped=False, reason=f"{outcome.introduced_errors} type error(s)"
+                        )
+                        verdicts[key] = verdict
+                if verdict.ok:
+                    suggestion.accepted_type = candidate_type
+                    suggestion.accepted_confidence = probability
+                    break
+                suggestion.rejected.append((candidate_type, verdict.reason))
+            filtered.append(suggestion)
+        return filtered

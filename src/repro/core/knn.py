@@ -9,16 +9,46 @@ queries fast.  Two indexes are provided here with the same interface:
   hashes points into buckets with random hyperplanes and searches only the
   query's bucket neighbourhood.  It trades a little recall for sub-linear
   query time and is benchmarked against the exact index.
+
+Both indexes are batch-first: the primitive operation is
+:meth:`query_batch_arrays`, which answers *all* queries with vectorized
+numpy and returns one :class:`BatchNeighbourResult` of array triples
+(indices, distances, counts).  The per-query :meth:`query` and the
+list-of-objects :meth:`query_batch` are thin views over that path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import combinations
 from typing import Protocol
 
 import numpy as np
 
 from repro.utils.rng import SeededRNG
+
+try:  # scipy's C implementation is ~6× faster; fall back to pure numpy without it
+    from scipy.spatial.distance import cdist as _cdist
+except ImportError:  # pragma: no cover - exercised only on scipy-less installs
+    _cdist = None
+
+
+def l1_distance_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """All-pairs L1 distances as a ``(num_queries, num_points)`` matrix."""
+    if _cdist is not None:
+        return _cdist(queries, points, "cityblock")
+    # Accumulate per dimension with in-place ops on contiguous columns: this
+    # keeps the working set at one (queries × points) matrix instead of the
+    # (queries × points × dim) broadcast temporary.
+    queries_t = np.ascontiguousarray(queries.T)
+    points_t = np.ascontiguousarray(points.T)
+    distances = np.zeros((len(queries), len(points)))
+    scratch = np.empty_like(distances)
+    for dim in range(queries_t.shape[0]):
+        np.subtract.outer(queries_t[dim], points_t[dim], out=scratch)
+        np.abs(scratch, out=scratch)
+        distances += scratch
+    return distances
 
 
 @dataclass
@@ -29,6 +59,58 @@ class NeighbourResult:
     distances: np.ndarray
 
 
+@dataclass
+class BatchNeighbourResult:
+    """Neighbours of a whole query batch as dense arrays.
+
+    ``indices`` is ``(num_queries, k)`` int64 and ``distances`` the matching
+    float64 array, both sorted by increasing distance per row.  Every column
+    of every row is a valid neighbour: non-empty indexes answer with exactly
+    ``min(k, len(index))`` columns, and an empty index answers with
+    zero-width ``(num_queries, 0)`` arrays — there is no padding.  ``counts``
+    is that per-row column count (``0`` only for empty indexes).
+    """
+
+    indices: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def row(self, position: int) -> NeighbourResult:
+        count = int(self.counts[position])
+        return NeighbourResult(self.indices[position, :count], self.distances[position, :count])
+
+    def to_list(self) -> list[NeighbourResult]:
+        return [self.row(position) for position in range(len(self))]
+
+
+def _empty_batch(num_queries: int) -> BatchNeighbourResult:
+    return BatchNeighbourResult(
+        indices=np.zeros((num_queries, 0), dtype=np.int64),
+        distances=np.zeros((num_queries, 0)),
+        counts=np.zeros(num_queries, dtype=np.int64),
+    )
+
+
+def _as_query_matrix(vectors: np.ndarray) -> np.ndarray:
+    vectors = np.asarray(vectors, dtype=np.float64)
+    if vectors.ndim == 1:
+        vectors = vectors.reshape(1, -1)
+    if vectors.ndim != 2:
+        raise ValueError("queries must be a vector or a (num_queries, dim) matrix")
+    return vectors
+
+
+def _top_k_rows(distances: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-row top-k: positions into ``distances`` plus sorted distances."""
+    nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
+    partitioned = np.take_along_axis(distances, nearest, axis=1)
+    order = np.argsort(partitioned, axis=1, kind="stable")
+    return np.take_along_axis(nearest, order, axis=1), np.take_along_axis(partitioned, order, axis=1)
+
+
 class NearestNeighbourIndex(Protocol):
     """Interface shared by the exact and the approximate index."""
 
@@ -36,6 +118,9 @@ class NearestNeighbourIndex(Protocol):
         ...
 
     def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:  # pragma: no cover
+        ...
+
+    def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:  # pragma: no cover
         ...
 
     def __len__(self) -> int:  # pragma: no cover - typing
@@ -55,28 +140,28 @@ class ExactL1Index:
         return len(self.points)
 
     def query(self, vector: np.ndarray, k: int) -> NeighbourResult:
-        vector = np.asarray(vector, dtype=np.float64).reshape(1, -1)
-        return self.query_batch(vector, k)[0]
+        return self.query_batch_arrays(vector, k).row(0)
 
     def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:
-        vectors = np.asarray(vectors, dtype=np.float64)
+        return self.query_batch_arrays(vectors, k).to_list()
+
+    def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:
+        vectors = _as_query_matrix(vectors)
         if len(self.points) == 0:
-            empty = NeighbourResult(np.zeros(0, dtype=np.int64), np.zeros(0))
-            return [empty for _ in range(len(vectors))]
+            return _empty_batch(len(vectors))
         k = min(k, len(self.points))
-        results = []
+        all_indices = np.empty((len(vectors), k), dtype=np.int64)
+        all_distances = np.empty((len(vectors), k))
         # Chunk the queries to bound the (queries × points) distance matrix.
         chunk_size = max(1, 4_000_000 // max(len(self.points), 1))
         for start in range(0, len(vectors), chunk_size):
             chunk = vectors[start : start + chunk_size]
-            distances = np.abs(chunk[:, None, :] - self.points[None, :, :]).sum(axis=2)
-            nearest = np.argpartition(distances, k - 1, axis=1)[:, :k]
-            for row in range(chunk.shape[0]):
-                indices = nearest[row]
-                row_distances = distances[row, indices]
-                order = np.argsort(row_distances, kind="stable")
-                results.append(NeighbourResult(indices[order], row_distances[order]))
-        return results
+            distances = l1_distance_matrix(chunk, self.points)
+            positions, sorted_distances = _top_k_rows(distances, k)
+            all_indices[start : start + len(chunk)] = positions
+            all_distances[start : start + len(chunk)] = sorted_distances
+        counts = np.full(len(vectors), k, dtype=np.int64)
+        return BatchNeighbourResult(all_indices, all_distances, counts)
 
 
 class RandomProjectionIndex:
@@ -87,6 +172,11 @@ class RandomProjectionIndex:
     Hamming distance of ``probe_radius``.  When the probed buckets hold fewer
     than ``k`` points the search falls back to the exact index, so recall
     degrades gracefully rather than returning short results.
+
+    Batched queries compute every signature in one matrix product and group
+    the query rows by signature, so the candidate set of each bucket
+    neighbourhood is gathered and scored once per bucket instead of once per
+    query.
     """
 
     def __init__(
@@ -96,57 +186,117 @@ class RandomProjectionIndex:
         probe_radius: int = 1,
         seed: int = 0,
     ) -> None:
+        if not isinstance(num_bits, (int, np.integer)) or num_bits < 1 or num_bits > 62:
+            raise ValueError(f"num_bits must be an integer in [1, 62], got {num_bits!r}")
+        if not isinstance(probe_radius, (int, np.integer)) or probe_radius < 0:
+            raise ValueError(f"probe_radius must be a non-negative integer, got {probe_radius!r}")
+        if probe_radius > num_bits:
+            raise ValueError(
+                f"probe_radius {probe_radius} cannot exceed num_bits {num_bits} "
+                "(there are no buckets beyond Hamming distance num_bits)"
+            )
         self.points = np.asarray(points, dtype=np.float64)
-        self.num_bits = num_bits
-        self.probe_radius = probe_radius
+        self.num_bits = int(num_bits)
+        self.probe_radius = int(probe_radius)
         rng = SeededRNG(seed)
         dim = self.points.shape[1] if self.points.size else 1
         self._planes = rng.np.normal(0.0, 1.0, size=(num_bits, dim))
         self._offsets = np.zeros(num_bits)
-        self._buckets: dict[int, list[int]] = {}
-        for index, point in enumerate(self.points):
-            self._buckets.setdefault(self._signature(point), []).append(index)
+        self._bit_weights = (1 << np.arange(self.num_bits - 1, -1, -1)).astype(np.int64)
+        self._buckets: dict[int, np.ndarray] = {}
+        self._candidate_cache: dict[int, np.ndarray] = {}
+        if self.points.size:
+            signatures = self._signatures_for(self.points)
+            order = np.argsort(signatures, kind="stable")
+            unique, starts = np.unique(signatures[order], return_index=True)
+            for position, signature in enumerate(unique):
+                stop = starts[position + 1] if position + 1 < len(starts) else len(order)
+                self._buckets[int(signature)] = np.sort(order[starts[position] : stop])
         self._exact = ExactL1Index(self.points) if self.points.size else None
 
     def __len__(self) -> int:
         return len(self.points)
 
+    def _signatures_for(self, vectors: np.ndarray) -> np.ndarray:
+        """Sign-bit signatures for a whole matrix of vectors, as packed int64."""
+        bits = (vectors @ self._planes.T + self._offsets) > 0
+        return bits.astype(np.int64) @ self._bit_weights
+
     def _signature(self, vector: np.ndarray) -> int:
-        bits = (self._planes @ vector + self._offsets) > 0
-        signature = 0
-        for bit in bits:
-            signature = (signature << 1) | int(bit)
-        return signature
+        return int(self._signatures_for(np.asarray(vector, dtype=np.float64).reshape(1, -1))[0])
 
     def _probe_signatures(self, signature: int) -> list[int]:
+        """All signatures within Hamming distance ``probe_radius``, any radius."""
         signatures = [signature]
-        if self.probe_radius >= 1:
-            signatures.extend(signature ^ (1 << bit) for bit in range(self.num_bits))
-        if self.probe_radius >= 2:
-            for first in range(self.num_bits):
-                for second in range(first + 1, self.num_bits):
-                    signatures.append(signature ^ (1 << first) ^ (1 << second))
+        for radius in range(1, self.probe_radius + 1):
+            for flipped_bits in combinations(range(self.num_bits), radius):
+                mask = 0
+                for bit in flipped_bits:
+                    mask |= 1 << bit
+                signatures.append(signature ^ mask)
         return signatures
 
+    #: Cap on memoised candidate neighbourhoods: a long-lived serving index
+    #: sees unboundedly many distinct query signatures, and each entry can
+    #: approach len(points) int64s, so stop caching once the map is full.
+    _MAX_CANDIDATE_CACHE = 4096
+
+    def _candidates_for(self, signature: int) -> np.ndarray:
+        """Union of the point indices in the probed bucket neighbourhood."""
+        cached = self._candidate_cache.get(signature)
+        if cached is None:
+            chunks = [
+                self._buckets[probe]
+                for probe in self._probe_signatures(signature)
+                if probe in self._buckets
+            ]
+            if chunks:
+                # Buckets are disjoint and the probe signatures distinct, so a
+                # plain concatenation has no duplicates; sort for determinism.
+                cached = np.sort(np.concatenate(chunks))
+            else:
+                cached = np.zeros(0, dtype=np.int64)
+            if len(self._candidate_cache) < self._MAX_CANDIDATE_CACHE:
+                self._candidate_cache[signature] = cached
+        return cached
+
     def query(self, vector: np.ndarray, k: int) -> NeighbourResult:
-        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
-        if self._exact is None:
-            return NeighbourResult(np.zeros(0, dtype=np.int64), np.zeros(0))
-        candidate_indices: list[int] = []
-        for signature in self._probe_signatures(self._signature(vector)):
-            candidate_indices.extend(self._buckets.get(signature, ()))
-        if len(candidate_indices) < k:
-            return self._exact.query(vector, k)
-        candidates = np.asarray(sorted(set(candidate_indices)), dtype=np.int64)
-        distances = np.abs(self.points[candidates] - vector[None, :]).sum(axis=1)
-        k = min(k, len(candidates))
-        nearest = np.argpartition(distances, k - 1)[:k]
-        order = np.argsort(distances[nearest], kind="stable")
-        chosen = nearest[order]
-        return NeighbourResult(candidates[chosen], distances[chosen])
+        return self.query_batch_arrays(vector, k).row(0)
 
     def query_batch(self, vectors: np.ndarray, k: int) -> list[NeighbourResult]:
-        return [self.query(vector, k) for vector in np.asarray(vectors, dtype=np.float64)]
+        return self.query_batch_arrays(vectors, k).to_list()
+
+    def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:
+        vectors = _as_query_matrix(vectors)
+        if self._exact is None:
+            return _empty_batch(len(vectors))
+        k = min(k, len(self.points))
+        all_indices = np.empty((len(vectors), k), dtype=np.int64)
+        all_distances = np.empty((len(vectors), k))
+        signatures = self._signatures_for(vectors)
+        # Group query rows by signature in one O(N log N) pass: stable argsort
+        # puts equal signatures adjacent, np.unique marks the group starts.
+        order = np.argsort(signatures, kind="stable")
+        unique_signatures, starts = np.unique(signatures[order], return_index=True)
+        fallback_groups: list[np.ndarray] = []
+        for position, signature in enumerate(unique_signatures):
+            stop = starts[position + 1] if position + 1 < len(starts) else len(order)
+            rows = order[starts[position] : stop]
+            candidates = self._candidates_for(int(signature))
+            if len(candidates) < k:
+                fallback_groups.append(rows)
+                continue
+            distances = l1_distance_matrix(vectors[rows], self.points[candidates])
+            positions, sorted_distances = _top_k_rows(distances, k)
+            all_indices[rows] = candidates[positions]
+            all_distances[rows] = sorted_distances
+        if fallback_groups:
+            rows = np.concatenate(fallback_groups)
+            exact = self._exact.query_batch_arrays(vectors[rows], k)
+            all_indices[rows] = exact.indices
+            all_distances[rows] = exact.distances
+        counts = np.full(len(vectors), k, dtype=np.int64)
+        return BatchNeighbourResult(all_indices, all_distances, counts)
 
 
 def build_index(points: np.ndarray, approximate: bool = False, **kwargs) -> NearestNeighbourIndex:

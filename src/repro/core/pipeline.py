@@ -7,36 +7,56 @@ kNN predictor, and exposes the workflow of Fig. 1:
   paper's losses and populate the type map;
 * :meth:`predict_split` / :meth:`evaluate_split` — score a held-out split
   against the ground-truth annotations;
-* :meth:`suggest_for_source` — the developer-facing path: take a (partially
-  annotated) Python file, embed its symbols, predict candidate types and
-  filter them through the optional type checker.
+* :meth:`suggest_for_sources` — the developer-facing path: take a set of
+  (partially annotated) Python files, embed all their symbols in one batched
+  pass, predict candidate types for every symbol at once and filter them
+  through the optional type checker (:meth:`suggest_for_source` is the
+  single-file view of the same path);
+* :meth:`save` / :meth:`load` — persist a trained pipeline (encoder weights,
+  vocabularies, TypeSpace markers and kNN settings) so it can serve
+  suggestions without re-training.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.checker.checker import CheckerMode
-from repro.core.filter import FilteredSuggestion, TypeCheckedFilter
-from repro.core.losses import ClassificationHead
+from repro.core.embedder import SymbolEmbedder
+from repro.core.filter import FilteredSuggestion, FilterRequest, TypeCheckedFilter
 from repro.core.metrics import EvaluatedPrediction, MetricSummary, evaluate_prediction, summarise
 from repro.core.predictor import KNNTypePredictor, TypePrediction
 from repro.core.trainer import LossKind, Trainer, TrainingConfig, TrainingResult
 from repro.core.typespace import TypeSpace
 from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
-from repro.graph.builder import GraphBuilder
+from repro.graph.builder import GraphBuildError, GraphBuilder
+from repro.graph.codegraph import CodeGraph
 from repro.graph.edges import EdgeKind
-from repro.graph.nodes import NodeKind, SymbolInfo
+from repro.graph.nodes import SymbolInfo
+from repro.graph.subtokens import SubtokenVocabulary
 from repro.models.base import SymbolEncoder
-from repro.models.encoder_init import TokenVocabulary, build_initializer
+from repro.models.encoder_init import (
+    CharCNNNodeInitializer,
+    SubtokenNodeInitializer,
+    TokenNodeInitializer,
+    TokenVocabulary,
+    build_initializer,
+)
 from repro.models.ggnn import GGNNEncoder, NameOnlyEncoder
 from repro.models.path import PathEncoder
 from repro.models.seq import SequenceEncoder
+from repro.nn import serialization
+from repro.types.lattice import TypeLattice
 from repro.types.normalize import is_informative
 from repro.utils.rng import SeededRNG
+
+#: On-disk format of :meth:`TypilusPipeline.save` directories.
+PIPELINE_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -48,6 +68,7 @@ class EncoderConfig:
     gnn_steps: int = 4
     node_init: str = "subtoken"  # "subtoken" | "token" | "character"
     edge_kinds: Optional[Sequence[EdgeKind]] = None
+    use_reverse_edges: bool = True
     max_tokens: int = 192
     seed: int = 29
 
@@ -55,20 +76,33 @@ class EncoderConfig:
 def build_encoder(dataset: TypeAnnotationDataset, config: Optional[EncoderConfig] = None) -> SymbolEncoder:
     """Construct a fresh encoder of the requested family for a dataset."""
     config = config or EncoderConfig()
-    rng = SeededRNG(config.seed)
 
     token_vocabulary: Optional[TokenVocabulary] = None
     if config.node_init == "token":
         texts = [node.text for graph in dataset.train.graphs for node in graph.nodes]
         token_vocabulary = TokenVocabulary.from_texts(texts)
+    return build_encoder_from_vocabularies(config, dataset.subtokens, token_vocabulary)
+
+
+def build_encoder_from_vocabularies(
+    config: EncoderConfig,
+    subtoken_vocabulary: Optional[SubtokenVocabulary],
+    token_vocabulary: Optional[TokenVocabulary] = None,
+) -> SymbolEncoder:
+    """Construct an encoder directly from vocabularies (no dataset needed).
+
+    This is the path pipeline persistence uses: a restored vocabulary plus the
+    saved configuration rebuilds an encoder of identical shape, whose weights
+    are then overwritten from the archive.
+    """
+    rng = SeededRNG(config.seed)
     initializer = build_initializer(
         config.node_init,
         config.hidden_dim,
         rng.fork(1),
-        subtoken_vocabulary=dataset.subtokens,
+        subtoken_vocabulary=subtoken_vocabulary,
         token_vocabulary=token_vocabulary,
     )
-
     if config.family == "graph":
         return GGNNEncoder(
             initializer,
@@ -76,6 +110,7 @@ def build_encoder(dataset: TypeAnnotationDataset, config: Optional[EncoderConfig
             rng.fork(2),
             num_steps=config.gnn_steps,
             edge_kinds=config.edge_kinds,
+            use_reverse_edges=config.use_reverse_edges,
         )
     if config.family == "names":
         return NameOnlyEncoder(initializer, config.hidden_dim, rng.fork(2))
@@ -129,9 +164,9 @@ class TypilusPipeline:
 
     def __init__(
         self,
-        dataset: TypeAnnotationDataset,
+        dataset: Optional[TypeAnnotationDataset],
         encoder: SymbolEncoder,
-        training_result: TrainingResult,
+        training_result: Optional[TrainingResult],
         type_space: TypeSpace,
         knn_k: int = 10,
         knn_p: float = 1.0,
@@ -141,6 +176,7 @@ class TypilusPipeline:
         self.training_result = training_result
         self.type_space = type_space
         self.predictor = KNNTypePredictor(type_space, k=knn_k, p=knn_p)
+        self.embedder = SymbolEmbedder(encoder)
         self._graph_builder = GraphBuilder()
 
     # -- training ------------------------------------------------------------------------
@@ -165,20 +201,15 @@ class TypilusPipeline:
 
     # -- split-level prediction --------------------------------------------------------------
 
-    def _embed_split(self, split: DatasetSplit) -> tuple[np.ndarray, list[AnnotatedSymbol]]:
-        trainer = Trainer.__new__(Trainer)  # reuse the embedding helper without re-initialising
-        trainer.encoder = self.encoder
-        trainer.dataset = self.dataset
-        return Trainer.embed_split(trainer, split)
-
     def predict_split(self, split: DatasetSplit) -> list[tuple[AnnotatedSymbol, TypePrediction]]:
         """kNN predictions for every supervised symbol of a split."""
-        embeddings, samples = self._embed_split(split)
+        embeddings, samples = self.embedder.embed_split(split)
         predictions = self.predictor.predict_batch(embeddings)
         return list(zip(samples, predictions))
 
     def evaluate_split(self, split: DatasetSplit) -> tuple[MetricSummary, list[EvaluatedPrediction]]:
         """Exact / up-to-parametric / neutral metrics over a split."""
+        lattice = self.dataset.lattice if self.dataset is not None else TypeLattice()
         evaluated: list[EvaluatedPrediction] = []
         for sample, prediction in self.predict_split(split):
             evaluated.append(
@@ -186,13 +217,98 @@ class TypilusPipeline:
                     prediction.top_type,
                     sample.annotation,
                     prediction.confidence,
-                    self.dataset.lattice,
+                    lattice,
                     kind=sample.kind,
                 )
             )
         return summarise(evaluated), evaluated
 
     # -- developer-facing suggestion -----------------------------------------------------------
+
+    def suggest_for_sources(
+        self,
+        sources: Mapping[str, str],
+        use_type_checker: bool = True,
+        checker_mode: CheckerMode = CheckerMode.STRICT,
+        confidence_threshold: float = 0.0,
+        include_annotated: bool = True,
+        skip_unparsable: bool = False,
+    ) -> dict[str, list[SymbolSuggestion]]:
+        """Suggest types for every symbol of a whole set of files in one pass.
+
+        All files' symbols are embedded together (batched across files by the
+        :class:`SymbolEmbedder`) and scored with a single vectorized kNN
+        prediction; the checker filter then runs per file with its verdicts
+        cached per unique candidate.  Files that fail to parse raise
+        :class:`~repro.graph.builder.GraphBuildError` unless
+        ``skip_unparsable`` is set, in which case they are omitted from the
+        result.
+
+        Returns a dict mapping each (parsed) filename to its suggestions.
+        """
+        filenames: list[str] = []
+        graphs: list[CodeGraph] = []
+        symbols_per_file: list[list[SymbolInfo]] = []
+        for filename, source in sources.items():
+            try:
+                graph = self._graph_builder.build(source, filename=filename)
+            except GraphBuildError:
+                if skip_unparsable:
+                    continue
+                raise
+            filenames.append(filename)
+            graphs.append(graph)
+            symbols_per_file.append(
+                [symbol for symbol in graph.symbols if include_annotated or symbol.annotation is None]
+            )
+
+        embeddings = self.embedder.embed_symbols(
+            graphs, [[symbol.node_index for symbol in symbols] for symbols in symbols_per_file]
+        )
+        predictions = self.predictor.predict_batch(embeddings)
+
+        checker_filter = TypeCheckedFilter(mode=checker_mode, confidence_threshold=confidence_threshold)
+        results: dict[str, list[SymbolSuggestion]] = {}
+        cursor = 0
+        for filename, symbols in zip(filenames, symbols_per_file):
+            file_predictions = predictions[cursor : cursor + len(symbols)]
+            cursor += len(symbols)
+            kept: list[tuple[SymbolInfo, TypePrediction]] = [
+                (symbol, prediction)
+                for symbol, prediction in zip(symbols, file_predictions)
+                if prediction.confidence >= confidence_threshold
+            ]
+            filtered_by_position: dict[int, FilteredSuggestion] = {}
+            if use_type_checker:
+                requests = [
+                    (position, FilterRequest(
+                        scope=symbol.scope,
+                        name=symbol.name,
+                        kind=symbol.kind,
+                        prediction=prediction,
+                        original_annotation=symbol.annotation,
+                    ))
+                    for position, (symbol, prediction) in enumerate(kept)
+                    if prediction.candidates
+                ]
+                filtered = checker_filter.filter_many(sources[filename], [request for _, request in requests])
+                filtered_by_position = {position: outcome for (position, _), outcome in zip(requests, filtered)}
+            suggestions: list[SymbolSuggestion] = []
+            for position, (symbol, prediction) in enumerate(kept):
+                suggestions.append(
+                    SymbolSuggestion(
+                        name=symbol.name,
+                        scope=symbol.scope,
+                        kind=symbol.kind.value,
+                        existing_annotation=symbol.annotation
+                        if symbol.annotation and is_informative(symbol.annotation)
+                        else None,
+                        prediction=prediction,
+                        filtered=filtered_by_position.get(position),
+                    )
+                )
+            results[filename] = suggestions
+        return results
 
     def suggest_for_source(
         self,
@@ -207,44 +323,16 @@ class TypilusPipeline:
 
         The file may be partially annotated; existing annotations are used
         only for reporting disagreements, never as model input (the graph
-        builder erases them).
+        builder erases them).  This is the single-file view of
+        :meth:`suggest_for_sources`.
         """
-        graph = self._graph_builder.build(source, filename=filename)
-        symbols: list[SymbolInfo] = [
-            symbol
-            for symbol in graph.symbols
-            if include_annotated or symbol.annotation is None
-        ]
-        if not symbols:
-            return []
-        embeddings = self.encoder.encode([graph], [[symbol.node_index for symbol in symbols]])
-        suggestions: list[SymbolSuggestion] = []
-        checker_filter = TypeCheckedFilter(mode=checker_mode, confidence_threshold=confidence_threshold)
-        for symbol, embedding in zip(symbols, embeddings.data):
-            prediction = self.predictor.predict(embedding)
-            if prediction.confidence < confidence_threshold:
-                continue
-            filtered = None
-            if use_type_checker and prediction.candidates:
-                filtered = checker_filter.filter(
-                    source,
-                    symbol.scope,
-                    symbol.name,
-                    symbol.kind,
-                    prediction,
-                    original_annotation=symbol.annotation,
-                )
-            suggestions.append(
-                SymbolSuggestion(
-                    name=symbol.name,
-                    scope=symbol.scope,
-                    kind=symbol.kind.value,
-                    existing_annotation=symbol.annotation if symbol.annotation and is_informative(symbol.annotation) else None,
-                    prediction=prediction,
-                    filtered=filtered,
-                )
-            )
-        return suggestions
+        return self.suggest_for_sources(
+            {filename: source},
+            use_type_checker=use_type_checker,
+            checker_mode=checker_mode,
+            confidence_threshold=confidence_threshold,
+            include_annotated=include_annotated,
+        )[filename]
 
     def find_annotation_disagreements(self, source: str, confidence_threshold: float = 0.8) -> list[SymbolSuggestion]:
         """Confidently-predicted types that contradict existing annotations (Sec. 7)."""
@@ -252,3 +340,121 @@ class TypilusPipeline:
             source, use_type_checker=True, confidence_threshold=confidence_threshold, include_annotated=True
         )
         return [s for s in suggestions if s.disagrees_with_existing and s.confidence >= confidence_threshold]
+
+    # -- persistence -----------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the trained pipeline to a directory.
+
+        The directory holds ``pipeline.json`` (encoder architecture,
+        vocabularies and kNN settings), ``encoder.npz`` (weights, via
+        :mod:`repro.nn.serialization`) and ``typespace.npz`` (the type map's
+        markers).  :meth:`load` restores a pipeline that reproduces the saved
+        model's predictions exactly, without a dataset or re-training.
+
+        (Exception: the "path" encoder family samples paths with a stateful
+        RNG at inference, so its predictions vary run to run even without
+        persistence; the graph/sequence/names families round-trip
+        byte-identically.)
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": PIPELINE_FORMAT_VERSION,
+            "encoder": _describe_encoder(self.encoder),
+            "knn": {"k": self.predictor.k, "p": self.predictor.p, "epsilon": self.predictor.epsilon},
+            "approximate_index": self.type_space.approximate_index,
+        }
+        (path / "pipeline.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        serialization.save_modules(path / "encoder.npz", encoder=self.encoder)
+        self.type_space.save(str(path / "typespace.npz"))
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path], dataset: Optional[TypeAnnotationDataset] = None) -> "TypilusPipeline":
+        """Restore a pipeline saved with :meth:`save`.
+
+        The optional ``dataset`` re-attaches lattice/registry context for
+        split evaluation; suggestion and annotation work without it.
+        """
+        path = Path(path)
+        manifest = json.loads((path / "pipeline.json").read_text(encoding="utf-8"))
+        version = manifest.get("format_version")
+        if version != PIPELINE_FORMAT_VERSION:
+            raise ValueError(f"unsupported pipeline format version {version!r}")
+        encoder = _encoder_from_description(manifest["encoder"])
+        serialization.load_modules(path / "encoder.npz", encoder=encoder)
+        encoder.eval()
+        space = TypeSpace.load(str(path / "typespace.npz"), approximate_index=manifest.get("approximate_index", False))
+        knn = manifest.get("knn", {})
+        pipeline = cls(
+            dataset,
+            encoder,
+            None,
+            space,
+            knn_k=int(knn.get("k", 10)),
+            knn_p=float(knn.get("p", 1.0)),
+        )
+        pipeline.predictor.epsilon = float(knn.get("epsilon", pipeline.predictor.epsilon))
+        return pipeline
+
+
+# ---------------------------------------------------------------------------
+# Encoder description: architecture + vocabularies as JSON-serializable data
+# ---------------------------------------------------------------------------
+
+
+def _describe_encoder(encoder: SymbolEncoder) -> dict:
+    """Describe an encoder's architecture and vocabularies for persistence."""
+    description: dict = {"hidden_dim": int(encoder.output_dim)}
+
+    initializer = getattr(encoder, "initializer", None)
+    if isinstance(initializer, SubtokenNodeInitializer):
+        description["node_init"] = "subtoken"
+        description["subtoken_vocabulary"] = list(initializer.vocabulary.tokens)
+    elif isinstance(initializer, TokenNodeInitializer):
+        description["node_init"] = "token"
+        description["token_vocabulary"] = list(initializer.vocabulary.tokens)
+    elif isinstance(initializer, CharCNNNodeInitializer):
+        description["node_init"] = "character"
+    else:
+        raise ValueError(f"cannot persist encoder with initializer {type(initializer).__name__}")
+
+    if isinstance(encoder, GGNNEncoder):
+        description["family"] = "graph"
+        description["gnn_steps"] = int(encoder.num_steps)
+        description["edge_kinds"] = [kind.value for kind in encoder.edge_kinds]
+        description["use_reverse_edges"] = bool(encoder.use_reverse_edges)
+    elif isinstance(encoder, NameOnlyEncoder):
+        description["family"] = "names"
+    elif isinstance(encoder, SequenceEncoder):
+        description["family"] = "sequence"
+        description["max_tokens"] = int(encoder.max_tokens)
+    elif isinstance(encoder, PathEncoder):
+        description["family"] = "path"
+    else:
+        raise ValueError(f"cannot persist encoder of type {type(encoder).__name__}")
+    return description
+
+
+def _encoder_from_description(description: dict) -> SymbolEncoder:
+    """Rebuild an encoder of identical shape from a saved description."""
+    subtoken_vocabulary: Optional[SubtokenVocabulary] = None
+    if "subtoken_vocabulary" in description:
+        subtoken_vocabulary = SubtokenVocabulary.from_tokens(description["subtoken_vocabulary"])
+    token_vocabulary: Optional[TokenVocabulary] = None
+    if "token_vocabulary" in description:
+        token_vocabulary = TokenVocabulary.from_token_list(description["token_vocabulary"])
+
+    config = EncoderConfig(
+        family=description["family"],
+        hidden_dim=int(description["hidden_dim"]),
+        gnn_steps=int(description.get("gnn_steps", 4)),
+        node_init=description["node_init"],
+        edge_kinds=[EdgeKind(value) for value in description["edge_kinds"]]
+        if "edge_kinds" in description
+        else None,
+        use_reverse_edges=bool(description.get("use_reverse_edges", True)),
+        max_tokens=int(description.get("max_tokens", 192)),
+    )
+    return build_encoder_from_vocabularies(config, subtoken_vocabulary, token_vocabulary)

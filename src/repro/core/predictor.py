@@ -8,6 +8,12 @@ markers and converts their distances into a probability distribution
 where ``p`` acts as an inverse temperature (``p → 0`` gives a uniform vote
 among the neighbours; large ``p`` approaches 1-NN).  Figure 6 of the paper
 sweeps ``k`` and ``p``; the benchmark harness reproduces that sweep.
+
+Scoring is batch-first: :meth:`KNNTypePredictor.predict_batch` answers every
+query with one vectorized nearest-neighbour call and one numpy
+scatter-accumulate over ``(query, type)`` pairs — there is no per-query
+Python prediction loop.  :meth:`predict` is the single-query view of the
+same path.
 """
 
 from __future__ import annotations
@@ -59,23 +65,67 @@ class KNNTypePredictor:
 
     def predict(self, embedding: np.ndarray) -> TypePrediction:
         """Predict a ranked distribution over types for one embedding."""
-        neighbours = self.space.nearest(embedding, self.k)
-        if not neighbours:
-            return TypePrediction()
-        scores: dict[str, float] = {}
-        for type_name, distance in neighbours:
-            weight = (distance + self.epsilon) ** (-self.p) if self.p > 0 else 1.0
-            scores[type_name] = scores.get(type_name, 0.0) + weight
-        normaliser = sum(scores.values())
-        ranked = sorted(
-            ((type_name, score / normaliser) for type_name, score in scores.items()),
-            key=lambda item: (-item[1], item[0]),
-        )
-        return TypePrediction(candidates=ranked)
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
+        return self.predict_batch(embedding)[0]
 
     def predict_batch(self, embeddings: np.ndarray) -> list[TypePrediction]:
+        """Ranked distributions for every row of ``embeddings`` at once.
+
+        All scoring runs in numpy: one batched index query, one
+        scatter-accumulate of distance weights per unique ``(query, type)``
+        pair and one lexicographic sort that ranks every query's candidates
+        by ``(-probability, type name)`` simultaneously.
+        """
         embeddings = np.asarray(embeddings, dtype=np.float64)
-        return [self.predict(embedding) for embedding in embeddings]
+        if embeddings.ndim == 1:
+            embeddings = embeddings.reshape(1, -1)
+        num_queries = len(embeddings)
+        if num_queries == 0:
+            return []
+        neighbours = self.space.nearest_batch(embeddings, self.k)
+        num_types = len(neighbours.type_vocabulary)
+        if neighbours.type_codes.shape[1] == 0 or num_types == 0:
+            return [TypePrediction() for _ in range(num_queries)]
+
+        if self.p > 0:
+            weights = (neighbours.distances + self.epsilon) ** (-self.p)
+        else:
+            weights = np.ones_like(neighbours.distances)
+        rows = np.repeat(np.arange(num_queries), neighbours.type_codes.shape[1])
+        codes = neighbours.type_codes.ravel()
+        flat_weights = weights.ravel()
+
+        # Accumulate the vote of every neighbour into its (query, type) cell.
+        keys = rows * num_types + codes
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        scores = np.bincount(inverse, weights=flat_weights)
+        entry_rows = unique_keys // num_types
+        entry_codes = unique_keys % num_types
+        row_totals = np.bincount(entry_rows, weights=scores, minlength=num_queries)
+        probabilities = scores / row_totals[entry_rows]
+
+        # Rank all candidates of all queries in one lexsort: by query, then by
+        # descending probability, ties broken by type name (alphabetical ranks
+        # are cached on the space, not recomputed per call).
+        vocabulary = self.space.type_vocabulary_array()
+        name_rank = self.space.type_name_ranks()
+        order = np.lexsort((name_rank[entry_codes], -probabilities, entry_rows))
+        sorted_rows = entry_rows[order]
+        sorted_names = vocabulary[entry_codes[order]]
+        sorted_probabilities = probabilities[order]
+
+        offsets = np.zeros(num_queries + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sorted_rows, minlength=num_queries), out=offsets[1:])
+        name_list = sorted_names.tolist()
+        probability_list = sorted_probabilities.tolist()
+        boundaries = offsets.tolist()
+        predictions: list[TypePrediction] = []
+        for row in range(num_queries):
+            start, stop = boundaries[row], boundaries[row + 1]
+            predictions.append(
+                TypePrediction(candidates=list(zip(name_list[start:stop], probability_list[start:stop])))
+            )
+        return predictions
 
     def predict_with_threshold(self, embedding: np.ndarray, threshold: float) -> Optional[TypePrediction]:
         """Return the prediction only when its confidence clears ``threshold``.

@@ -27,6 +27,7 @@ from repro.core.losses import (
     classification_loss,
     similarity_space_loss,
 )
+from repro.core.embedder import SymbolEmbedder
 from repro.core.typespace import TypeSpace
 from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
 from repro.models.base import SymbolEncoder
@@ -204,26 +205,7 @@ class Trainer:
 
     def embed_split(self, split: DatasetSplit, batch_graphs: int = 16) -> tuple[np.ndarray, list[AnnotatedSymbol]]:
         """Embed every supervised symbol of a split (in dataset order)."""
-        self.encoder.eval()
-        samples_by_graph: dict[int, list[AnnotatedSymbol]] = {}
-        for sample in split.samples:
-            samples_by_graph.setdefault(sample.graph_index, []).append(sample)
-        embeddings: list[np.ndarray] = []
-        ordered_samples: list[AnnotatedSymbol] = []
-        graph_indices = sorted(samples_by_graph)
-        for start in range(0, len(graph_indices), batch_graphs):
-            chosen = graph_indices[start : start + batch_graphs]
-            samples: list[AnnotatedSymbol] = []
-            for graph_index in chosen:
-                samples.extend(samples_by_graph[graph_index])
-            batch_embeddings = self._encode_samples(split, chosen, samples)
-            embeddings.append(batch_embeddings.data)
-            ordered_samples.extend(
-                s for graph_index in chosen for s in samples if s.graph_index == graph_index
-            )
-        if not embeddings:
-            return np.zeros((0, self.encoder.output_dim)), []
-        return np.concatenate(embeddings, axis=0), ordered_samples
+        return SymbolEmbedder(self.encoder).embed_split(split, batch_graphs=batch_graphs)
 
     def build_type_space(self, include_valid: bool = True, approximate_index: bool = False) -> TypeSpace:
         """Populate the type map from the train (and validation) annotations.

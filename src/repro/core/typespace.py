@@ -8,6 +8,13 @@ prediction is then a k-nearest-neighbour query against the markers (Eq. 5).
 Because the map is data, not parameters, it can be extended at any time with
 new types — including types never seen during training — which is how
 Typilus supports an open type vocabulary without retraining.
+
+The space answers whole query batches at once: :meth:`TypeSpace.nearest_batch`
+returns dense arrays of type codes and distances (one row per query) backed
+by the vectorized index, which is what the batched predictor and the project
+annotation engine consume.  The marker matrix, the per-marker type codes and
+the index itself are cached and invalidated together whenever a marker is
+added.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.core.knn import NearestNeighbourIndex, build_index
+from repro.core.knn import BatchNeighbourResult, NearestNeighbourIndex, build_index
 
 
 @dataclass
@@ -30,6 +37,33 @@ class TypeMarker:
     source: str = ""  # provenance (filename / split), useful for analysis
 
 
+@dataclass
+class TypeNeighbourBatch:
+    """The ``k`` nearest markers of a query batch, as dense arrays.
+
+    ``type_codes`` is ``(num_queries, k)`` int64 indexing into
+    ``type_vocabulary``, ``distances`` the matching L1 distances and
+    ``counts`` the per-row column count.  As with
+    :class:`~repro.core.knn.BatchNeighbourResult` there is no padding: an
+    empty space yields zero-width arrays, otherwise every column is valid.
+    """
+
+    type_codes: np.ndarray
+    distances: np.ndarray
+    counts: np.ndarray
+    type_vocabulary: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.type_codes)
+
+    def row(self, position: int) -> list[tuple[str, float]]:
+        count = int(self.counts[position])
+        return [
+            (self.type_vocabulary[int(code)], float(distance))
+            for code, distance in zip(self.type_codes[position, :count], self.distances[position, :count])
+        ]
+
+
 class TypeSpace:
     """A collection of type markers plus a nearest-neighbour index over them."""
 
@@ -38,15 +72,28 @@ class TypeSpace:
         self.approximate_index = approximate_index
         self._markers: list[TypeMarker] = []
         self._index: Optional[NearestNeighbourIndex] = None
+        self._matrix: Optional[np.ndarray] = None
+        self._type_codes: Optional[np.ndarray] = None
+        self._type_vocabulary: Optional[tuple[str, ...]] = None
+        self._vocabulary_array: Optional[np.ndarray] = None
+        self._name_ranks: Optional[np.ndarray] = None
 
     # -- population ----------------------------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        self._index = None
+        self._matrix = None
+        self._type_codes = None
+        self._type_vocabulary = None
+        self._vocabulary_array = None
+        self._name_ranks = None
 
     def add_marker(self, type_name: str, embedding: np.ndarray, source: str = "") -> None:
         embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
         if embedding.shape[0] != self.dim:
             raise ValueError(f"marker dimension {embedding.shape[0]} does not match TypeSpace dim {self.dim}")
         self._markers.append(TypeMarker(type_name=type_name, embedding=embedding, source=source))
-        self._index = None  # the index is rebuilt lazily
+        self._invalidate_caches()  # the index and marker arrays are rebuilt lazily
 
     def add_markers(self, type_names: Sequence[str], embeddings: np.ndarray, source: str = "") -> None:
         embeddings = np.asarray(embeddings, dtype=np.float64)
@@ -71,9 +118,50 @@ class TypeSpace:
         return Counter(marker.type_name for marker in self._markers)
 
     def marker_matrix(self) -> np.ndarray:
-        if not self._markers:
-            return np.zeros((0, self.dim))
-        return np.stack([marker.embedding for marker in self._markers])
+        if self._matrix is None:
+            if not self._markers:
+                self._matrix = np.zeros((0, self.dim))
+            else:
+                self._matrix = np.stack([marker.embedding for marker in self._markers])
+        return self._matrix
+
+    def type_vocabulary(self) -> tuple[str, ...]:
+        """Distinct marker types in first-seen order (the code space of queries)."""
+        self._ensure_type_codes()
+        assert self._type_vocabulary is not None
+        return self._type_vocabulary
+
+    def marker_type_codes(self) -> np.ndarray:
+        """Per-marker integer codes into :meth:`type_vocabulary`."""
+        self._ensure_type_codes()
+        assert self._type_codes is not None
+        return self._type_codes
+
+    def type_vocabulary_array(self) -> np.ndarray:
+        """The vocabulary as a cached numpy object array (code → name)."""
+        if self._vocabulary_array is None:
+            self._vocabulary_array = np.asarray(self.type_vocabulary(), dtype=object)
+        return self._vocabulary_array
+
+    def type_name_ranks(self) -> np.ndarray:
+        """Alphabetical rank of each type code, cached for tie-breaking."""
+        if self._name_ranks is None:
+            vocabulary = self.type_vocabulary_array()
+            ranks = np.empty(len(vocabulary), dtype=np.int64)
+            ranks[np.argsort(vocabulary, kind="stable")] = np.arange(len(vocabulary))
+            self._name_ranks = ranks
+        return self._name_ranks
+
+    def _ensure_type_codes(self) -> None:
+        if self._type_codes is not None:
+            return
+        vocabulary: dict[str, int] = {}
+        codes = np.empty(len(self._markers), dtype=np.int64)
+        for position, marker in enumerate(self._markers):
+            code = vocabulary.setdefault(marker.type_name, len(vocabulary))
+            codes[position] = code
+        self._type_codes = codes
+        self._type_vocabulary = tuple(vocabulary)
 
     def index(self) -> NearestNeighbourIndex:
         """The (lazily rebuilt) spatial index over the markers."""
@@ -83,8 +171,18 @@ class TypeSpace:
 
     def nearest(self, embedding: np.ndarray, k: int) -> list[tuple[str, float]]:
         """The ``k`` nearest markers of ``embedding``: ``(type, L1 distance)``."""
-        result = self.index().query(np.asarray(embedding, dtype=np.float64), k)
-        return [(self._markers[int(i)].type_name, float(d)) for i, d in zip(result.indices, result.distances)]
+        return self.nearest_batch(np.asarray(embedding, dtype=np.float64).reshape(1, -1), k).row(0)
+
+    def nearest_batch(self, embeddings: np.ndarray, k: int) -> TypeNeighbourBatch:
+        """Nearest markers of a whole query batch in one vectorized index call."""
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        result: BatchNeighbourResult = self.index().query_batch_arrays(embeddings, k)
+        return TypeNeighbourBatch(
+            type_codes=self.marker_type_codes()[result.indices],
+            distances=result.distances,
+            counts=result.counts,
+            type_vocabulary=self.type_vocabulary(),
+        )
 
     # -- persistence -------------------------------------------------------------------
 

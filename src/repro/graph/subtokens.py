@@ -19,6 +19,21 @@ UNKNOWN_SUBTOKEN = "%UNK%"
 EMPTY_SUBTOKEN = "%EMPTY%"
 
 
+def restore_ordered_tokens(vocabulary, tokens: Iterable[str]):
+    """Rebuild a finalised token→id vocabulary from an ordered token list.
+
+    Shared by :class:`SubtokenVocabulary` and
+    :class:`repro.models.encoder_init.TokenVocabulary` so pipeline
+    persistence has exactly one restore path: each token's position in
+    ``tokens`` becomes its id, matching the embedding rows the saved model
+    was trained with.
+    """
+    vocabulary._token_to_id = {token: position for position, token in enumerate(tokens)}
+    vocabulary.max_size = max(vocabulary.max_size, len(vocabulary._token_to_id))
+    vocabulary._finalised = True
+    return vocabulary
+
+
 def split_identifier(text: str) -> list[str]:
     """Split an identifier or syntax label into subtokens.
 
@@ -78,6 +93,11 @@ class SubtokenVocabulary:
     @property
     def tokens(self) -> list[str]:
         return list(self._token_to_id)
+
+    @classmethod
+    def from_tokens(cls, tokens: Iterable[str]) -> "SubtokenVocabulary":
+        """Rebuild a finalised vocabulary from an ordered token list (persistence)."""
+        return restore_ordered_tokens(cls(), tokens)
 
 
 class CharacterVocabulary:

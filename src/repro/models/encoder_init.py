@@ -19,7 +19,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.graph.subtokens import CharacterVocabulary, SubtokenVocabulary, split_identifier
+from repro.graph.subtokens import (
+    CharacterVocabulary,
+    SubtokenVocabulary,
+    restore_ordered_tokens,
+)
 from repro.nn import functional as F
 from repro.nn.conv import CharCNNEncoder
 from repro.nn.layers import Embedding, Module
@@ -88,6 +92,16 @@ class TokenVocabulary:
         vocabulary = cls(max_size=max_size)
         vocabulary.observe(texts)
         return vocabulary.finalise()
+
+    @property
+    def tokens(self) -> list[str]:
+        """Tokens in id order (position == id), for persistence."""
+        return list(self._token_to_id)
+
+    @classmethod
+    def from_token_list(cls, tokens: Iterable[str]) -> "TokenVocabulary":
+        """Rebuild a finalised vocabulary from an ordered token list (persistence)."""
+        return restore_ordered_tokens(cls(), tokens)
 
 
 class TokenNodeInitializer(NodeInitializer):

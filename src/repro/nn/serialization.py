@@ -59,3 +59,48 @@ def load(module: Module, path: Union[str, Path], strict: bool = True) -> Module:
         state = {key: archive[key] for key in archive.files}
     load_state_dict(module, state, strict=strict)
     return module
+
+
+# -- multi-module archives ---------------------------------------------------------
+
+_NAMESPACE_SEPARATOR = "//"
+
+
+def save_modules(path: Union[str, Path], **modules: Module) -> Path:
+    """Serialize several named modules into one ``.npz`` archive.
+
+    Parameter keys are namespaced as ``"<module name>//<parameter name>"`` so
+    an encoder and any loss heads can share a single file.  Used by pipeline
+    persistence.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    combined: dict[str, np.ndarray] = {}
+    for module_name, module in modules.items():
+        for parameter_name, values in state_dict(module).items():
+            combined[f"{module_name}{_NAMESPACE_SEPARATOR}{parameter_name}"] = values
+    np.savez(path, **combined)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_modules(path: Union[str, Path], strict: bool = True, **modules: Module) -> dict[str, list[str]]:
+    """Load an archive written by :func:`save_modules` into the given modules.
+
+    Returns the missing-parameter lists per module (see
+    :func:`load_state_dict`).  Unknown module namespaces in the archive are an
+    error under ``strict``.
+    """
+    with np.load(Path(path)) as archive:
+        state = {key: archive[key] for key in archive.files}
+    grouped: dict[str, dict[str, np.ndarray]] = {}
+    for key, values in state.items():
+        module_name, _, parameter_name = key.partition(_NAMESPACE_SEPARATOR)
+        grouped.setdefault(module_name, {})[parameter_name] = values
+    if strict:
+        unknown = set(grouped) - set(modules)
+        if unknown:
+            raise KeyError(f"archive contains modules not being loaded: {sorted(unknown)}")
+    missing: dict[str, list[str]] = {}
+    for module_name, module in modules.items():
+        missing[module_name] = load_state_dict(module, grouped.get(module_name, {}), strict=strict)
+    return missing

@@ -1,0 +1,149 @@
+"""Project-scale annotation engine: batched reports, metrics and CLI surface."""
+
+import numpy as np
+import pytest
+
+from repro.engine import AnnotatorConfig, FileReport, ProjectAnnotator, ProjectReport
+
+UNANNOTATED_A = (
+    "def scale_amount(amount, factor):\n"
+    "    return amount * factor\n"
+)
+UNANNOTATED_B = (
+    "def count_entries(entries):\n"
+    "    return len(entries)\n"
+    "\n"
+    "def join_names(names):\n"
+    "    return ','.join(names)\n"
+)
+
+
+class TestProjectAnnotator:
+    def test_batched_report_matches_single_file_path(self, trained_pipeline):
+        sources = {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}
+        annotator = ProjectAnnotator(trained_pipeline, AnnotatorConfig(use_type_checker=False))
+        report = annotator.annotate_sources(sources)
+        assert report.num_files == 2
+        assert not report.skipped_files
+        for file_report in report.files:
+            single = trained_pipeline.suggest_for_source(
+                sources[file_report.filename], filename=file_report.filename, use_type_checker=False
+            )
+            assert [(s.scope, s.name, s.suggested_type) for s in file_report.suggestions] == [
+                (s.scope, s.name, s.suggested_type) for s in single
+            ]
+
+    def test_unparsable_files_are_skipped_not_fatal(self, trained_pipeline):
+        sources = {"ok.py": UNANNOTATED_A, "broken.py": "def broken(:\n"}
+        report = ProjectAnnotator(trained_pipeline, AnnotatorConfig(use_type_checker=False)).annotate_sources(
+            sources
+        )
+        assert report.skipped_files == ["broken.py"]
+        assert [f.filename for f in report.files] == ["ok.py"]
+
+    def test_report_metrics_and_throughput(self, trained_pipeline):
+        report = ProjectAnnotator(trained_pipeline, AnnotatorConfig(use_type_checker=False)).annotate_sources(
+            {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}
+        )
+        assert report.num_symbols == sum(f.num_symbols for f in report.files) > 0
+        assert 0.0 <= report.coverage <= 1.0
+        assert report.elapsed_seconds > 0
+        assert report.symbols_per_second > 0
+        summary = report.summary()
+        assert summary["files"] == 2
+        assert summary["symbols"] == report.num_symbols
+
+    def test_confidence_threshold_prunes_symbols(self, trained_pipeline):
+        loose = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=False, confidence_threshold=0.0)
+        ).annotate_sources({"a.py": UNANNOTATED_A})
+        strict = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=False, confidence_threshold=0.99)
+        ).annotate_sources({"a.py": UNANNOTATED_A})
+        assert strict.num_symbols <= loose.num_symbols
+
+    def test_disagreements_respect_threshold(self, trained_pipeline):
+        source = "def build_grid(num_rows: str, num_cols: str) -> int:\n    return num_rows * num_cols\n"
+        report = ProjectAnnotator(
+            trained_pipeline,
+            AnnotatorConfig(use_type_checker=False, disagreement_threshold=0.0),
+        ).annotate_sources({"grid.py": source})
+        for filename, suggestion in report.disagreements():
+            assert filename == "grid.py"
+            assert suggestion.disagrees_with_existing
+        # raising the threshold can only shrink the findings
+        stricter = ProjectAnnotator(
+            trained_pipeline,
+            AnnotatorConfig(use_type_checker=False, disagreement_threshold=0.999),
+        ).annotate_sources({"grid.py": source})
+        assert len(stricter.disagreements()) <= len(report.disagreements())
+
+    def test_annotate_directory_walks_files(self, trained_pipeline, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "a.py").write_text(UNANNOTATED_A, encoding="utf-8")
+        (tmp_path / "pkg" / "b.py").write_text(UNANNOTATED_B, encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("not python", encoding="utf-8")
+        report = ProjectAnnotator(trained_pipeline, AnnotatorConfig(use_type_checker=False)).annotate_directory(
+            tmp_path
+        )
+        assert sorted(f.filename for f in report.files) == ["a.py", "pkg/b.py"]
+
+    def test_annotate_directory_rejects_non_directory(self, trained_pipeline, tmp_path):
+        target = tmp_path / "file.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(NotADirectoryError):
+            ProjectAnnotator(trained_pipeline).annotate_directory(target)
+
+    def test_empty_project_yields_empty_report(self, trained_pipeline):
+        report = ProjectAnnotator(trained_pipeline).annotate_sources({})
+        assert report.num_files == 0
+        assert report.num_symbols == 0
+        assert report.coverage == 0.0
+
+    def test_checker_filter_runs_in_engine(self, trained_pipeline):
+        source = "def double_text(text):\n    return text + text\n\nresult: str = double_text('x')\n"
+        report = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=True)
+        ).annotate_sources({"f.py": source})
+        [file_report] = report.files
+        assert any(s.filtered is not None for s in file_report.suggestions)
+
+
+class TestSuggestForSources:
+    def test_batch_covers_all_files_and_symbols(self, trained_pipeline):
+        results = trained_pipeline.suggest_for_sources(
+            {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}, use_type_checker=False
+        )
+        assert set(results) == {"a.py", "b.py"}
+        names_b = {s.name for s in results["b.py"]}
+        assert {"entries", "names", "<return>"} <= names_b
+
+    def test_unparsable_raises_without_skip_flag(self, trained_pipeline):
+        from repro.graph.builder import GraphBuildError
+
+        with pytest.raises(GraphBuildError):
+            trained_pipeline.suggest_for_sources({"broken.py": "def broken(:\n"})
+
+    def test_predictions_identical_to_split_predictor(self, trained_pipeline, tiny_dataset):
+        """The batch suggestion path uses the same predictor as split scoring."""
+        embeddings, _ = trained_pipeline.embedder.embed_split(tiny_dataset.test)
+        if len(embeddings) == 0:
+            pytest.skip("no test symbols in tiny dataset")
+        batched = trained_pipeline.predictor.predict_batch(embeddings)
+        singles = [trained_pipeline.predictor.predict(embedding) for embedding in embeddings]
+        for one, other in zip(singles, batched):
+            assert one.top_type == other.top_type
+            assert np.isclose(one.confidence, other.confidence)
+
+
+class TestReportDataclasses:
+    def test_file_report_counts(self):
+        report = FileReport(filename="x.py", suggestions=[])
+        assert report.num_symbols == 0
+        assert report.num_suggested == 0
+        assert report.disagreements() == []
+
+    def test_project_report_defaults(self):
+        report = ProjectReport()
+        assert report.symbols_per_second == 0.0
+        assert report.summary()["files"] == 0

@@ -1,0 +1,155 @@
+"""Batched index queries, probe-radius handling and stale-index adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExactL1Index,
+    KNNTypePredictor,
+    RandomProjectionIndex,
+    TypeSpace,
+    adapt_space_with_new_type,
+)
+
+
+class TestBatchQueries:
+    def _points(self, n=60, dim=6, seed=3):
+        return np.random.default_rng(seed).normal(size=(n, dim))
+
+    def test_exact_batch_arrays_match_per_query(self):
+        points = self._points()
+        index = ExactL1Index(points)
+        queries = np.random.default_rng(4).normal(size=(17, points.shape[1]))
+        batch = index.query_batch_arrays(queries, k=5)
+        assert batch.indices.shape == (17, 5)
+        assert batch.distances.shape == (17, 5)
+        assert list(batch.counts) == [5] * 17
+        for row, query in enumerate(queries):
+            single = index.query(query, k=5)
+            assert list(single.indices) == list(batch.indices[row])
+            assert np.allclose(single.distances, batch.distances[row])
+
+    def test_exact_batch_distances_sorted(self):
+        index = ExactL1Index(self._points())
+        batch = index.query_batch_arrays(np.random.default_rng(9).normal(size=(8, 6)), k=7)
+        assert np.all(np.diff(batch.distances, axis=1) >= 0)
+
+    def test_exact_query_batch_list_view_agrees_with_arrays(self):
+        index = ExactL1Index(self._points())
+        queries = np.random.default_rng(5).normal(size=(6, 6))
+        as_list = index.query_batch(queries, k=4)
+        as_arrays = index.query_batch_arrays(queries, k=4)
+        for row, result in enumerate(as_list):
+            assert list(result.indices) == list(as_arrays.indices[row])
+
+    def test_empty_exact_index_returns_empty_rows(self):
+        index = ExactL1Index(np.zeros((0, 4)))
+        batch = index.query_batch_arrays(np.ones((3, 4)), k=5)
+        assert batch.indices.shape == (3, 0)
+        assert list(batch.counts) == [0, 0, 0]
+
+    def test_approximate_batch_matches_per_query(self):
+        points = self._points(n=120)
+        index = RandomProjectionIndex(points, num_bits=5, probe_radius=1, seed=2)
+        queries = np.random.default_rng(6).normal(size=(25, points.shape[1]))
+        batch = index.query_batch_arrays(queries, k=6)
+        for row, query in enumerate(queries):
+            single = index.query(query, k=6)
+            assert list(single.indices) == list(batch.indices[row])
+            assert np.allclose(single.distances, batch.distances[row])
+
+
+class TestProbeRadius:
+    def test_probe_signature_counts_follow_binomials(self):
+        # radius r probes sum_{i<=r} C(num_bits, i) buckets — any radius, not
+        # just the old hard-coded <= 2.
+        from math import comb
+
+        for num_bits, radius in [(6, 3), (8, 4), (5, 5)]:
+            index = RandomProjectionIndex(np.zeros((1, 3)), num_bits=num_bits, probe_radius=radius)
+            signatures = index._probe_signatures(0)
+            expected = sum(comb(num_bits, r) for r in range(radius + 1))
+            assert len(signatures) == expected
+            assert len(set(signatures)) == expected  # all distinct
+
+    def test_large_probe_radius_recovers_exact_results(self):
+        points = np.random.default_rng(11).normal(size=(40, 4))
+        exact = ExactL1Index(points)
+        # probing every bucket (radius == num_bits) must reproduce exact search
+        approximate = RandomProjectionIndex(points, num_bits=4, probe_radius=4, seed=7)
+        for query in np.random.default_rng(12).normal(size=(10, 4)):
+            assert list(approximate.query(query, 5).indices) == list(exact.query(query, 5).indices)
+
+    def test_invalid_parameters_rejected(self):
+        points = np.zeros((4, 3))
+        with pytest.raises(ValueError):
+            RandomProjectionIndex(points, num_bits=0)
+        with pytest.raises(ValueError):
+            RandomProjectionIndex(points, num_bits=70)
+        with pytest.raises(ValueError):
+            RandomProjectionIndex(points, num_bits=4, probe_radius=-1)
+        with pytest.raises(ValueError):
+            RandomProjectionIndex(points, num_bits=4, probe_radius=5)
+        with pytest.raises(ValueError):
+            RandomProjectionIndex(points, num_bits=4, probe_radius=1.5)
+
+
+class TestExactApproximateAgreement:
+    def test_recall_floor_on_random_data(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(300, 8))
+        queries = rng.normal(size=(50, 8))
+        k = 10
+        exact = ExactL1Index(points).query_batch_arrays(queries, k)
+        approximate = RandomProjectionIndex(points, num_bits=8, probe_radius=2, seed=1).query_batch_arrays(
+            queries, k
+        )
+        hits = 0
+        for row in range(len(queries)):
+            hits += len(set(exact.indices[row].tolist()) & set(approximate.indices[row].tolist()))
+        recall = hits / (len(queries) * k)
+        assert recall >= 0.5
+
+    def test_approximate_never_beats_exact_top_distance(self):
+        rng = np.random.default_rng(21)
+        points = rng.normal(size=(80, 5))
+        queries = rng.normal(size=(12, 5))
+        exact = ExactL1Index(points).query_batch_arrays(queries, 3)
+        approximate = RandomProjectionIndex(points, num_bits=5, probe_radius=1, seed=3).query_batch_arrays(
+            queries, 3
+        )
+        assert np.all(approximate.distances[:, 0] >= exact.distances[:, 0] - 1e-9)
+
+
+class TestAdaptationWithStaleIndex:
+    def _space(self):
+        space = TypeSpace(dim=3)
+        space.add_markers(["int"] * 4, np.zeros((4, 3)), source="train")
+        space.add_markers(["str"] * 4, np.full((4, 3), 4.0), source="train")
+        return space
+
+    def test_adaptation_invalidates_built_index(self):
+        space = self._space()
+        stale = space.index()  # force the index to exist before adapting
+        assert space.nearest(np.full(3, 10.0), k=1)[0][0] == "str"
+        adapt_space_with_new_type(space, "torch.Tensor", [np.full(3, 10.0)])
+        assert space.index() is not stale  # rebuilt, not reused
+        assert space.nearest(np.full(3, 10.0), k=1)[0][0] == "torch.Tensor"
+
+    def test_adaptation_refreshes_batch_vocabulary_and_codes(self):
+        space = self._space()
+        before = space.nearest_batch(np.zeros((1, 3)), k=2)
+        assert "torch.Tensor" not in before.type_vocabulary
+        adapt_space_with_new_type(space, "torch.Tensor", [np.full(3, 10.0), np.full(3, 10.5)])
+        after = space.nearest_batch(np.full((1, 3), 10.0), k=2)
+        assert "torch.Tensor" in after.type_vocabulary
+        top_type, _ = after.row(0)[0]
+        assert top_type == "torch.Tensor"
+
+    def test_predictor_sees_adapted_space_with_approximate_index(self):
+        space = TypeSpace(dim=3, approximate_index=True)
+        space.add_markers(["int"] * 6, np.zeros((6, 3)), source="train")
+        predictor = KNNTypePredictor(space, k=3, p=2.0)
+        space.index()  # build the (approximate) index, then let it go stale
+        adapt_space_with_new_type(space, "bytes", [np.full(3, 9.0)])
+        assert predictor.predict(np.full(3, 9.0)).top_type == "bytes"
