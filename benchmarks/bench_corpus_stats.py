@@ -5,12 +5,17 @@ from _bench_utils import run_once
 from repro.evaluation import format_corpus_stats, run_corpus_stats
 
 
-def test_corpus_statistics(benchmark, settings, dataset):
+def test_corpus_statistics(benchmark, settings, dataset, bench_check, bench_record):
     result = run_once(benchmark, lambda: run_corpus_stats(settings, dataset=dataset))
     print("\n" + format_corpus_stats(result))
+    bench_record(
+        distinct_types=result.summary["distinct_types"],
+        rare_annotation_fraction=result.rare_annotation_fraction,
+        zipf_exponent=result.zipf_exponent,
+    )
     # The corpus must reproduce the qualitative properties of Sec. 6: a
     # Zipf-like head of builtins plus a long tail of rarer types.
-    assert result.summary["distinct_types"] >= 10
-    assert result.rare_annotation_fraction > 0.0
-    assert result.zipf_exponent > 0.5
+    bench_check(result.summary["distinct_types"] >= 10)
+    bench_check(result.rare_annotation_fraction > 0.0)
+    bench_check(result.zipf_exponent > 0.5)
     assert dict(result.top_types)  # the head exists

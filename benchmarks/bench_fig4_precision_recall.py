@@ -7,7 +7,7 @@ from repro.core.metrics import precision_at_recall
 from repro.evaluation import format_figure4, run_figure4, train_variant
 
 
-def test_fig4_precision_recall_curves(benchmark, settings, dataset, typilus_variant):
+def test_fig4_precision_recall_curves(benchmark, settings, dataset, typilus_variant, bench_check, bench_record):
     def build():
         variants = [
             train_variant(dataset, settings, "graph", LossKind.CLASSIFICATION, label="Graph2Class"),
@@ -30,4 +30,9 @@ def test_fig4_precision_recall_curves(benchmark, settings, dataset, typilus_vari
     typilus_points = result.curves["Typilus"]
     precision_high_recall = precision_at_recall(typilus_points, 0.7, criterion="neutral")
     precision_full = typilus_points[0].precision_neutral
-    assert precision_high_recall >= precision_full - 1e-9
+    bench_record(
+        curves=sorted(result.curves),
+        typilus_precision_at_70_recall=precision_high_recall,
+        typilus_precision_full_recall=precision_full,
+    )
+    bench_check(precision_high_recall >= precision_full - 1e-9)

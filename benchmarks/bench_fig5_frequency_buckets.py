@@ -5,7 +5,7 @@ from _bench_utils import run_once
 from repro.evaluation import format_figure5, run_figure5
 
 
-def test_fig5_accuracy_by_annotation_count(benchmark, settings, dataset, typilus_variant):
+def test_fig5_accuracy_by_annotation_count(benchmark, settings, dataset, typilus_variant, bench_check, bench_record):
     result = run_once(benchmark, lambda: run_figure5(settings, dataset=dataset, variant=typilus_variant))
     print("\n" + format_figure5(result))
 
@@ -17,4 +17,9 @@ def test_fig5_accuracy_by_annotation_count(benchmark, settings, dataset, typilus
     # better than the rarest bucket.
     rarest = populated[0]
     most_common = populated[-1]
-    assert most_common.exact_match >= rarest.exact_match
+    bench_record(
+        populated_buckets=len(populated),
+        rarest_exact_match=rarest.exact_match,
+        most_common_exact_match=most_common.exact_match,
+    )
+    bench_check(most_common.exact_match >= rarest.exact_match)

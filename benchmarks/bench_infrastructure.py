@@ -13,7 +13,7 @@ from repro.corpus import CorpusSynthesizer, SynthesisConfig
 from repro.graph import GraphBuilder
 
 
-def test_graph_construction_throughput(benchmark):
+def test_graph_construction_throughput(benchmark, bench_record):
     files = CorpusSynthesizer(SynthesisConfig(num_files=10, seed=21, duplicate_fraction=0.0)).generate()
     builder = GraphBuilder()
 
@@ -21,25 +21,28 @@ def test_graph_construction_throughput(benchmark):
         return [builder.build(entry.source, entry.filename) for entry in files]
 
     graphs = benchmark(build_all)
+    bench_record(files=len(files), total_nodes=sum(graph.num_nodes for graph in graphs))
     assert len(graphs) == len(files)
     assert all(graph.num_nodes > 0 for graph in graphs)
 
 
-def test_exact_knn_query_speed(benchmark):
+def test_exact_knn_query_speed(benchmark, bench_record):
     rng = np.random.default_rng(0)
     index = ExactL1Index(rng.normal(size=(2000, 32)))
     queries = rng.normal(size=(50, 32))
 
     results = benchmark(lambda: index.query_batch(queries, k=10))
+    bench_record(queries=len(queries), k=10, points=2000)
     assert len(results) == 50 and len(results[0].indices) == 10
 
 
-def test_approximate_knn_query_speed(benchmark):
+def test_approximate_knn_query_speed(benchmark, bench_record):
     rng = np.random.default_rng(0)
     points = rng.normal(size=(2000, 32))
     index = RandomProjectionIndex(points, num_bits=10, probe_radius=1, seed=3)
     queries = rng.normal(size=(50, 32))
 
     results = benchmark(lambda: index.query_batch(queries, k=10))
+    bench_record(queries=len(queries), k=10, points=2000, num_bits=10)
     assert len(results) == 50
     assert all(len(result.indices) == 10 for result in results)

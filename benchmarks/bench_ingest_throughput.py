@@ -1,0 +1,158 @@
+"""Throughput of parallel, cache-backed corpus ingestion.
+
+The tentpole claim of the ingest subsystem is that dataset preparation is no
+longer serial-once-per-run: graph extraction fans out over a process pool
+(pure workers, deterministic order) and a content-addressed cache makes
+re-ingestion ~O(changed files).  This benchmark measures three regimes over
+a multi-file synthetic corpus:
+
+* **cold serial** — ``jobs=1``, no cache: the pre-refactor behaviour;
+* **cold parallel** — ``jobs=4``: must be ≥ 2× faster than cold serial on
+  hardware with at least four cores (the assertion is skipped on smaller
+  machines and under ``--quick``, where the numbers are recorded instead);
+* **warm cache** — a second ingestion with one file edited: only the edited
+  file may be re-extracted, everything else must be served from the cache.
+
+Parallel and serial ingestion must also agree byte-for-byte — that part is
+asserted unconditionally, on any hardware.
+"""
+
+import os
+
+import pytest
+
+from _bench_utils import run_once
+from repro.corpus import IngestConfig, ingest_sources
+from repro.corpus.serialize import graph_to_payload
+from repro.corpus.synthesis import CorpusSynthesizer, SynthesisConfig
+from repro.utils.timing import Stopwatch
+
+PARALLEL_JOBS = 4
+QUICK_FILES = 12
+# Large enough that per-file extraction dominates the fixed pool start-up
+# cost, so the 4-worker speedup reflects parallelism, not overhead.
+FULL_FILES = 160
+
+
+@pytest.fixture(scope="module")
+def corpus(quick) -> dict[str, str]:
+    num_files = QUICK_FILES if quick else FULL_FILES
+    synthesizer = CorpusSynthesizer(
+        SynthesisConfig(num_files=num_files, seed=33, duplicate_fraction=0.0, num_user_classes=24)
+    )
+    return {entry.filename: entry.source for entry in synthesizer.generate()}
+
+
+def _time(fn) -> float:
+    stopwatch = Stopwatch()
+    with stopwatch.measure("run"):
+        fn()
+    return stopwatch.sections["run"]
+
+
+def test_parallel_ingestion_speedup(benchmark, corpus, quick, bench_check, bench_record):
+    """Cold-cache parallel ingestion beats serial ≥ 2× on ≥ 4 cores."""
+
+    def measure():
+        serial_holder: list = []
+        parallel_holder: list = []
+        serial_seconds = _time(
+            lambda: serial_holder.extend(ingest_sources(corpus, IngestConfig(jobs=1))[0])
+        )
+        parallel_seconds = _time(
+            lambda: parallel_holder.extend(ingest_sources(corpus, IngestConfig(jobs=PARALLEL_JOBS))[0])
+        )
+        return {
+            "files": len(corpus),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": serial_seconds / parallel_seconds,
+            "serial": serial_holder,
+            "parallel": parallel_holder,
+        }
+
+    result = run_once(benchmark, measure)
+    print(
+        f"\ncold serial: {result['files'] / result['serial_seconds']:.0f} files/s, "
+        f"cold parallel (jobs={PARALLEL_JOBS}): {result['files'] / result['parallel_seconds']:.0f} files/s "
+        f"({result['speedup']:.2f}x)"
+    )
+    bench_record(
+        files=result["files"],
+        jobs=PARALLEL_JOBS,
+        serial_seconds=result["serial_seconds"],
+        parallel_seconds=result["parallel_seconds"],
+        speedup=result["speedup"],
+        cores=os.cpu_count(),
+    )
+
+    # Determinism is asserted on any hardware: the parallel dataset is
+    # byte-for-byte the serial one.
+    assert [extracted.filename for extracted in result["serial"]] == [
+        extracted.filename for extracted in result["parallel"]
+    ]
+    assert [graph_to_payload(extracted.graph) for extracted in result["serial"]] == [
+        graph_to_payload(extracted.graph) for extracted in result["parallel"]
+    ]
+
+    # The speed claim needs the cores to exist.
+    if (os.cpu_count() or 1) >= PARALLEL_JOBS:
+        bench_check(
+            result["speedup"] >= 2.0,
+            f"parallel ingestion managed only {result['speedup']:.2f}x over serial",
+        )
+
+
+def test_warm_cache_is_incremental(benchmark, corpus, tmp_path, bench_check, bench_record):
+    """Re-ingestion after one edit re-extracts exactly the changed file."""
+    cache_dir = tmp_path / "graph-cache"
+    edited_name = sorted(corpus)[0]
+    edited = dict(corpus)
+    edited[edited_name] = corpus[edited_name] + "\n\nEXTRA_SENTINEL: int = 1\n"
+
+    def measure():
+        reports = {}
+        cold_seconds = _time(
+            lambda: reports.__setitem__("cold", ingest_sources(corpus, IngestConfig(jobs=1, cache_dir=cache_dir))[1])
+        )
+        warm_seconds = _time(
+            lambda: reports.__setitem__("warm", ingest_sources(corpus, IngestConfig(jobs=1, cache_dir=cache_dir))[1])
+        )
+        incremental_seconds = _time(
+            lambda: reports.__setitem__(
+                "incremental", ingest_sources(edited, IngestConfig(jobs=1, cache_dir=cache_dir))[1]
+            )
+        )
+        return {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "incremental_seconds": incremental_seconds,
+            "reports": reports,
+        }
+
+    result = run_once(benchmark, measure)
+    reports = result["reports"]
+    print(
+        f"\ncold: {result['cold_seconds'] * 1000:.0f}ms, warm: {result['warm_seconds'] * 1000:.0f}ms, "
+        f"warm+1 edit: {result['incremental_seconds'] * 1000:.0f}ms over {len(corpus)} files"
+    )
+    bench_record(
+        files=len(corpus),
+        cold_seconds=result["cold_seconds"],
+        warm_seconds=result["warm_seconds"],
+        incremental_seconds=result["incremental_seconds"],
+    )
+
+    # Cache behaviour is exact, so it is asserted even in quick mode.
+    assert reports["cold"].extracted == len(corpus) and reports["cold"].cache_hits == 0
+    assert reports["warm"].extracted == 0 and reports["warm"].cache_hits == len(corpus)
+    assert reports["incremental"].extracted == 1
+    assert reports["incremental"].cache_hits == len(corpus) - 1
+
+    # The timing side of "~O(changed files)": skipping all parses must beat
+    # doing all of them.
+    bench_check(result["warm_seconds"] < result["cold_seconds"], "warm cache slower than cold ingestion")
+    bench_check(
+        result["incremental_seconds"] < result["cold_seconds"],
+        "incremental re-ingestion slower than a full cold run",
+    )

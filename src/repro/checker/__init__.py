@@ -1,8 +1,8 @@
 """Optional type checker: the reproduction's stand-in for mypy and pytype."""
 
 from repro.checker.checker import CheckerMode, OptionalTypeChecker, check_source
-from repro.checker.errors import CheckResult, ErrorCode, TypeCheckError
 from repro.checker.env import BUILTIN_SIGNATURES, ClassInfo, FunctionSignature, ModuleContext, Scope
+from repro.checker.errors import CheckResult, ErrorCode, TypeCheckError
 from repro.checker.harness import (
     AnnotationRewriteError,
     PredictionCategory,

@@ -23,7 +23,6 @@ from repro.checker.errors import ErrorCode, TypeCheckError
 from repro.types.expr import ANY, NONE, TypeExpr
 from repro.types.lattice import TypeLattice
 from repro.types.normalize import canonicalise
-from repro.types.parser import try_parse_type
 
 _NUMERIC = {"bool", "int", "float", "complex"}
 

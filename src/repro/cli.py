@@ -1,13 +1,19 @@
 """Command-line interface for the Typilus reproduction.
 
-Five subcommands cover the library's main workflows without writing Python:
+Six subcommands cover the library's main workflows without writing Python:
 
 ``corpus``
     Generate a synthetic corpus to a directory and print its statistics.
+``ingest``
+    Extract program graphs for a whole corpus — in parallel with ``--jobs``,
+    reusing the content-addressed graph cache with ``--cache-dir`` — and
+    persist the assembled dataset to a sharded directory (``--out``) that
+    ``train --dataset`` reloads instantly.
 ``train``
-    Train a model on a (synthetic or on-disk) corpus, report test metrics and
-    optionally save the TypeSpace (``--save-typespace``) or the whole trained
-    pipeline (``--save-model``).
+    Train a model on a (synthetic, on-disk or pre-ingested) corpus, report
+    test metrics and optionally save the TypeSpace (``--save-typespace``),
+    the whole trained pipeline (``--save-model``) or the assembled dataset
+    (``--save-dataset``).
 ``suggest``
     Train (or load a saved pipeline with ``--load-model``) and print
     checker-filtered type suggestions for one or more Python files.
@@ -15,16 +21,19 @@ Five subcommands cover the library's main workflows without writing Python:
     Run the batched project annotation engine over a whole directory:
     suggestions, disagreement findings and throughput in one pass.  Combine
     with ``--load-model`` to serve a previously trained pipeline without
-    re-training, or ``--save-model`` to persist the freshly trained one.
+    re-training, ``--save-model`` to persist the freshly trained one, and
+    ``--jobs``/``--cache-dir`` for parallel extraction plus incremental
+    re-annotation (unchanged files are served from the cache).
 ``check``
     Run the optional type checker over Python files and print diagnostics.
 
 Examples::
 
     python -m repro.cli corpus --num-files 40 --out /tmp/corpus
-    python -m repro.cli train --num-files 60 --epochs 8 --save-model /tmp/model
+    python -m repro.cli ingest --corpus-dir /tmp/corpus --out /tmp/dataset --jobs 4 --cache-dir /tmp/cache
+    python -m repro.cli train --dataset /tmp/dataset --epochs 8 --save-model /tmp/model
     python -m repro.cli suggest path/to/file.py --confidence 0.5
-    python -m repro.cli annotate path/to/project --load-model /tmp/model
+    python -m repro.cli annotate path/to/project --load-model /tmp/model --jobs 4 --cache-dir /tmp/cache
     python -m repro.cli check path/to/file.py --mode strict
 """
 
@@ -37,7 +46,13 @@ from typing import Optional, Sequence
 
 from repro.checker import CheckerMode, OptionalTypeChecker
 from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
-from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.corpus import (
+    CorpusSynthesizer,
+    DatasetConfig,
+    IngestConfig,
+    SynthesisConfig,
+    TypeAnnotationDataset,
+)
 from repro.engine import AnnotatorConfig, ProjectAnnotator
 from repro.evaluation import render_table
 
@@ -60,6 +75,22 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--learning-rate", type=float, default=5e-3)
     parser.add_argument("--corpus-dir", type=Path, default=None,
                         help="train on .py files from this directory instead of a synthetic corpus")
+    parser.add_argument("--dataset", type=Path, default=None,
+                        help="load a dataset directory saved by 'ingest --out' / 'train --save-dataset'")
+
+
+def _add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for graph extraction (0 = one per CPU core)")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="content-addressed extraction cache; unchanged files are never re-parsed")
+
+
+def _ingest_config(args: argparse.Namespace) -> IngestConfig:
+    jobs: Optional[int] = getattr(args, "jobs", 1)
+    if jobs == 0:
+        jobs = None  # one worker per core
+    return IngestConfig(jobs=jobs, cache_dir=getattr(args, "cache_dir", None))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,16 +102,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(corpus)
     corpus.add_argument("--out", type=Path, default=None, help="directory to write the generated files to")
 
+    ingest = subparsers.add_parser(
+        "ingest", help="extract graphs for a corpus (parallel, cached) and save the dataset"
+    )
+    _add_corpus_arguments(ingest)
+    _add_ingest_arguments(ingest)
+    ingest.add_argument("--corpus-dir", type=Path, default=None,
+                        help="ingest .py files from this directory instead of a synthetic corpus")
+    ingest.add_argument("--out", type=Path, required=True,
+                        help="directory to write the sharded dataset to (reload with 'train --dataset')")
+    ingest.add_argument("--shard-size", type=int, default=64, help="graphs per dataset shard file")
+
     train = subparsers.add_parser("train", help="train a model and report test metrics")
     _add_corpus_arguments(train)
     _add_training_arguments(train)
+    _add_ingest_arguments(train)
     train.add_argument("--save-typespace", type=Path, default=None, help="write the TypeSpace to this .npz file")
     train.add_argument("--save-model", type=Path, default=None,
                        help="persist the trained pipeline (weights + TypeSpace) to this directory")
+    train.add_argument("--save-dataset", type=Path, default=None,
+                       help="persist the assembled dataset to this directory for instant reloads")
 
     suggest = subparsers.add_parser("suggest", help="suggest types for Python files")
     _add_corpus_arguments(suggest)
     _add_training_arguments(suggest)
+    _add_ingest_arguments(suggest)
     suggest.add_argument("files", nargs="+", type=Path, help="Python files to annotate")
     suggest.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
     suggest.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
@@ -92,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_corpus_arguments(annotate)
     _add_training_arguments(annotate)
+    _add_ingest_arguments(annotate)
     annotate.add_argument("directory", type=Path, help="project directory of .py files to annotate")
     annotate.add_argument("--load-model", type=Path, default=None,
                           help="serve a pipeline saved with --save-model instead of training")
@@ -116,17 +163,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_dataset(args: argparse.Namespace) -> TypeAnnotationDataset:
+    dataset_path: Optional[Path] = getattr(args, "dataset", None)
+    if dataset_path is not None:
+        dataset = TypeAnnotationDataset.load(dataset_path)
+        print(f"loaded dataset from {dataset_path} ({dataset.summary()['files']} files)")
+        return dataset
     dataset_config = DatasetConfig(rarity_threshold=args.rarity_threshold)
+    ingest = _ingest_config(args)
     corpus_dir: Optional[Path] = getattr(args, "corpus_dir", None)
     if corpus_dir is not None:
         files = {str(path): path.read_text(encoding="utf-8") for path in sorted(corpus_dir.rglob("*.py"))}
         if not files:
             raise SystemExit(f"no .py files found under {corpus_dir}")
-        return TypeAnnotationDataset.from_sources(files, config=dataset_config)
+        return TypeAnnotationDataset.from_sources(files, config=dataset_config, ingest=ingest)
     synthesis = SynthesisConfig(
         num_files=args.num_files, seed=args.seed, annotation_probability=args.annotation_probability
     )
-    return TypeAnnotationDataset.synthetic(synthesis, dataset_config)
+    return TypeAnnotationDataset.synthetic(synthesis, dataset_config, ingest=ingest)
 
 
 def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> TypilusPipeline:
@@ -177,8 +230,22 @@ def _obtain_pipeline(args: argparse.Namespace) -> TypilusPipeline:
     return _fit_pipeline(args, dataset)
 
 
+def command_ingest(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    dataset.save(args.out, shard_size=args.shard_size)
+    print(f"dataset saved to {args.out}")
+    rows = [[key, str(value)] for key, value in dataset.summary().items()]
+    if dataset.ingest_report is not None:
+        rows.extend([key, str(value)] for key, value in dataset.ingest_report.summary().items())
+    print(render_table(["statistic", "value"], rows))
+    return 0
+
+
 def command_train(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
+    if args.save_dataset is not None:
+        dataset.save(args.save_dataset)
+        print(f"dataset saved to {args.save_dataset}")
     pipeline = _fit_pipeline(args, dataset)
     summary, _ = pipeline.evaluate_split(dataset.test)
     print(render_table(["metric", "value"], [[key, str(value)] for key, value in summary.as_row().items()]))
@@ -194,10 +261,12 @@ def command_train(args: argparse.Namespace) -> int:
 def command_suggest(args: argparse.Namespace) -> int:
     pipeline = _obtain_pipeline(args)
     sources = {str(path): path.read_text(encoding="utf-8") for path in args.files}
+    ingest = _ingest_config(args)
     suggestions_by_file = pipeline.suggest_for_sources(
         sources,
         use_type_checker=not args.no_type_checker,
         confidence_threshold=args.confidence,
+        ingest=ingest if (ingest.jobs != 1 or ingest.cache_dir is not None) else None,
     )
     for filename, suggestions in suggestions_by_file.items():
         print(f"\n=== {filename} ===")
@@ -216,12 +285,15 @@ def command_annotate(args: argparse.Namespace) -> int:
     if args.save_model is not None:
         pipeline.save(args.save_model)
         print(f"pipeline saved to {args.save_model}")
+    ingest = _ingest_config(args)
     annotator = ProjectAnnotator(
         pipeline,
         AnnotatorConfig(
             use_type_checker=not args.no_type_checker,
             confidence_threshold=args.confidence,
             disagreement_threshold=args.disagreement_threshold,
+            jobs=ingest.jobs,
+            cache_dir=args.cache_dir,
         ),
     )
     report = annotator.annotate_directory(args.directory)
@@ -260,6 +332,7 @@ def command_check(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "corpus": command_corpus,
+    "ingest": command_ingest,
     "train": command_train,
     "suggest": command_suggest,
     "annotate": command_annotate,

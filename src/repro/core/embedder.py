@@ -61,9 +61,7 @@ class SymbolEmbedder:
 
     def embed_split(self, split: DatasetSplit, batch_graphs: int | None = None) -> tuple[np.ndarray, list[AnnotatedSymbol]]:
         """Embed every supervised symbol of a split (in dataset order)."""
-        samples_by_graph: dict[int, list[AnnotatedSymbol]] = {}
-        for sample in split.samples:
-            samples_by_graph.setdefault(sample.graph_index, []).append(sample)
+        samples_by_graph = split.samples_by_graph()
         graph_indices = sorted(samples_by_graph)
         graphs = [split.graphs[index] for index in graph_indices]
         node_indices = [[sample.node_index for sample in samples_by_graph[index]] for index in graph_indices]

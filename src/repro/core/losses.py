@@ -15,14 +15,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.layers import Linear, Module
 from repro.nn.tensor import Tensor
-from repro.types.normalize import canonical_string, erase_parameters
+from repro.types.normalize import erase_parameters
 from repro.types.parser import try_parse_type
 from repro.utils.rng import SeededRNG
 
@@ -138,7 +138,6 @@ def similarity_space_loss(
     """
     if len(type_names) != embeddings.shape[0]:
         raise ValueError("type_names must align with embeddings")
-    batch = embeddings.shape[0]
     labels = np.asarray([hash(name) for name in type_names])
     same = labels[:, None] == labels[None, :]
     np.fill_diagonal(same, False)

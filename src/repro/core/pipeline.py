@@ -19,6 +19,7 @@ kNN predictor, and exposes the workflow of Fig. 1:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +35,7 @@ from repro.core.predictor import KNNTypePredictor, TypePrediction
 from repro.core.trainer import LossKind, Trainer, TrainingConfig, TrainingResult
 from repro.core.typespace import TypeSpace
 from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
+from repro.corpus.ingest import IngestConfig, ingest_sources
 from repro.graph.builder import GraphBuildError, GraphBuilder
 from repro.graph.codegraph import CodeGraph
 from repro.graph.edges import EdgeKind
@@ -233,6 +235,7 @@ class TypilusPipeline:
         confidence_threshold: float = 0.0,
         include_annotated: bool = True,
         skip_unparsable: bool = False,
+        ingest: Optional[IngestConfig] = None,
     ) -> dict[str, list[SymbolSuggestion]]:
         """Suggest types for every symbol of a whole set of files in one pass.
 
@@ -244,18 +247,34 @@ class TypilusPipeline:
         ``skip_unparsable`` is set, in which case they are omitted from the
         result.
 
+        Passing an ``ingest`` configuration routes graph extraction through
+        :func:`~repro.corpus.ingest.ingest_sources`: files parse in parallel
+        over a process pool and/or reuse the content-addressed graph cache.
+        Suggestions are identical with or without it.
+
         Returns a dict mapping each (parsed) filename to its suggestions.
         """
         filenames: list[str] = []
         graphs: list[CodeGraph] = []
         symbols_per_file: list[list[SymbolInfo]] = []
-        for filename, source in sources.items():
-            try:
-                graph = self._graph_builder.build(source, filename=filename)
-            except GraphBuildError:
-                if skip_unparsable:
-                    continue
-                raise
+        if ingest is not None:
+            extracted_files, report = ingest_sources(dict(sources), ingest)
+            if report.failed_files and not skip_unparsable:
+                raise GraphBuildError(f"cannot parse {report.failed_files[0]}")
+            graph_by_name = {extracted.filename: extracted.graph for extracted in extracted_files}
+            built = [
+                (filename, graph_by_name[filename]) for filename in sources if filename in graph_by_name
+            ]
+        else:
+            built = []
+            for filename, source in sources.items():
+                try:
+                    built.append((filename, self._graph_builder.build(source, filename=filename)))
+                except GraphBuildError:
+                    if skip_unparsable:
+                        continue
+                    raise
+        for filename, graph in built:
             filenames.append(filename)
             graphs.append(graph)
             symbols_per_file.append(
@@ -340,6 +359,29 @@ class TypilusPipeline:
             source, use_type_checker=True, confidence_threshold=confidence_threshold, include_annotated=True
         )
         return [s for s in suggestions if s.disagrees_with_existing and s.confidence >= confidence_threshold]
+
+    # -- identity --------------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that determines this pipeline's answers.
+
+        Covers the encoder weights, the TypeSpace markers and the kNN
+        settings.  Two pipelines with equal fingerprints produce identical
+        suggestions for identical sources — the invariant behind the
+        engine's incremental re-annotation cache.
+        """
+        digest = hashlib.sha256()
+        for name, parameter in sorted(self.encoder.named_parameters()):
+            values = np.ascontiguousarray(parameter.data, dtype=np.float64)
+            digest.update(name.encode("utf-8"))
+            digest.update(repr(values.shape).encode("utf-8"))
+            digest.update(values.tobytes())
+        if len(self.type_space):
+            digest.update(np.ascontiguousarray(self.type_space.marker_matrix(), dtype=np.float64).tobytes())
+        for marker in self.type_space.markers:
+            digest.update(marker.type_name.encode("utf-8") + b"\x00")
+        digest.update(f"{self.predictor.k}:{self.predictor.p}:{self.predictor.epsilon}".encode("utf-8"))
+        return digest.hexdigest()
 
     # -- persistence -----------------------------------------------------------------------
 

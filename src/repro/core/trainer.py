@@ -21,13 +21,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.embedder import SymbolEmbedder
 from repro.core.losses import (
     ClassificationHead,
     TypilusLoss,
     classification_loss,
     similarity_space_loss,
 )
-from repro.core.embedder import SymbolEmbedder
 from repro.core.typespace import TypeSpace
 from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
 from repro.models.base import SymbolEncoder
@@ -125,37 +125,44 @@ class Trainer:
 
     # -- batching --------------------------------------------------------------------
 
-    def _batches(self, split: DatasetSplit) -> list[tuple[list[int], list[AnnotatedSymbol]]]:
-        """Group the split's graphs into batches of ``graphs_per_batch``."""
-        samples_by_graph: dict[int, list[AnnotatedSymbol]] = {}
-        for sample in split.samples:
-            samples_by_graph.setdefault(sample.graph_index, []).append(sample)
+    def _batches(self, split: DatasetSplit) -> list[tuple[list[int], list[list[AnnotatedSymbol]]]]:
+        """Group the split's graphs into batches of ``graphs_per_batch``.
+
+        Each batch carries its samples already grouped per graph (in graph
+        order), so encoding and loss assembly never rescan the whole sample
+        list.  The per-graph grouping itself comes from the split's cached
+        :meth:`~repro.corpus.dataset.DatasetSplit.samples_by_graph` index —
+        built once, not once per epoch.
+        """
+        samples_by_graph = split.samples_by_graph()
         graph_indices = [index for index in samples_by_graph if samples_by_graph[index]]
         graph_indices = self.rng.shuffle(graph_indices)
-        batches: list[tuple[list[int], list[AnnotatedSymbol]]] = []
+        batches: list[tuple[list[int], list[list[AnnotatedSymbol]]]] = []
         for start in range(0, len(graph_indices), self.config.graphs_per_batch):
             chosen = graph_indices[start : start + self.config.graphs_per_batch]
-            samples: list[AnnotatedSymbol] = []
+            groups: list[list[AnnotatedSymbol]] = []
+            budget = self.config.max_symbols_per_batch
             for graph_index in chosen:
-                samples.extend(samples_by_graph[graph_index])
-            samples = samples[: self.config.max_symbols_per_batch]
-            if samples:
-                batches.append((chosen, samples))
+                group = samples_by_graph[graph_index][:budget]
+                groups.append(group)
+                budget -= len(group)
+                if budget <= 0:
+                    groups.extend([] for _ in chosen[len(groups):])
+                    break
+            if any(groups):
+                batches.append((chosen, groups))
         return batches
 
-    def _encode_samples(self, split: DatasetSplit, graph_indices: list[int], samples: list[AnnotatedSymbol]) -> Tensor:
+    def _encode_samples(
+        self, split: DatasetSplit, graph_indices: list[int], samples_per_graph: list[list[AnnotatedSymbol]]
+    ) -> Tensor:
         graphs = [split.graphs[index] for index in graph_indices]
-        targets_per_graph: list[list[int]] = []
-        for graph_index in graph_indices:
-            targets_per_graph.append([s.node_index for s in samples if s.graph_index == graph_index])
+        targets_per_graph = [[sample.node_index for sample in group] for group in samples_per_graph]
         return self.encoder.encode(graphs, targets_per_graph)
 
     @staticmethod
-    def _ordered_types(graph_indices: list[int], samples: list[AnnotatedSymbol]) -> list[str]:
-        ordered: list[str] = []
-        for graph_index in graph_indices:
-            ordered.extend(s.annotation for s in samples if s.graph_index == graph_index)
-        return ordered
+    def _ordered_types(samples_per_graph: list[list[AnnotatedSymbol]]) -> list[str]:
+        return [sample.annotation for group in samples_per_graph for sample in group]
 
     # -- training --------------------------------------------------------------------
 
@@ -180,9 +187,9 @@ class Trainer:
         for epoch in range(self.config.epochs):
             losses: list[float] = []
             with result.stopwatch.measure("train_epoch"):
-                for graph_indices, samples in self._batches(self.dataset.train):
-                    embeddings = self._encode_samples(self.dataset.train, graph_indices, samples)
-                    type_names = self._ordered_types(graph_indices, samples)
+                for graph_indices, samples_per_graph in self._batches(self.dataset.train):
+                    embeddings = self._encode_samples(self.dataset.train, graph_indices, samples_per_graph)
+                    type_names = self._ordered_types(samples_per_graph)
                     loss = self._loss_for_batch(embeddings, type_names)
                     self.optimizer.zero_grad()
                     loss.backward()

@@ -1,6 +1,7 @@
-"""Corpus: synthetic project generation, deduplication and dataset assembly."""
+"""Corpus: synthesis, deduplication, parallel ingestion and dataset assembly."""
 
 from repro.corpus.dataset import (
+    DATASET_FORMAT_VERSION,
     AnnotatedSymbol,
     DatasetConfig,
     DatasetSplit,
@@ -14,6 +15,16 @@ from repro.corpus.dedup import (
     file_token_fingerprint,
     jaccard_similarity,
 )
+from repro.corpus.ingest import (
+    EXTRACTOR_VERSION,
+    ExtractedFile,
+    GraphCache,
+    IngestConfig,
+    IngestReport,
+    extract_file,
+    ingest_sources,
+    parallel_map,
+)
 from repro.corpus.synthesis import (
     ClassSpec,
     CorpusSynthesizer,
@@ -24,9 +35,18 @@ from repro.corpus.synthesis import (
 
 __all__ = [
     "AnnotatedSymbol",
+    "DATASET_FORMAT_VERSION",
     "DatasetConfig",
     "DatasetSplit",
     "TypeAnnotationDataset",
+    "EXTRACTOR_VERSION",
+    "ExtractedFile",
+    "GraphCache",
+    "IngestConfig",
+    "IngestReport",
+    "extract_file",
+    "ingest_sources",
+    "parallel_map",
     "Deduplicator",
     "DeduplicationReport",
     "DuplicateCluster",

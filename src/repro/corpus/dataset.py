@@ -15,20 +15,26 @@ This mirrors the pipeline of Sec. 6 "Data":
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Optional
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Union
 
 from repro.checker.checker import CheckerMode, OptionalTypeChecker
+from repro.corpus import serialize
 from repro.corpus.dedup import DeduplicationReport, deduplicate_sources
+from repro.corpus.ingest import IngestConfig, IngestReport, ingest_sources, parallel_map
 from repro.corpus.synthesis import CorpusSynthesizer, SynthesisConfig
-from repro.graph.builder import GraphBuildError, GraphBuilder
 from repro.graph.codegraph import CodeGraph
 from repro.graph.nodes import SymbolKind
-from repro.graph.subtokens import SubtokenVocabulary, split_identifier
+from repro.graph.subtokens import SubtokenVocabulary
 from repro.types.lattice import TypeLattice
-from repro.types.normalize import canonical_string, is_informative
 from repro.types.registry import TypeRegistry
 from repro.utils.rng import SeededRNG
+
+#: On-disk format of :meth:`TypeAnnotationDataset.save` directories.
+DATASET_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -56,6 +62,10 @@ class DatasetSplit:
     name: str
     graphs: list[CodeGraph] = field(default_factory=list)
     samples: list[AnnotatedSymbol] = field(default_factory=list)
+    #: Lazily-built sample groupings: ``(num_samples, by_graph, by_kind)``.
+    #: Rebuilt whenever the sample count changes, so batch formation and
+    #: kind breakdowns stop rescanning ``samples`` once per graph/kind.
+    _group_cache: Optional[tuple] = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def num_graphs(self) -> int:
@@ -65,8 +75,28 @@ class DatasetSplit:
     def num_samples(self) -> int:
         return len(self.samples)
 
+    def _grouped(self) -> tuple:
+        # Invalidated when the list object or its length changes.  Replacing
+        # individual elements in place (same list, same length) is not
+        # detected — treat ``samples`` as append-only/replace-wholesale.
+        key = (id(self.samples), len(self.samples))
+        cached = self._group_cache
+        if cached is None or cached[0] != key:
+            by_graph: dict[int, list[AnnotatedSymbol]] = {}
+            by_kind: dict[SymbolKind, list[AnnotatedSymbol]] = {}
+            for sample in self.samples:
+                by_graph.setdefault(sample.graph_index, []).append(sample)
+                by_kind.setdefault(sample.kind, []).append(sample)
+            cached = (key, by_graph, by_kind)
+            self._group_cache = cached
+        return cached
+
+    def samples_by_graph(self) -> dict[int, list[AnnotatedSymbol]]:
+        """Samples grouped by ``graph_index``, in sample order (cached view — do not mutate)."""
+        return self._grouped()[1]
+
     def samples_of_kind(self, kind: SymbolKind) -> list[AnnotatedSymbol]:
-        return [sample for sample in self.samples if sample.kind == kind]
+        return list(self._grouped()[2].get(kind, ()))
 
 
 @dataclass
@@ -108,6 +138,9 @@ class TypeAnnotationDataset:
         #: Original (annotated, post-dedup) sources, keyed by filename.  The
         #: type-checking experiments of Sec. 6.3 insert predictions into these.
         self.sources = sources or {}
+        #: Filled by :meth:`from_sources` with the extraction statistics of
+        #: the ingestion run (cache hits, parallelism, throughput).
+        self.ingest_report: Optional[IngestReport] = None
 
     # -- construction ---------------------------------------------------------------
 
@@ -117,34 +150,39 @@ class TypeAnnotationDataset:
         files: dict[str, str],
         class_edges: Optional[Iterable[tuple[str, str]]] = None,
         config: Optional[DatasetConfig] = None,
+        ingest: Optional[IngestConfig] = None,
     ) -> "TypeAnnotationDataset":
+        """Assemble a dataset from sources via the ingestion pipeline.
+
+        ``ingest`` controls parallelism and graph caching
+        (:class:`~repro.corpus.ingest.IngestConfig`); the assembled dataset
+        is identical for every ``jobs``/cache setting — workers are pure and
+        files are processed in sorted order.
+        """
         config = config or DatasetConfig()
+        ingest = ingest or IngestConfig()
         rng = SeededRNG(config.seed)
 
         if config.augment_with_inference:
-            files = {name: _augment_with_inferred_annotations(source) for name, source in files.items()}
+            augmented = parallel_map(_augment_item, sorted(files.items()), ingest.effective_jobs())
+            files = dict(augmented)
 
         dedup_report: Optional[DeduplicationReport] = None
         if config.deduplicate:
             files, dedup_report = deduplicate_sources(files, threshold=config.dedup_threshold)
 
-        builder = GraphBuilder()
-        graphs: list[CodeGraph] = []
-        for filename in sorted(files):
-            try:
-                graphs.append(builder.build(files[filename], filename=filename))
-            except GraphBuildError:
-                continue  # skip unparsable files, like the paper's pipeline
+        # Unparsable files are skipped (report.failed_files), like the
+        # paper's pipeline.
+        extracted_files, ingest_report = ingest_sources(files, ingest)
+        graphs: list[CodeGraph] = [extracted.graph for extracted in extracted_files]
 
         registry = TypeRegistry(rarity_threshold=config.rarity_threshold)
         subtokens = SubtokenVocabulary()
         all_samples: list[AnnotatedSymbol] = []
-        for graph_index, graph in enumerate(graphs):
-            for node_index, node_subtokens in graph.node_subtokens():
+        for graph_index, extracted in enumerate(extracted_files):
+            for node_index, node_subtokens in extracted.graph.node_subtokens():
                 subtokens.observe(node_subtokens)
-            for symbol_position, symbol in enumerate(graph.symbols):
-                if symbol.annotation is None or not is_informative(symbol.annotation):
-                    continue
+            for symbol_position, symbol in extracted.annotated_symbols:
                 canonical = registry.add(symbol.annotation)
                 if canonical is None:
                     continue
@@ -157,7 +195,7 @@ class TypeAnnotationDataset:
                         kind=symbol.kind,
                         scope=symbol.scope,
                         annotation=canonical,
-                        filename=graph.filename,
+                        filename=extracted.graph.filename,
                     )
                 )
         subtokens.finalise()
@@ -168,20 +206,150 @@ class TypeAnnotationDataset:
         lattice.add_class_hierarchy(_class_edges_from_sources(files))
 
         train, valid, test = cls._split_by_file(graphs, all_samples, config.split_fractions, rng)
-        return cls(
+        dataset = cls(
             train, valid, test, registry, lattice, subtokens, dedup_report, config, sources=dict(files)
         )
+        dataset.ingest_report = ingest_report
+        return dataset
 
     @classmethod
     def synthetic(
         cls,
         synthesis: Optional[SynthesisConfig] = None,
         config: Optional[DatasetConfig] = None,
+        ingest: Optional[IngestConfig] = None,
     ) -> "TypeAnnotationDataset":
         """Generate a synthetic corpus and assemble the dataset in one call."""
         synthesizer = CorpusSynthesizer(synthesis)
         files = {entry.filename: entry.source for entry in synthesizer.generate()}
-        return cls.from_sources(files, class_edges=synthesizer.class_hierarchy_edges(), config=config)
+        return cls.from_sources(
+            files, class_edges=synthesizer.class_hierarchy_edges(), config=config, ingest=ingest
+        )
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path], shard_size: int = 64) -> Path:
+        """Persist the assembled dataset to a directory, graphs sharded.
+
+        Layout: ``dataset.json`` (manifest: config, splits' samples,
+        registry, vocabulary, lattice, dedup report), ``sources.json`` and
+        ``graphs-NNNNN.json`` shard files of at most ``shard_size`` graphs
+        each.  :meth:`load` restores a dataset whose splits, sample order,
+        registry ids and vocabulary are identical to the original — so a
+        corpus is ingested once and reloaded instantly by the trainer, the
+        benchmarks and the engine.
+        """
+        path = Path(path)
+        path.mkdir(parents=True, exist_ok=True)
+        shard_size = max(1, int(shard_size))
+
+        splits_payload: dict[str, dict] = {}
+        flat_graphs: list[dict] = []
+        for split_name, split in self.splits.items():
+            splits_payload[split_name] = {
+                "num_graphs": split.num_graphs,
+                "samples": [
+                    [
+                        sample.graph_index,
+                        sample.symbol_position,
+                        sample.node_index,
+                        sample.name,
+                        sample.kind.value,
+                        sample.scope,
+                        sample.annotation,
+                        sample.filename,
+                    ]
+                    for sample in split.samples
+                ],
+            }
+            flat_graphs.extend(serialize.graph_to_payload(graph) for graph in split.graphs)
+
+        num_shards = max(1, math.ceil(len(flat_graphs) / shard_size))
+        shard_names: list[str] = []
+        for shard_index in range(num_shards):
+            shard_name = f"graphs-{shard_index:05d}.json"
+            shard_names.append(shard_name)
+            chunk = flat_graphs[shard_index * shard_size : (shard_index + 1) * shard_size]
+            (path / shard_name).write_text(
+                json.dumps({"graphs": chunk}, separators=(",", ":")), encoding="utf-8"
+            )
+
+        manifest = {
+            "format_version": DATASET_FORMAT_VERSION,
+            "config": asdict(self.config),
+            "splits": splits_payload,
+            "graph_shards": shard_names,
+            "registry": serialize.registry_to_payload(self.registry),
+            "subtokens": serialize.subtokens_to_payload(self.subtokens),
+            "lattice_edges": serialize.lattice_to_payload(self.lattice),
+            "dedup": serialize.dedup_report_to_payload(self.dedup_report),
+        }
+        (path / "dataset.json").write_text(json.dumps(manifest, separators=(",", ":")), encoding="utf-8")
+        (path / "sources.json").write_text(
+            json.dumps(self.sources, separators=(",", ":")), encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TypeAnnotationDataset":
+        """Restore a dataset saved with :meth:`save`."""
+        path = Path(path)
+        manifest = json.loads((path / "dataset.json").read_text(encoding="utf-8"))
+        version = manifest.get("format_version")
+        if version != DATASET_FORMAT_VERSION:
+            raise ValueError(f"unsupported dataset format version {version!r}")
+
+        graph_payloads: list[dict] = []
+        for shard_name in manifest["graph_shards"]:
+            shard = json.loads((path / shard_name).read_text(encoding="utf-8"))
+            graph_payloads.extend(shard["graphs"])
+
+        splits: dict[str, DatasetSplit] = {}
+        cursor = 0
+        for split_name in ("train", "valid", "test"):
+            split_payload = manifest["splits"][split_name]
+            num_graphs = int(split_payload["num_graphs"])
+            split = DatasetSplit(name=split_name)
+            split.graphs = [
+                serialize.graph_from_payload(payload)
+                for payload in graph_payloads[cursor : cursor + num_graphs]
+            ]
+            cursor += num_graphs
+            split.samples = [
+                AnnotatedSymbol(
+                    graph_index=graph_index,
+                    symbol_position=symbol_position,
+                    node_index=node_index,
+                    name=name,
+                    kind=SymbolKind(kind),
+                    scope=scope,
+                    annotation=annotation,
+                    filename=filename,
+                )
+                for graph_index, symbol_position, node_index, name, kind, scope, annotation, filename
+                in split_payload["samples"]
+            ]
+            splits[split_name] = split
+        if cursor != len(graph_payloads):
+            raise ValueError(
+                f"dataset directory holds {len(graph_payloads)} graphs but splits claim {cursor}"
+            )
+
+        config_payload = dict(manifest["config"])
+        config_payload["split_fractions"] = tuple(config_payload["split_fractions"])
+        sources_path = path / "sources.json"
+        sources = json.loads(sources_path.read_text(encoding="utf-8")) if sources_path.exists() else {}
+        return cls(
+            splits["train"],
+            splits["valid"],
+            splits["test"],
+            serialize.registry_from_payload(manifest["registry"]),
+            serialize.lattice_from_payload(manifest["lattice_edges"]),
+            serialize.subtokens_from_payload(manifest["subtokens"]),
+            serialize.dedup_report_from_payload(manifest.get("dedup")),
+            DatasetConfig(**config_payload),
+            sources=sources,
+        )
 
     # -- splitting -----------------------------------------------------------------------
 
@@ -250,6 +418,12 @@ class TypeAnnotationDataset:
             "zipf_exponent": statistics.zipf_exponent,
             "dedup_removed": self.dedup_report.removed_files if self.dedup_report else 0,
         }
+
+
+def _augment_item(item: tuple[str, str]) -> tuple[str, str]:
+    """Pool-friendly wrapper: one (filename, source) pair → augmented pair."""
+    name, source = item
+    return name, _augment_with_inferred_annotations(source)
 
 
 def _augment_with_inferred_annotations(source: str) -> str:

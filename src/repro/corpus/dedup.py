@@ -13,7 +13,6 @@ import io
 import tokenize
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
 
 
 def file_token_fingerprint(source: str) -> Counter:

@@ -1,0 +1,185 @@
+"""JSON-payload serialization of graphs and datasets.
+
+Two consumers share these helpers:
+
+* the content-addressed :class:`~repro.corpus.ingest.GraphCache`, which
+  persists one extracted :class:`~repro.graph.codegraph.CodeGraph` per
+  source file so unchanged files are never re-parsed;
+* sharded dataset persistence (:meth:`TypeAnnotationDataset.save` /
+  :meth:`~repro.corpus.dataset.TypeAnnotationDataset.load`), which writes a
+  whole assembled dataset — splits, samples, registry, vocabulary, lattice —
+  to a directory that reloads in milliseconds.
+
+Payloads are plain JSON-compatible dictionaries: corruption surfaces as a
+decode/validation error (which the cache treats as a miss) rather than
+arbitrary unpickling behaviour, and the format stays diffable and
+language-neutral.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Optional
+
+from repro.corpus.dedup import DeduplicationReport, DuplicateCluster
+from repro.graph.codegraph import CodeGraph
+from repro.graph.edges import EdgeKind
+from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
+from repro.graph.subtokens import SubtokenVocabulary
+from repro.types.lattice import TypeLattice
+from repro.types.registry import TypeRegistry
+
+#: Version of the graph payload layout; part of every cache key, so bumping
+#: it (or :data:`repro.corpus.ingest.EXTRACTOR_VERSION`) invalidates caches.
+GRAPH_PAYLOAD_VERSION = 1
+
+
+class PayloadError(ValueError):
+    """Raised when a payload cannot be decoded back into an object."""
+
+
+# ---------------------------------------------------------------------------
+# CodeGraph
+# ---------------------------------------------------------------------------
+
+
+def graph_to_payload(graph: CodeGraph) -> dict[str, Any]:
+    """Encode a graph as a JSON-compatible dictionary."""
+    return {
+        "version": GRAPH_PAYLOAD_VERSION,
+        "filename": graph.filename,
+        "source": graph.source,
+        "nodes": [[node.kind.value, node.text, node.lineno, node.col] for node in graph.nodes],
+        "edges": {kind.value: [list(pair) for pair in pairs] for kind, pairs in graph.edges.items()},
+        "symbols": [
+            [
+                symbol.node_index,
+                symbol.name,
+                symbol.kind.value,
+                symbol.scope,
+                symbol.annotation,
+                symbol.lineno,
+                list(symbol.occurrence_indices),
+            ]
+            for symbol in graph.symbols
+        ],
+    }
+
+
+def graph_from_payload(payload: dict[str, Any], filename: Optional[str] = None) -> CodeGraph:
+    """Decode a graph payload; ``filename`` overrides the stored name.
+
+    The override is what makes graph caching content-addressed: a file moved
+    or copied to a new path reuses the cached graph under its new name.
+    """
+    try:
+        if payload["version"] != GRAPH_PAYLOAD_VERSION:
+            raise PayloadError(f"unsupported graph payload version {payload['version']!r}")
+        graph = CodeGraph(
+            filename=filename if filename is not None else payload["filename"],
+            source=payload["source"],
+        )
+        graph.nodes = [
+            GraphNode(index=index, kind=NodeKind(kind), text=text, lineno=lineno, col=col)
+            for index, (kind, text, lineno, col) in enumerate(payload["nodes"])
+        ]
+        graph.edges = defaultdict(
+            list,
+            {
+                EdgeKind(kind): [(int(source), int(target)) for source, target in pairs]
+                for kind, pairs in payload["edges"].items()
+            },
+        )
+        graph.symbols = [
+            SymbolInfo(
+                node_index=node_index,
+                name=name,
+                kind=SymbolKind(kind),
+                scope=scope,
+                annotation=annotation,
+                lineno=lineno,
+                occurrence_indices=list(occurrences),
+            )
+            for node_index, name, kind, scope, annotation, lineno, occurrences in payload["symbols"]
+        ]
+        graph.validate()
+    except PayloadError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise PayloadError(f"malformed graph payload: {error}") from error
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Registry / vocabulary / lattice / dedup report
+# ---------------------------------------------------------------------------
+
+
+def registry_to_payload(registry: TypeRegistry) -> dict[str, Any]:
+    """Encode a registry preserving id order *and* frequency counts."""
+    return {
+        "rarity_threshold": registry.rarity_threshold,
+        "types": [[type_name, registry.count_of(type_name)] for type_name in registry],
+    }
+
+
+def registry_from_payload(payload: dict[str, Any]) -> TypeRegistry:
+    registry = TypeRegistry(rarity_threshold=int(payload["rarity_threshold"]))
+    # Restore by direct assignment (not ``add``): ids and Counter insertion
+    # order must match the original exactly so ``classification_vocabulary``
+    # breaks frequency ties identically after a round trip.
+    for type_name, count in payload["types"]:
+        registry._counts[type_name] = int(count)
+        registry._type_to_id[type_name] = len(registry._id_to_type)
+        registry._id_to_type.append(type_name)
+    return registry
+
+
+def subtokens_to_payload(vocabulary: SubtokenVocabulary) -> dict[str, Any]:
+    return {
+        "max_size": vocabulary.max_size,
+        "min_count": vocabulary.min_count,
+        "tokens": list(vocabulary.tokens),
+    }
+
+
+def subtokens_from_payload(payload: dict[str, Any]) -> SubtokenVocabulary:
+    vocabulary = SubtokenVocabulary.from_tokens(payload["tokens"])
+    vocabulary.max_size = max(int(payload["max_size"]), len(vocabulary.tokens))
+    vocabulary.min_count = int(payload["min_count"])
+    return vocabulary
+
+
+def lattice_to_payload(lattice: TypeLattice) -> list[list[str]]:
+    """All nominal edges of a lattice (defaults included; re-adding is idempotent)."""
+    return sorted(
+        [subtype, supertype]
+        for subtype, supertypes in lattice._supertypes.items()
+        for supertype in supertypes
+    )
+
+
+def lattice_from_payload(edges: list[list[str]]) -> TypeLattice:
+    lattice = TypeLattice()
+    lattice.add_class_hierarchy((subtype, supertype) for subtype, supertype in edges)
+    return lattice
+
+
+def dedup_report_to_payload(report: Optional[DeduplicationReport]) -> Optional[dict[str, Any]]:
+    if report is None:
+        return None
+    return {
+        "total_files": report.total_files,
+        "removed_files": report.removed_files,
+        "clusters": [[cluster.kept, list(cluster.removed)] for cluster in report.clusters],
+    }
+
+
+def dedup_report_from_payload(payload: Optional[dict[str, Any]]) -> Optional[DeduplicationReport]:
+    if payload is None:
+        return None
+    return DeduplicationReport(
+        total_files=int(payload["total_files"]),
+        removed_files=int(payload["removed_files"]),
+        clusters=[DuplicateCluster(kept=kept, removed=list(removed)) for kept, removed in payload["clusters"]],
+    )

@@ -24,7 +24,7 @@ experiment can run on it end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.corpus import vocabularies as vocab

@@ -13,6 +13,7 @@ train once, save, then annotate any number of projects without re-training.
 """
 
 from repro.engine.annotator import (
+    AnnotationCache,
     AnnotatorConfig,
     FileReport,
     ProjectAnnotator,
@@ -20,6 +21,7 @@ from repro.engine.annotator import (
 )
 
 __all__ = [
+    "AnnotationCache",
     "AnnotatorConfig",
     "FileReport",
     "ProjectAnnotator",

@@ -8,17 +8,34 @@ file's symbols, routes them through the pipeline's batched suggestion path
 verdicts cached per unique candidate) and assembles a :class:`ProjectReport`
 with per-file suggestions, Sec.-7-style disagreement findings and
 throughput numbers.
+
+Annotation is also **incremental**: with a ``cache_dir`` configured, every
+file's finished suggestion list is persisted under a key derived from the
+pipeline's :meth:`~repro.core.pipeline.TypilusPipeline.fingerprint`, the
+annotator's settings and the source text.  Re-annotating a project after an
+edit re-embeds only the changed files; everything else is served from disk
+(``ProjectReport.reused_files`` counts them).  ``jobs`` additionally
+parallelises graph extraction for the files that do need work.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
 from repro.checker.checker import CheckerMode
+from repro.core.filter import FilteredSuggestion
 from repro.core.pipeline import SymbolSuggestion, TypilusPipeline
+from repro.core.predictor import TypePrediction
+from repro.corpus.ingest import IngestConfig, atomic_write_text
+from repro.graph.nodes import SymbolKind
 from repro.utils.timing import Stopwatch
+
+#: Layout version of annotation-cache entries.
+ANNOTATION_CACHE_VERSION = 1
 
 
 @dataclass
@@ -31,6 +48,12 @@ class AnnotatorConfig:
     include_annotated: bool = True
     #: Minimum confidence for a prediction to count as a disagreement finding.
     disagreement_threshold: float = 0.8
+    #: Worker processes for graph extraction (1 = serial, ``None`` = per-core).
+    jobs: Optional[int] = 1
+    #: Directory for incremental re-annotation state: per-file suggestion
+    #: results under ``annotations/`` and the content-addressed graph cache
+    #: under ``graphs/``.  ``None`` disables both.
+    cache_dir: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -65,6 +88,8 @@ class ProjectReport:
     skipped_files: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
     disagreement_threshold: float = 0.8
+    #: Files whose suggestions were served from the incremental cache.
+    reused_files: int = 0
 
     @property
     def num_files(self) -> int:
@@ -99,6 +124,7 @@ class ProjectReport:
         return {
             "files": self.num_files,
             "skipped_files": len(self.skipped_files),
+            "reused_files": self.reused_files,
             "symbols": self.num_symbols,
             "suggested": self.num_suggested,
             "coverage": round(self.coverage, 4),
@@ -108,36 +134,123 @@ class ProjectReport:
         }
 
 
+class AnnotationCache:
+    """Per-file suggestion results, keyed by (pipeline, settings, source).
+
+    Content-addressed like the graph cache: the key hashes the pipeline
+    fingerprint, the annotation settings that change answers and the source
+    text, so any of those changing invalidates exactly the affected entries.
+    Corrupted or unreadable entries are misses, never errors.
+    """
+
+    def __init__(self, directory: Union[str, Path], context_key: str) -> None:
+        self.directory = Path(directory)
+        self.context_key = context_key
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def key(self, source: str) -> str:
+        material = f"{ANNOTATION_CACHE_VERSION}:{self.context_key}\x00{source}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path_for(self, source: str) -> Path:
+        return self.directory / f"{self.key(source)}.json"
+
+    def load(self, source: str) -> Optional[list[SymbolSuggestion]]:
+        try:
+            payload = json.loads(self.path_for(source).read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                return None
+            if payload.get("format") != ANNOTATION_CACHE_VERSION:
+                return None
+            return [_suggestion_from_payload(entry) for entry in payload["suggestions"]]
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+    def store(self, source: str, suggestions: list[SymbolSuggestion]) -> None:
+        payload = {
+            "format": ANNOTATION_CACHE_VERSION,
+            "suggestions": [_suggestion_to_payload(suggestion) for suggestion in suggestions],
+        }
+        atomic_write_text(self.path_for(source), json.dumps(payload, separators=(",", ":")))
+
+
 class ProjectAnnotator:
     """Annotates whole projects with a trained pipeline, batch-first.
 
     The annotator never retrains: it consumes any pipeline — freshly fitted
     or restored with :meth:`TypilusPipeline.load` — and serves suggestions
-    for arbitrarily many files per call.
+    for arbitrarily many files per call.  With a ``cache_dir`` it is also
+    incremental across calls: only files whose content (or model, or
+    settings) changed are re-annotated.
     """
 
     def __init__(self, pipeline: TypilusPipeline, config: Optional[AnnotatorConfig] = None) -> None:
         self.pipeline = pipeline
         self.config = config or AnnotatorConfig()
 
+    def _cache(self) -> Optional[AnnotationCache]:
+        if self.config.cache_dir is None:
+            return None
+        # The fingerprint is recomputed per call (not memoized): mutating the
+        # pipeline between calls — e.g. one-shot type-space adaptation — must
+        # invalidate the cache, exactly as the fingerprint contract promises.
+        config = self.config
+        context = ":".join(
+            [
+                self.pipeline.fingerprint(),
+                str(config.use_type_checker),
+                config.checker_mode.value,
+                repr(config.confidence_threshold),
+                str(config.include_annotated),
+            ]
+        )
+        return AnnotationCache(Path(config.cache_dir) / "annotations", context)
+
+    def _ingest_config(self) -> Optional[IngestConfig]:
+        jobs = self.config.jobs
+        if self.config.cache_dir is None and (jobs is not None and jobs <= 1):
+            return None
+        graph_cache = Path(self.config.cache_dir) / "graphs" if self.config.cache_dir is not None else None
+        return IngestConfig(jobs=jobs, cache_dir=graph_cache)
+
     def annotate_sources(self, sources: Mapping[str, str]) -> ProjectReport:
-        """Annotate an in-memory file set (filename → source) in one pass."""
+        """Annotate an in-memory file set (filename → source) in one pass.
+
+        Cached files are merged back in their original position, so the
+        report is identical to a cold run — only faster.
+        """
         stopwatch = Stopwatch()
+        cache = self._cache()
         with stopwatch.measure("annotate"):
+            reused: dict[str, list[SymbolSuggestion]] = {}
+            pending: dict[str, str] = {}
+            for filename, source in sources.items():
+                cached = cache.load(source) if cache is not None else None
+                if cached is not None:
+                    reused[filename] = cached
+                else:
+                    pending[filename] = source
             suggestions_by_file = self.pipeline.suggest_for_sources(
-                sources,
+                pending,
                 use_type_checker=self.config.use_type_checker,
                 checker_mode=self.config.checker_mode,
                 confidence_threshold=self.config.confidence_threshold,
                 include_annotated=self.config.include_annotated,
                 skip_unparsable=True,
+                ingest=self._ingest_config(),
             )
+            if cache is not None:
+                for filename, suggestions in suggestions_by_file.items():
+                    cache.store(pending[filename], suggestions)
         report = ProjectReport(
             elapsed_seconds=stopwatch.sections.get("annotate", 0.0),
             disagreement_threshold=self.config.disagreement_threshold,
+            reused_files=len(reused),
         )
         for filename in sources:
-            if filename in suggestions_by_file:
+            if filename in reused:
+                report.files.append(FileReport(filename=filename, suggestions=reused[filename]))
+            elif filename in suggestions_by_file:
                 report.files.append(FileReport(filename=filename, suggestions=suggestions_by_file[filename]))
             else:
                 report.skipped_files.append(filename)
@@ -160,3 +273,55 @@ class ProjectAnnotator:
         report = self.annotate_sources(sources)
         report.skipped_files.extend(unreadable)
         return report
+
+
+# ---------------------------------------------------------------------------
+# Suggestion payloads (annotation-cache entries)
+# ---------------------------------------------------------------------------
+
+
+def _suggestion_to_payload(suggestion: SymbolSuggestion) -> dict:
+    filtered = suggestion.filtered
+    return {
+        "name": suggestion.name,
+        "scope": suggestion.scope,
+        "kind": suggestion.kind,
+        "existing": suggestion.existing_annotation,
+        "candidates": [[type_name, probability] for type_name, probability in suggestion.prediction.candidates],
+        "filtered": None
+        if filtered is None
+        else {
+            "scope": filtered.scope,
+            "name": filtered.name,
+            "kind": filtered.kind.value,
+            "accepted_type": filtered.accepted_type,
+            "accepted_confidence": filtered.accepted_confidence,
+            "rejected": [[type_name, reason] for type_name, reason in filtered.rejected],
+        },
+    }
+
+
+def _suggestion_from_payload(payload: dict) -> SymbolSuggestion:
+    filtered_payload = payload["filtered"]
+    filtered = None
+    if filtered_payload is not None:
+        filtered = FilteredSuggestion(
+            scope=filtered_payload["scope"],
+            name=filtered_payload["name"],
+            kind=SymbolKind(filtered_payload["kind"]),
+            accepted_type=filtered_payload["accepted_type"],
+            accepted_confidence=float(filtered_payload["accepted_confidence"]),
+            rejected=[(type_name, reason) for type_name, reason in filtered_payload["rejected"]],
+        )
+    return SymbolSuggestion(
+        name=payload["name"],
+        scope=payload["scope"],
+        kind=payload["kind"],
+        existing_annotation=payload["existing"],
+        prediction=TypePrediction(
+            candidates=[(type_name, float(probability)) for type_name, probability in payload["candidates"]]
+        ),
+        filtered=filtered,
+    )
+
+

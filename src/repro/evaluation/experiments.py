@@ -50,12 +50,11 @@ from repro.core.metrics import (
 from repro.core.predictor import KNNTypePredictor
 from repro.core.trainer import LossKind, Trainer, TrainingResult
 from repro.core.typespace import TypeSpace
+from repro.core.pipeline import build_encoder
 from repro.corpus.dataset import AnnotatedSymbol, TypeAnnotationDataset
-from repro.core.pipeline import EncoderConfig, build_encoder
 from repro.evaluation.settings import ExperimentSettings
 from repro.graph.edges import DATAFLOW_USE_EDGES, SYNTACTIC_EDGES, EdgeKind
 from repro.graph.nodes import SymbolKind
-from repro.models.seq import SequenceEncoder
 from repro.utils.timing import Stopwatch
 
 

@@ -13,7 +13,6 @@ code serves three purposes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.core.pipeline import EncoderConfig
 from repro.core.trainer import TrainingConfig

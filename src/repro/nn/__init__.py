@@ -7,7 +7,8 @@ layer norm) and the Adam optimiser.  See DESIGN.md for the substitution
 rationale.
 """
 
-from repro.nn.tensor import Tensor
+from repro.nn import functional, serialization
+from repro.nn.conv import CharCNNEncoder, Conv1D
 from repro.nn.layers import (
     Dropout,
     Embedding,
@@ -17,11 +18,9 @@ from repro.nn.layers import (
     Module,
     Sequential,
 )
-from repro.nn.rnn import BiGRU, GRU, GRUCell
-from repro.nn.conv import CharCNNEncoder, Conv1D
 from repro.nn.optim import Adam, Optimizer, SGD
-from repro.nn import functional
-from repro.nn import serialization
+from repro.nn.rnn import BiGRU, GRU, GRUCell
+from repro.nn.tensor import Tensor
 
 __all__ = [
     "Tensor",

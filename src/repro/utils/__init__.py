@@ -6,12 +6,12 @@ incidental helpers such as seeded random number generation or timing.
 """
 
 from repro.utils.rng import SeededRNG, temp_seed
-from repro.utils.timing import Stopwatch, timed
 from repro.utils.text import (
     camel_and_snake_split,
     normalise_whitespace,
     truncate,
 )
+from repro.utils.timing import Stopwatch, timed
 
 __all__ = [
     "SeededRNG",

@@ -4,9 +4,9 @@ import ast
 
 import pytest
 
-from repro.checker.env import ModuleContext, Scope
-from repro.checker.infer import ExpressionTyper, join_types
 from repro.checker.checker import OptionalTypeChecker
+from repro.checker.env import Scope
+from repro.checker.infer import ExpressionTyper, join_types
 from repro.types import TypeLattice, parse_type
 
 

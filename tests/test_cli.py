@@ -108,3 +108,96 @@ class TestTrainAndSuggestCommands:
         empty.mkdir()
         with pytest.raises(SystemExit):
             main(["train", "--corpus-dir", str(empty), "--epochs", "1"])
+
+
+class TestIngestCommand:
+    def _write_corpus(self, directory, files=6):
+        # Each file is structurally distinct so deduplication keeps them all.
+        directory.mkdir()
+        for index in range(files):
+            (directory / f"m{index}.py").write_text(
+                f"def compute_{index}(value_{index}: int) -> int:\n"
+                f"    total_{index} = value_{index} * {index + 2}\n"
+                f"    return total_{index} + {index * 7}\n"
+                f"def greet_{index}(name_{index}: str) -> str:\n"
+                f"    return 'prefix_{index}' + name_{index} * {index + 1}\n"
+            )
+
+    def test_parser_accepts_ingest_options(self):
+        args = build_parser().parse_args(
+            ["ingest", "--out", "ds", "--jobs", "4", "--cache-dir", "cache", "--shard-size", "8"]
+        )
+        assert args.command == "ingest" and args.jobs == 4
+        assert str(args.cache_dir) == "cache" and args.shard_size == 8
+
+    def test_ingest_writes_dataset_then_train_loads_it(self, tmp_path, capsys):
+        corpus_dir = tmp_path / "proj"
+        self._write_corpus(corpus_dir)
+        dataset_dir = tmp_path / "dataset"
+        cache_dir = tmp_path / "cache"
+        exit_code = main([
+            "ingest", "--corpus-dir", str(corpus_dir), "--out", str(dataset_dir),
+            "--jobs", "2", "--cache-dir", str(cache_dir),
+        ])
+        assert exit_code == 0
+        assert (dataset_dir / "dataset.json").exists()
+        output = capsys.readouterr().out
+        assert "dataset saved" in output and "cache_hits" in output
+        # The cache was populated: re-ingesting hits for every file.
+        assert main([
+            "ingest", "--corpus-dir", str(corpus_dir), "--out", str(dataset_dir),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        warm_output = capsys.readouterr().out
+        assert any(
+            line.split()[:2] == ["cache_hits", "6"] for line in warm_output.splitlines() if line.strip()
+        ), warm_output
+
+        exit_code = main([
+            "train", "--dataset", str(dataset_dir), "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names",
+        ])
+        assert exit_code == 0
+        assert "loaded dataset" in capsys.readouterr().out
+
+    def test_train_save_dataset_round_trips(self, tmp_path, capsys):
+        dataset_dir = tmp_path / "dataset"
+        exit_code = main([
+            "train", "--num-files", "8", "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names", "--save-dataset", str(dataset_dir),
+        ])
+        assert exit_code == 0
+        assert (dataset_dir / "dataset.json").exists()
+        capsys.readouterr()
+        assert main([
+            "train", "--dataset", str(dataset_dir), "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names",
+        ]) == 0
+        assert "exact" in capsys.readouterr().out
+
+    def test_annotate_with_jobs_and_cache_dir(self, tmp_path, capsys):
+        project = tmp_path / "proj"
+        self._write_corpus(project, files=3)
+        model_dir = tmp_path / "model"
+        cache_dir = tmp_path / "anncache"
+        assert main([
+            "train", "--num-files", "8", "--epochs", "1", "--hidden-dim", "16",
+            "--gnn-steps", "1", "--family", "names", "--save-model", str(model_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "annotate", str(project), "--load-model", str(model_dir),
+            "--jobs", "2", "--cache-dir", str(cache_dir), "--no-type-checker",
+        ]) == 0
+        first = capsys.readouterr().out
+        assert any(
+            line.split()[:2] == ["reused_files", "0"] for line in first.splitlines() if line.strip()
+        ), first
+        assert main([
+            "annotate", str(project), "--load-model", str(model_dir),
+            "--jobs", "2", "--cache-dir", str(cache_dir), "--no-type-checker",
+        ]) == 0
+        second = capsys.readouterr().out
+        assert any(
+            line.split()[:2] == ["reused_files", "3"] for line in second.splitlines() if line.strip()
+        ), second

@@ -1,6 +1,5 @@
 """Tests for the evaluation metrics (exact / parametric / neutral, PR curves, buckets)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,7 +1,5 @@
 """Integration tests: trainer, pipeline, suggestion path and checker filtering."""
 
-import numpy as np
-import pytest
 
 from repro.checker import CheckerMode
 from repro.core import (

@@ -1,0 +1,116 @@
+"""Sharded dataset save/load round trips."""
+
+import json
+
+import pytest
+
+from repro.corpus import DatasetConfig, TypeAnnotationDataset
+from repro.corpus.serialize import graph_to_payload
+from repro.corpus.synthesis import SynthesisConfig
+from repro.graph.nodes import SymbolKind
+
+
+@pytest.fixture(scope="module")
+def dataset() -> TypeAnnotationDataset:
+    return TypeAnnotationDataset.synthetic(
+        SynthesisConfig(num_files=10, seed=23),
+        DatasetConfig(rarity_threshold=6, seed=23),
+    )
+
+
+@pytest.fixture(scope="module")
+def saved_dir(dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("dataset")
+    dataset.save(path, shard_size=3)
+    return path
+
+
+class TestSaveLayout:
+    def test_manifest_sources_and_shards_written(self, dataset, saved_dir):
+        assert (saved_dir / "dataset.json").exists()
+        assert (saved_dir / "sources.json").exists()
+        shards = sorted(saved_dir.glob("graphs-*.json"))
+        total_graphs = sum(split.num_graphs for split in dataset.splits.values())
+        assert len(shards) == -(-total_graphs // 3)  # ceil division
+        stored = sum(
+            len(json.loads(shard.read_text(encoding="utf-8"))["graphs"]) for shard in shards
+        )
+        assert stored == total_graphs
+
+    def test_shard_size_one_gives_one_graph_per_file(self, dataset, tmp_path):
+        dataset.save(tmp_path, shard_size=1)
+        shards = sorted(tmp_path.glob("graphs-*.json"))
+        assert len(shards) == sum(split.num_graphs for split in dataset.splits.values())
+
+
+class TestRoundTrip:
+    def test_summary_and_splits_identical(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        assert loaded.summary() == dataset.summary()
+        for name in ("train", "valid", "test"):
+            original, restored = dataset.splits[name], loaded.splits[name]
+            assert restored.samples == original.samples
+            assert [graph_to_payload(g) for g in restored.graphs] == [
+                graph_to_payload(g) for g in original.graphs
+            ]
+
+    def test_registry_ids_counts_and_vocabulary_preserved(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        assert list(loaded.registry) == list(dataset.registry)
+        for type_name in dataset.registry:
+            assert loaded.registry.id_of(type_name) == dataset.registry.id_of(type_name)
+            assert loaded.registry.count_of(type_name) == dataset.registry.count_of(type_name)
+            assert loaded.registry.is_rare(type_name) == dataset.registry.is_rare(type_name)
+        assert loaded.registry.classification_vocabulary() == dataset.registry.classification_vocabulary()
+
+    def test_subtoken_vocabulary_preserved(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        assert loaded.subtokens.tokens == dataset.subtokens.tokens
+        for token in dataset.subtokens.tokens[:20]:
+            assert loaded.subtokens.lookup(token) == dataset.subtokens.lookup(token)
+
+    def test_lattice_relations_preserved(self, dataset, saved_dir):
+        from repro.corpus.serialize import lattice_to_payload
+
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        assert lattice_to_payload(loaded.lattice) == lattice_to_payload(dataset.lattice)
+
+    def test_sources_config_and_dedup_preserved(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        assert loaded.sources == dataset.sources
+        assert loaded.config == dataset.config
+        if dataset.dedup_report is None:
+            assert loaded.dedup_report is None
+        else:
+            assert loaded.dedup_report.removed_files == dataset.dedup_report.removed_files
+            assert loaded.dedup_report.total_files == dataset.dedup_report.total_files
+
+    def test_samples_kinds_are_enums_after_load(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        for sample in loaded.train.samples[:10]:
+            assert isinstance(sample.kind, SymbolKind)
+
+    def test_kind_breakdown_survives_round_trip(self, dataset, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        for kind in SymbolKind:
+            assert loaded.train.samples_of_kind(kind) == dataset.train.samples_of_kind(kind)
+
+
+class TestLoadValidation:
+    def test_unknown_format_version_rejected(self, dataset, tmp_path):
+        dataset.save(tmp_path)
+        manifest_path = tmp_path / "dataset.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["format_version"] = 999
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError, match="format version"):
+            TypeAnnotationDataset.load(tmp_path)
+
+    def test_graph_count_mismatch_rejected(self, dataset, tmp_path):
+        dataset.save(tmp_path, shard_size=1)
+        manifest_path = tmp_path / "dataset.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["graph_shards"] = manifest["graph_shards"][:-1]  # drop the last graph
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        with pytest.raises(ValueError):
+            TypeAnnotationDataset.load(tmp_path)

@@ -136,6 +136,101 @@ class TestSuggestForSources:
             assert np.isclose(one.confidence, other.confidence)
 
 
+class TestIncrementalAnnotation:
+    def _suggestion_keys(self, report):
+        return {
+            file_report.filename: [
+                (s.scope, s.name, s.suggested_type, round(s.confidence, 12))
+                for s in file_report.suggestions
+            ]
+            for file_report in report.files
+        }
+
+    def test_second_run_reuses_every_unchanged_file(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}
+        config = AnnotatorConfig(use_type_checker=False, cache_dir=tmp_path)
+        annotator = ProjectAnnotator(trained_pipeline, config)
+        cold = annotator.annotate_sources(sources)
+        warm = annotator.annotate_sources(sources)
+        assert cold.reused_files == 0
+        assert warm.reused_files == 2
+        assert self._suggestion_keys(warm) == self._suggestion_keys(cold)
+        assert warm.summary()["reused_files"] == 2
+
+    def test_only_changed_file_is_reannotated(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}
+        annotator = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=False, cache_dir=tmp_path)
+        )
+        annotator.annotate_sources(sources)
+        edited = dict(sources)
+        edited["b.py"] = UNANNOTATED_B + "\ndef extra_helper(value):\n    return value\n"
+        report = annotator.annotate_sources(edited)
+        assert report.reused_files == 1
+        assert {f.filename for f in report.files} == {"a.py", "b.py"}
+
+    def test_cache_reuse_survives_new_annotator_instance(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A}
+        config = AnnotatorConfig(use_type_checker=False, cache_dir=tmp_path)
+        first = ProjectAnnotator(trained_pipeline, config).annotate_sources(sources)
+        second = ProjectAnnotator(trained_pipeline, config).annotate_sources(sources)
+        assert second.reused_files == 1
+        assert self._suggestion_keys(second) == self._suggestion_keys(first)
+
+    def test_settings_change_invalidates_cache(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A}
+        loose = AnnotatorConfig(use_type_checker=False, confidence_threshold=0.0, cache_dir=tmp_path)
+        strict = AnnotatorConfig(use_type_checker=False, confidence_threshold=0.99, cache_dir=tmp_path)
+        ProjectAnnotator(trained_pipeline, loose).annotate_sources(sources)
+        report = ProjectAnnotator(trained_pipeline, strict).annotate_sources(sources)
+        assert report.reused_files == 0
+
+    def test_corrupted_annotation_entry_is_a_miss(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A}
+        config = AnnotatorConfig(use_type_checker=False, cache_dir=tmp_path)
+        annotator = ProjectAnnotator(trained_pipeline, config)
+        cold = annotator.annotate_sources(sources)
+        for corruption in ("not json at all", "[1, 2]"):  # garbage and valid-but-wrong-shape JSON
+            for entry in (tmp_path / "annotations").glob("*.json"):
+                entry.write_text(corruption, encoding="utf-8")
+            recovered = annotator.annotate_sources(sources)
+            assert recovered.reused_files == 0
+            assert self._suggestion_keys(recovered) == self._suggestion_keys(cold)
+
+    def test_pipeline_mutation_invalidates_cache(self, trained_pipeline, tmp_path):
+        sources = {"a.py": UNANNOTATED_A}
+        config = AnnotatorConfig(use_type_checker=False, cache_dir=tmp_path)
+        annotator = ProjectAnnotator(trained_pipeline, config)
+        annotator.annotate_sources(sources)
+        original_k = trained_pipeline.predictor.k
+        try:
+            trained_pipeline.predictor.k = original_k + 1  # changes the fingerprint
+            report = annotator.annotate_sources(sources)
+        finally:
+            trained_pipeline.predictor.k = original_k
+        assert report.reused_files == 0
+
+    def test_parallel_jobs_produce_identical_report(self, trained_pipeline):
+        sources = {"a.py": UNANNOTATED_A, "b.py": UNANNOTATED_B}
+        serial = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=False)
+        ).annotate_sources(sources)
+        parallel = ProjectAnnotator(
+            trained_pipeline, AnnotatorConfig(use_type_checker=False, jobs=2)
+        ).annotate_sources(sources)
+        assert self._suggestion_keys(parallel) == self._suggestion_keys(serial)
+
+    def test_fingerprint_stable_and_sensitive(self, trained_pipeline):
+        assert trained_pipeline.fingerprint() == trained_pipeline.fingerprint()
+        original_k = trained_pipeline.predictor.k
+        try:
+            trained_pipeline.predictor.k = original_k + 1
+            changed = trained_pipeline.fingerprint()
+        finally:
+            trained_pipeline.predictor.k = original_k
+        assert changed != trained_pipeline.fingerprint()
+
+
 class TestReportDataclasses:
     def test_file_report_counts(self):
         report = FileReport(filename="x.py", suggestions=[])

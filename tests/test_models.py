@@ -17,8 +17,8 @@ from repro.models import (
     build_path_batch,
     build_sequence_batch,
 )
-from repro.models.encoder_init import CharCNNNodeInitializer
 from repro.graph.subtokens import SubtokenVocabulary
+from repro.models.encoder_init import CharCNNNodeInitializer
 from repro.utils.rng import SeededRNG
 
 
@@ -82,7 +82,6 @@ class TestGraphBatching:
         assert batch.num_nodes == sum(g.num_nodes for g in graphs)
         assert batch.num_targets == sum(len(t) for t in targets)
         # Every edge stays within its own graph.
-        boundaries = np.cumsum([0] + [g.num_nodes for g in graphs])
         for pairs in batch.edges.values():
             for source, target in pairs.T:
                 assert batch.graph_of_node[source] == batch.graph_of_node[target]
@@ -93,7 +92,7 @@ class TestGraphBatching:
             build_graph_batch(graphs, [[0]])
 
     def test_target_nodes_are_symbols(self, graphs, targets):
-        batch = build_graph_batch(graphs, targets)
+        build_graph_batch(graphs, targets)
         offsets = np.cumsum([0] + [g.num_nodes for g in graphs])
         for local_targets, offset, graph in zip(targets, offsets, graphs):
             for node in local_targets:

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.nn import functional as F
 from repro.nn.conv import CharCNNEncoder, Conv1D
 from repro.nn.layers import MLP, Dropout, Embedding, LayerNorm, Linear, Module, Sequential
 from repro.nn.optim import SGD, Adam
