@@ -73,6 +73,13 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gnn-steps", type=int, default=4)
     parser.add_argument("--epochs", type=int, default=8)
     parser.add_argument("--learning-rate", type=float, default=5e-3)
+    parser.add_argument("--dtype", choices=["float32", "float64"], default="float32",
+                        help="training dtype: float32 (fast, default) or float64 (the "
+                             "historical double precision; compiled and eager float64 runs "
+                             "produce bit-identical loss trajectories)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="disable the compile-once batch plan and rebuild every batch "
+                             "from node texts each epoch (the eager baseline path)")
     parser.add_argument("--corpus-dir", type=Path, default=None,
                         help="train on .py files from this directory instead of a synthetic corpus")
     parser.add_argument("--dataset", type=Path, default=None,
@@ -187,7 +194,12 @@ def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> T
         dataset,
         EncoderConfig(family=args.family, hidden_dim=args.hidden_dim, gnn_steps=args.gnn_steps),
         loss_kind=LossKind(args.loss),
-        training_config=TrainingConfig(epochs=args.epochs, learning_rate=args.learning_rate),
+        training_config=TrainingConfig(
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+            dtype=getattr(args, "dtype", "float32"),
+            compile_batches=not getattr(args, "no_compile", False),
+        ),
         verbose=True,
     )
 

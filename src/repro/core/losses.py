@@ -163,8 +163,9 @@ def similarity_space_loss(
     pull_counts = np.maximum(pull_mask.sum(axis=1), 1)
     push_counts = np.maximum(push_mask.sum(axis=1), 1)
 
-    pull_term = (distances * Tensor(pull_mask.astype(np.float64))).sum(axis=1) / Tensor(pull_counts.astype(np.float64))
-    push_term = (distances * Tensor(push_mask.astype(np.float64))).sum(axis=1) / Tensor(push_counts.astype(np.float64))
+    dtype = distances.data.dtype
+    pull_term = (distances * Tensor(pull_mask.astype(dtype))).sum(axis=1) / Tensor(pull_counts.astype(dtype))
+    push_term = (distances * Tensor(push_mask.astype(dtype))).sum(axis=1) / Tensor(push_counts.astype(dtype))
     loss = (pull_term - push_term).mean()
 
     if not return_stats:

@@ -62,6 +62,13 @@ class DatasetSplit:
     name: str
     graphs: list[CodeGraph] = field(default_factory=list)
     samples: list[AnnotatedSymbol] = field(default_factory=list)
+    #: Precomputed subtoken features per graph (parallel to ``graphs``),
+    #: produced by :meth:`TypeAnnotationDataset.featurize_nodes` or restored
+    #: from the dataset directory; compiled training plans consume them so
+    #: node texts are tokenized exactly once per corpus.
+    node_features: Optional[list] = field(default=None, repr=False, compare=False)
+    #: Fingerprint of the vocabulary the features were computed against.
+    features_fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
     #: Lazily-built sample groupings: ``(num_samples, by_graph, by_kind)``.
     #: Rebuilt whenever the sample count changes, so batch formation and
     #: kind breakdowns stop rescanning ``samples`` once per graph/kind.
@@ -226,17 +233,44 @@ class TypeAnnotationDataset:
             files, class_edges=synthesizer.class_hierarchy_edges(), config=config, ingest=ingest
         )
 
+    # -- featurization -------------------------------------------------------------------
+
+    def featurize_nodes(self, force: bool = False) -> str:
+        """Compute every split's per-graph subtoken features exactly once.
+
+        Returns the vocabulary fingerprint the features are tied to.  The
+        compiled training plan (:class:`repro.core.trainer.BatchPlan`) reuses
+        these arrays instead of re-tokenizing node texts, and :meth:`save`
+        persists them alongside the graph shards so a reloaded dataset never
+        tokenizes at all.
+        """
+        from repro.models.featurize import SUBTOKEN, FeatureExtractor
+
+        extractor = FeatureExtractor(SUBTOKEN, subtoken_vocabulary=self.subtokens)
+        fingerprint = extractor.fingerprint()
+        for split in self.splits.values():
+            if not force and split.features_fingerprint == fingerprint and split.node_features is not None:
+                continue
+            split.node_features = [
+                extractor.features_for_texts([node.text for node in graph.nodes])
+                for graph in split.graphs
+            ]
+            split.features_fingerprint = fingerprint
+        return fingerprint
+
     # -- persistence ---------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path], shard_size: int = 64) -> Path:
+    def save(self, path: Union[str, Path], shard_size: int = 64, include_features: bool = True) -> Path:
         """Persist the assembled dataset to a directory, graphs sharded.
 
         Layout: ``dataset.json`` (manifest: config, splits' samples,
-        registry, vocabulary, lattice, dedup report), ``sources.json`` and
+        registry, vocabulary, lattice, dedup report), ``sources.json``,
         ``graphs-NNNNN.json`` shard files of at most ``shard_size`` graphs
-        each.  :meth:`load` restores a dataset whose splits, sample order,
-        registry ids and vocabulary are identical to the original — so a
-        corpus is ingested once and reloaded instantly by the trainer, the
+        each and — unless ``include_features`` is off — ``features.npz``
+        with each graph's precomputed subtoken id arrays.  :meth:`load`
+        restores a dataset whose splits, sample order, registry ids and
+        vocabulary are identical to the original — so a corpus is ingested
+        (and featurized) once and reloaded instantly by the trainer, the
         benchmarks and the engine.
         """
         path = Path(path)
@@ -288,6 +322,18 @@ class TypeAnnotationDataset:
         (path / "sources.json").write_text(
             json.dumps(self.sources, separators=(",", ":")), encoding="utf-8"
         )
+        if include_features:
+            import numpy as np
+
+            fingerprint = self.featurize_nodes()
+            flat_features = [
+                feature
+                for split in self.splits.values()
+                for feature in (split.node_features or [])
+            ]
+            np.savez_compressed(
+                path / "features.npz", **serialize.features_to_arrays(flat_features, fingerprint)
+            )
         return path
 
     @classmethod
@@ -339,7 +385,7 @@ class TypeAnnotationDataset:
         config_payload["split_fractions"] = tuple(config_payload["split_fractions"])
         sources_path = path / "sources.json"
         sources = json.loads(sources_path.read_text(encoding="utf-8")) if sources_path.exists() else {}
-        return cls(
+        dataset = cls(
             splits["train"],
             splits["valid"],
             splits["test"],
@@ -350,6 +396,34 @@ class TypeAnnotationDataset:
             DatasetConfig(**config_payload),
             sources=sources,
         )
+        dataset._attach_features(path)
+        return dataset
+
+    def _attach_features(self, path: Path) -> None:
+        """Restore persisted per-graph features; silently skip stale/missing files."""
+        features_path = path / "features.npz"
+        if not features_path.exists():
+            return
+        import numpy as np
+
+        from repro.models.featurize import SUBTOKEN, vocabulary_fingerprint
+
+        with np.load(features_path, allow_pickle=False) as archive:
+            restored = serialize.features_from_arrays(archive)
+        if restored is None:
+            return
+        features, fingerprint = restored
+        # Features index the embedding rows of this vocabulary; a mismatch
+        # (e.g. a hand-edited directory) means they must be recomputed.
+        if fingerprint != vocabulary_fingerprint(SUBTOKEN, self.subtokens.tokens):
+            return
+        if len(features) != sum(split.num_graphs for split in self.splits.values()):
+            return
+        cursor = 0
+        for split in self.splits.values():
+            split.node_features = features[cursor : cursor + split.num_graphs]
+            split.features_fingerprint = fingerprint
+            cursor += split.num_graphs
 
     # -- splitting -----------------------------------------------------------------------
 

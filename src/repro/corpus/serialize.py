@@ -21,17 +21,24 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Any, Optional
 
+import numpy as np
+
 from repro.corpus.dedup import DeduplicationReport, DuplicateCluster
 from repro.graph.codegraph import CodeGraph
 from repro.graph.edges import EdgeKind
 from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
 from repro.graph.subtokens import SubtokenVocabulary
+from repro.models.featurize import SUBTOKEN, TextFeatures
 from repro.types.lattice import TypeLattice
 from repro.types.registry import TypeRegistry
 
 #: Version of the graph payload layout; part of every cache key, so bumping
 #: it (or :data:`repro.corpus.ingest.EXTRACTOR_VERSION`) invalidates caches.
 GRAPH_PAYLOAD_VERSION = 1
+
+#: Version of the ``features.npz`` companion file written next to dataset
+#: shards; unknown versions are ignored (features are recomputed instead).
+FEATURES_FORMAT_VERSION = 1
 
 
 class PayloadError(ValueError):
@@ -108,6 +115,55 @@ def graph_from_payload(payload: dict[str, Any], filename: Optional[str] = None) 
     except (KeyError, TypeError, ValueError, AttributeError) as error:
         raise PayloadError(f"malformed graph payload: {error}") from error
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Precomputed node features (the compile-once featurization layer)
+# ---------------------------------------------------------------------------
+
+
+def features_to_arrays(features: list[TextFeatures], fingerprint: str) -> dict[str, np.ndarray]:
+    """Flatten per-graph subtoken features into ``np.savez``-ready arrays.
+
+    Layout: one CSR id/row-split array pair per graph, plus the vocabulary
+    fingerprint that ties the ids to the subtoken table they index.
+    """
+    arrays: dict[str, np.ndarray] = {
+        "version": np.asarray([FEATURES_FORMAT_VERSION], dtype=np.int64),
+        "num_graphs": np.asarray([len(features)], dtype=np.int64),
+        "fingerprint": np.asarray([fingerprint]),
+    }
+    for index, feature in enumerate(features):
+        if feature.kind != SUBTOKEN:
+            raise ValueError(f"only subtoken features persist with the dataset, got {feature.kind!r}")
+        arrays[f"ids_{index}"] = feature.ids
+        arrays[f"splits_{index}"] = feature.row_splits
+    return arrays
+
+
+def features_from_arrays(archive) -> Optional[tuple[list[TextFeatures], str]]:
+    """Rebuild per-graph features from a ``features.npz`` archive.
+
+    Returns ``None`` for unknown versions or malformed archives — callers
+    fall back to recomputing features, never fail the dataset load.
+    """
+    try:
+        if int(archive["version"][0]) != FEATURES_FORMAT_VERSION:
+            return None
+        num_graphs = int(archive["num_graphs"][0])
+        fingerprint = str(archive["fingerprint"][0])
+        features = []
+        for index in range(num_graphs):
+            ids = np.asarray(archive[f"ids_{index}"], dtype=np.int64)
+            row_splits = np.asarray(archive[f"splits_{index}"], dtype=np.int64)
+            features.append(
+                TextFeatures(
+                    kind=SUBTOKEN, num_texts=row_splits.size - 1, ids=ids, row_splits=row_splits
+                )
+            )
+    except (KeyError, ValueError, IndexError):
+        return None
+    return features, fingerprint
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,8 @@ from repro.models.encoder_init import (
     TokenVocabulary,
     build_initializer,
 )
-from repro.models.ggnn import GGNNEncoder, NameOnlyEncoder
+from repro.models.featurize import FeatureExtractor, TextFeatures, vocabulary_fingerprint
+from repro.models.ggnn import GGNNEncoder, MessagePlan, NameOnlyEncoder, build_message_plan
 from repro.models.path import PathEncoder
 from repro.models.seq import SequenceEncoder
 
@@ -41,4 +42,9 @@ __all__ = [
     "NameOnlyEncoder",
     "SequenceEncoder",
     "PathEncoder",
+    "FeatureExtractor",
+    "TextFeatures",
+    "MessagePlan",
+    "build_message_plan",
+    "vocabulary_fingerprint",
 ]

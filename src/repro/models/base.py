@@ -37,6 +37,17 @@ class SymbolEncoder(Module):
         """Convenience: prepare a batch and run the forward pass."""
         return self(self.prepare_batch(graphs, targets_per_graph))
 
+    def enable_feature_memo(self) -> None:
+        """Cache per-text feature arrays across batches.
+
+        Families whose batches cannot be fully precompiled (the path encoder
+        resamples syntax paths every batch) still stop re-tokenizing the same
+        lexemes once this is on.  No-op for encoders without an initialiser.
+        """
+        initializer = getattr(self, "initializer", None)
+        if initializer is not None:
+            initializer.extractor.enable_memo()
+
 
 class EncoderFactory(Protocol):
     """Anything that can build a fresh (randomly initialised) encoder."""

@@ -26,6 +26,7 @@ import numpy as np
 from repro.graph.codegraph import CodeGraph
 from repro.graph.edges import EdgeKind
 from repro.graph.nodes import NodeKind
+from repro.models.featurize import TextFeatures
 from repro.utils.rng import SeededRNG
 
 
@@ -43,6 +44,15 @@ class GraphBatch:
     target_nodes: np.ndarray  # indices (into the union) of the target symbol nodes
     graph_of_node: np.ndarray  # graph index per node (for diagnostics)
     num_graphs: int
+    #: Precomputed numeric features of ``node_texts`` for the encoder's node
+    #: initialiser (set by compiled batch plans; ``None`` → featurize eagerly).
+    features: Optional[TextFeatures] = None
+    #: Cached message-passing plan: ``(config_key, plan)``.  Built lazily by
+    #: the GGNN on first forward, or ahead of time by a compiled batch plan.
+    message_plan: Optional[tuple] = field(default=None, repr=False, compare=False)
+    #: Cached ``features.take(target_nodes)`` for target-only encoders, so a
+    #: batch reused across epochs selects (and sorts) target features once.
+    target_features: Optional[TextFeatures] = field(default=None, repr=False, compare=False)
 
     @property
     def num_nodes(self) -> int:
@@ -58,31 +68,34 @@ def build_graph_batch(graphs: Sequence[CodeGraph], targets_per_graph: Sequence[S
     if len(graphs) != len(targets_per_graph):
         raise ValueError("graphs and targets_per_graph must have the same length")
     node_texts: list[str] = []
-    graph_of_node: list[int] = []
-    edge_lists: dict[EdgeKind, list[tuple[int, int]]] = {}
-    target_nodes: list[int] = []
+    num_nodes_per_graph = np.asarray([graph.num_nodes for graph in graphs], dtype=np.int64)
+    offsets = np.zeros(len(graphs) + 1, dtype=np.int64)
+    np.cumsum(num_nodes_per_graph, out=offsets[1:])
 
-    offset = 0
+    edge_chunks: dict[EdgeKind, list[np.ndarray]] = {}
+    target_chunks: list[np.ndarray] = []
     for graph_index, (graph, targets) in enumerate(zip(graphs, targets_per_graph)):
-        for node in graph.nodes:
-            node_texts.append(node.text)
-            graph_of_node.append(graph_index)
+        offset = offsets[graph_index]
+        node_texts.extend(node.text for node in graph.nodes)
         for kind, pairs in graph.edges.items():
-            bucket = edge_lists.setdefault(kind, [])
-            bucket.extend((source + offset, target + offset) for source, target in pairs)
-        for node_index in targets:
-            target_nodes.append(node_index + offset)
-        offset += graph.num_nodes
+            if pairs:
+                edge_chunks.setdefault(kind, []).append(np.asarray(pairs, dtype=np.int64) + offset)
+            else:
+                edge_chunks.setdefault(kind, [])
+        target_chunks.append(np.asarray(list(targets), dtype=np.int64) + offset)
 
     edges = {
-        kind: np.asarray(pairs, dtype=np.int64).T if pairs else np.zeros((2, 0), dtype=np.int64)
-        for kind, pairs in edge_lists.items()
+        kind: np.concatenate(chunks, axis=0).T if chunks else np.zeros((2, 0), dtype=np.int64)
+        for kind, chunks in edge_chunks.items()
     }
+    target_nodes = (
+        np.concatenate(target_chunks) if target_chunks else np.zeros(0, dtype=np.int64)
+    )
     return GraphBatch(
         node_texts=node_texts,
         edges=edges,
-        target_nodes=np.asarray(target_nodes, dtype=np.int64),
-        graph_of_node=np.asarray(graph_of_node, dtype=np.int64),
+        target_nodes=target_nodes,
+        graph_of_node=np.repeat(np.arange(len(graphs), dtype=np.int64), num_nodes_per_graph),
         num_graphs=len(graphs),
     )
 
@@ -100,6 +113,9 @@ class SequenceBatch:
     sequence_length: int
     #: For each target symbol: (sequence index, occurrence positions in that sequence).
     target_occurrences: list[tuple[int, list[int]]]
+    #: Precomputed features of the flattened padded token texts (row-major:
+    #: sequence by sequence), set by compiled batch plans.
+    features: Optional[TextFeatures] = None
 
     @property
     def num_sequences(self) -> int:

@@ -17,13 +17,13 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Sequence
 
-import numpy as np
-
 from repro.graph.subtokens import (
     CharacterVocabulary,
     SubtokenVocabulary,
     restore_ordered_tokens,
 )
+from repro.models import featurize
+from repro.models.featurize import FeatureExtractor, TextFeatures
 from repro.nn import functional as F
 from repro.nn.conv import CharCNNEncoder
 from repro.nn.layers import Embedding, Module
@@ -32,32 +32,53 @@ from repro.utils.rng import SeededRNG
 
 
 class NodeInitializer(Module):
-    """Common interface of the three node-state initialisers."""
+    """Common interface of the three node-state initialisers.
+
+    Each initialiser owns a :class:`~repro.models.featurize.FeatureExtractor`
+    that converts texts to numeric id arrays.  ``encode_texts`` is now a thin
+    composition of :meth:`featurize` and :meth:`encode_features`, so callers
+    holding precomputed features (compiled batch plans, persisted datasets)
+    skip the string work entirely while producing identical tensors.
+    """
 
     dim: int
+    #: Which :mod:`repro.models.featurize` layout this initialiser consumes.
+    feature_kind: str = ""
 
-    def encode_texts(self, texts: Sequence[str]) -> Tensor:  # pragma: no cover - abstract
+    @property
+    def extractor(self) -> FeatureExtractor:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def featurize(self, texts: Sequence[str]) -> TextFeatures:
+        """Convert texts to the numeric features :meth:`encode_features` expects."""
+        return self.extractor.features_for_texts(texts)
+
+    def encode_features(self, features: TextFeatures) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def encode_texts(self, texts: Sequence[str]) -> Tensor:
+        return self.encode_features(self.featurize(texts))
 
 
 class SubtokenNodeInitializer(NodeInitializer):
     """Average of subtoken embeddings (Eq. 7)."""
+
+    feature_kind = featurize.SUBTOKEN
 
     def __init__(self, vocabulary: SubtokenVocabulary, dim: int, rng: SeededRNG) -> None:
         super().__init__()
         self.vocabulary = vocabulary
         self.dim = dim
         self.embedding = Embedding(max(len(vocabulary), 2), dim, rng)
+        self._extractor = FeatureExtractor(featurize.SUBTOKEN, subtoken_vocabulary=vocabulary)
 
-    def encode_texts(self, texts: Sequence[str]) -> Tensor:
-        subtoken_ids: list[int] = []
-        segment_ids: list[int] = []
-        for node_index, text in enumerate(texts):
-            ids = self.vocabulary.ids_for_identifier(text)
-            subtoken_ids.extend(ids)
-            segment_ids.extend([node_index] * len(ids))
-        embedded = self.embedding(np.asarray(subtoken_ids, dtype=np.int64))
-        return F.segment_mean(embedded, np.asarray(segment_ids), len(texts))
+    @property
+    def extractor(self) -> FeatureExtractor:
+        return self._extractor
+
+    def encode_features(self, features: TextFeatures) -> Tensor:
+        embedded = self.embedding(features.ids)
+        return F.segment_mean(embedded, features.segment_index(), features.num_texts)
 
 
 class TokenVocabulary:
@@ -107,19 +128,27 @@ class TokenVocabulary:
 class TokenNodeInitializer(NodeInitializer):
     """One embedding per whole lexeme (the DeepTyper representation)."""
 
+    feature_kind = featurize.TOKEN
+
     def __init__(self, vocabulary: TokenVocabulary, dim: int, rng: SeededRNG) -> None:
         super().__init__()
         self.vocabulary = vocabulary
         self.dim = dim
         self.embedding = Embedding(max(len(vocabulary), 2), dim, rng)
+        self._extractor = FeatureExtractor(featurize.TOKEN, token_vocabulary=vocabulary)
 
-    def encode_texts(self, texts: Sequence[str]) -> Tensor:
-        ids = np.asarray([self.vocabulary.lookup(text) for text in texts], dtype=np.int64)
-        return self.embedding(ids)
+    @property
+    def extractor(self) -> FeatureExtractor:
+        return self._extractor
+
+    def encode_features(self, features: TextFeatures) -> Tensor:
+        return self.embedding(features.ids)
 
 
 class CharCNNNodeInitializer(NodeInitializer):
     """Character-level CNN representation (Kim et al. 2016)."""
+
+    feature_kind = featurize.CHARACTER
 
     def __init__(self, dim: int, rng: SeededRNG, char_dim: int = 16, max_chars: int = 16) -> None:
         super().__init__()
@@ -127,13 +156,16 @@ class CharCNNNodeInitializer(NodeInitializer):
         self.max_chars = max_chars
         self.characters = CharacterVocabulary()
         self.encoder = CharCNNEncoder(len(self.characters), char_dim, dim, rng, max_chars=max_chars)
-
-    def encode_texts(self, texts: Sequence[str]) -> Tensor:
-        encoded = np.asarray(
-            [self.characters.encode(text if text else "_", self.max_chars) for text in texts],
-            dtype=np.int64,
+        self._extractor = FeatureExtractor(
+            featurize.CHARACTER, character_vocabulary=self.characters, max_chars=max_chars
         )
-        return self.encoder(encoded)
+
+    @property
+    def extractor(self) -> FeatureExtractor:
+        return self._extractor
+
+    def encode_features(self, features: TextFeatures) -> Tensor:
+        return self.encoder(features.ids)
 
 
 def build_initializer(

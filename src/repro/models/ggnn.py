@@ -17,6 +17,7 @@ Table 4: symbols are represented purely by their name subtokens.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -29,8 +30,72 @@ from repro.models.encoder_init import NodeInitializer
 from repro.nn import functional as F
 from repro.nn.layers import Dropout, Linear
 from repro.nn.rnn import GRUCell
+from repro.nn.segments import SegmentIndex
 from repro.nn.tensor import Tensor
 from repro.utils.rng import SeededRNG
+
+
+@dataclass
+class MessagePlan:
+    """Precomputed gather/scatter structure for one batch's message passing.
+
+    A GGNN step used to issue one gather + one scatter-add *per edge kind and
+    direction* (up to 18 of each).  The plan concatenates every kind's source
+    rows into one index array with per-kind slices, so each propagation step
+    does a single gather (whose backward scatters through a presorted
+    :class:`~repro.nn.segments.SegmentIndex`) and a single max-aggregation
+    over a presorted destination index.  The arrays depend only on the batch
+    and the encoder's edge configuration, so compiled training plans build
+    them once and reuse them every epoch.
+    """
+
+    gather_indices: np.ndarray  # source row per message, all kinds concatenated
+    gather_index: SegmentIndex  # scatter structure over ``gather_indices``
+    blocks: list[tuple[str, slice]]  # (edge-transform key, rows of that kind)
+    destination_index: SegmentIndex  # message destinations, for segment_max
+
+
+def build_message_plan(
+    edges: dict[EdgeKind, np.ndarray],
+    num_nodes: int,
+    edge_kinds: Sequence[EdgeKind],
+    use_reverse_edges: bool,
+) -> Optional[MessagePlan]:
+    """Build the fused gather/scatter arrays for a batch (``None`` if no edges).
+
+    Block order matches the historical per-kind loop — forward then reverse
+    per kind, kinds in configuration order — so the concatenated message
+    matrix is row-for-row identical to what the unfused implementation built.
+    """
+    gather_chunks: list[np.ndarray] = []
+    destination_chunks: list[np.ndarray] = []
+    blocks: list[tuple[str, slice]] = []
+    cursor = 0
+    for kind in edge_kinds:
+        pairs = edges.get(kind)
+        if pairs is None or pairs.shape[1] == 0:
+            continue
+        sources, targets = pairs[0], pairs[1]
+        count = pairs.shape[1]
+        gather_chunks.append(sources)
+        destination_chunks.append(targets)
+        blocks.append((kind.value, slice(cursor, cursor + count)))
+        cursor += count
+        if use_reverse_edges:
+            gather_chunks.append(targets)
+            destination_chunks.append(sources)
+            blocks.append((f"{kind.value}::rev", slice(cursor, cursor + count)))
+            cursor += count
+    if not blocks:
+        return None
+    gather_indices = np.concatenate(gather_chunks)
+    destinations = np.concatenate(destination_chunks)
+    return MessagePlan(
+        gather_indices=gather_indices,
+        gather_index=SegmentIndex.build(gather_indices, num_nodes),
+        blocks=blocks,
+        destination_index=SegmentIndex.build(destinations, num_nodes),
+    )
 
 
 class GGNNEncoder(SymbolEncoder):
@@ -76,40 +141,47 @@ class GGNNEncoder(SymbolEncoder):
 
     # -- forward --------------------------------------------------------------------
 
+    def message_plan_key(self) -> tuple:
+        """Identity of the edge configuration a :class:`MessagePlan` depends on."""
+        return (tuple(kind.value for kind in self.edge_kinds), self.use_reverse_edges)
+
+    def _plan_for_batch(self, batch: GraphBatch) -> Optional[MessagePlan]:
+        key = self.message_plan_key()
+        cached = batch.message_plan
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        plan = build_message_plan(batch.edges, batch.num_nodes, self.edge_kinds, self.use_reverse_edges)
+        batch.message_plan = (key, plan)
+        return plan
+
     def forward(self, batch: GraphBatch) -> Tensor:
-        states = self.initializer.encode_texts(batch.node_texts)
+        if batch.features is not None:
+            states = self.initializer.encode_features(batch.features)
+        else:
+            states = self.initializer.encode_texts(batch.node_texts)
         if self.input_projection is not None:
             states = self.input_projection(states).tanh()
         if self.dropout is not None:
             states = self.dropout(states)
 
+        plan = self._plan_for_batch(batch)
         for _ in range(self.num_steps):
-            aggregated = self._aggregate_messages(states, batch)
+            aggregated = self._aggregate_messages(states, plan, batch.num_nodes)
             states = self.update_cell(aggregated, states)
 
         return states.gather_rows(batch.target_nodes)
 
-    def _aggregate_messages(self, states: Tensor, batch: GraphBatch) -> Tensor:
+    def _aggregate_messages(self, states: Tensor, plan: Optional[MessagePlan], num_nodes: int) -> Tensor:
         """Compute per-node max-pooled messages across all edge kinds."""
-        message_chunks: list[Tensor] = []
-        destination_chunks: list[np.ndarray] = []
-        for kind in self.edge_kinds:
-            pairs = batch.edges.get(kind)
-            if pairs is None or pairs.shape[1] == 0:
-                continue
-            sources, targets = pairs[0], pairs[1]
-            forward_messages = self.edge_transforms[kind.value](states.gather_rows(sources))
-            message_chunks.append(forward_messages)
-            destination_chunks.append(targets)
-            if self.use_reverse_edges:
-                reverse_messages = self.edge_transforms[f"{kind.value}::rev"](states.gather_rows(targets))
-                message_chunks.append(reverse_messages)
-                destination_chunks.append(sources)
-        if not message_chunks:
-            return Tensor(np.zeros((batch.num_nodes, self.hidden_dim)))
-        all_messages = F.concatenate(message_chunks, axis=0)
-        all_destinations = np.concatenate(destination_chunks)
-        return F.segment_max(all_messages, all_destinations, batch.num_nodes)
+        if plan is None:
+            return Tensor(np.zeros((num_nodes, self.hidden_dim), dtype=states.data.dtype))
+        gathered = states.gather_rows(plan.gather_indices, scatter_index=plan.gather_index)
+        all_messages = F.block_linear(
+            gathered,
+            [self.edge_transforms[key].weight for key, _ in plan.blocks],
+            [rows for _, rows in plan.blocks],
+        )
+        return F.segment_max(all_messages, plan.destination_index, num_nodes)
 
 
 class NameOnlyEncoder(SymbolEncoder):
@@ -131,8 +203,13 @@ class NameOnlyEncoder(SymbolEncoder):
         return build_graph_batch(graphs, targets_per_graph)
 
     def forward(self, batch: GraphBatch) -> Tensor:
-        target_texts = [batch.node_texts[index] for index in batch.target_nodes]
-        states = self.initializer.encode_texts(target_texts)
+        if batch.features is not None:
+            if batch.target_features is None:
+                batch.target_features = batch.features.take(batch.target_nodes)
+            states = self.initializer.encode_features(batch.target_features)
+        else:
+            target_texts = [batch.node_texts[index] for index in batch.target_nodes]
+            states = self.initializer.encode_texts(target_texts)
         if self.projection is not None:
             states = self.projection(states).tanh()
         return states

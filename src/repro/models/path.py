@@ -84,10 +84,15 @@ class PathEncoder(SymbolEncoder):
                 path_index += 1
         num_paths = path_index
 
-        start_embeddings = self.initializer.encode_texts(start_texts)
-        end_embeddings = self.initializer.encode_texts(end_texts)
+        # One featurize/embed pass over every text role (terminals + labels):
+        # per-text encodings are independent, so slicing the combined result
+        # is value-identical to three separate encode_texts calls and avoids
+        # re-walking the embedding table per role.
+        encoded = self.initializer.encode_texts(start_texts + end_texts + inner_texts)
+        start_embeddings = encoded[0:num_paths]
+        end_embeddings = encoded[num_paths : 2 * num_paths]
         inner_embeddings = F.segment_mean(
-            self.initializer.encode_texts(inner_texts), np.asarray(inner_segments), num_paths
+            encoded[2 * num_paths :], np.asarray(inner_segments), num_paths
         )
         path_vectors = self.path_projection(
             F.concatenate([start_embeddings, inner_embeddings, end_embeddings], axis=-1)

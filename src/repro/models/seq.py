@@ -61,8 +61,11 @@ class SequenceEncoder(SymbolEncoder):
     def forward(self, batch: SequenceBatch) -> Tensor:
         num_sequences = batch.num_sequences
         length = batch.sequence_length
-        flat_texts = [text for sequence in batch.token_texts for text in sequence]
-        embedded = self.initializer.encode_texts(flat_texts)  # (S * L, dim)
+        if batch.features is not None:
+            embedded = self.initializer.encode_features(batch.features)  # (S * L, dim)
+        else:
+            flat_texts = [text for sequence in batch.token_texts for text in sequence]
+            embedded = self.initializer.encode_texts(flat_texts)  # (S * L, dim)
         # (S, L, dim) -> (L, S, dim) for the recurrent layers.
         sequence_input = embedded.reshape(num_sequences, length, self.initializer.dim).transpose(1, 0, 2)
 

@@ -9,6 +9,13 @@ rationale.
 
 from repro.nn import functional, serialization
 from repro.nn.conv import CharCNNEncoder, Conv1D
+from repro.nn.dtype import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.nn.segments import SegmentIndex
 from repro.nn.layers import (
     Dropout,
     Embedding,
@@ -39,6 +46,11 @@ __all__ = [
     "Optimizer",
     "SGD",
     "Adam",
+    "SegmentIndex",
+    "default_dtype",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
     "functional",
     "serialization",
 ]

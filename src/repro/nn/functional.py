@@ -12,6 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.nn.segments import SegmentIds, as_segment_index
 from repro.nn.tensor import Tensor
 
 
@@ -93,60 +94,118 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
-def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
-    """Sum rows of ``values`` that share a segment id.
+def block_linear(inputs: Tensor, weights: Sequence[Tensor], blocks: Sequence[slice]) -> Tensor:
+    """Apply a different weight matrix to each contiguous row block of ``inputs``.
 
-    ``values`` has shape ``(N, D)`` and the result has shape
-    ``(num_segments, D)``.  Used for sum-style message aggregation and for
-    pooling subtoken embeddings per node (Eq. 7 uses the mean, built on this).
+    The GGNN transforms each edge kind's (and direction's) gathered source
+    states with its own learned map — up to 18 separate matmul/slice/concat
+    autograd nodes per propagation step when written naively.  This fuses
+    them into **one** node: the forward writes each block's GEMM straight
+    into the output buffer, and the backward fills the input gradient
+    blockwise and accumulates each weight's gradient, with no intermediate
+    tensors.  Values and gradients are identical to the per-block spelling.
+
+    ``blocks[i]`` selects the rows transformed by ``weights[i]``; blocks must
+    tile ``inputs`` contiguously (as produced by a message plan).
     """
-    ids = np.asarray(segment_ids, dtype=np.int64)
-    data = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
-    np.add.at(data, ids, values.data)
-    requires = values.requires_grad
-    out = Tensor(data, requires_grad=requires, _parents=(values,) if requires else ())
+    if len(weights) != len(blocks):
+        raise ValueError("weights and blocks must align")
+    if not weights:
+        raise ValueError("block_linear requires at least one block")
+    cursor = 0
+    for rows in blocks:
+        if rows.start != cursor or rows.stop < rows.start or rows.step not in (None, 1):
+            raise ValueError(
+                f"blocks must tile the input rows contiguously; got {rows} at offset {cursor}"
+            )
+        cursor = rows.stop
+    if cursor != inputs.shape[0]:
+        raise ValueError(f"blocks cover {cursor} rows but inputs have {inputs.shape[0]}")
+    out_dim = weights[0].shape[1]
+    data = np.empty((inputs.shape[0], out_dim), dtype=inputs.data.dtype)
+    for weight, rows in zip(weights, blocks):
+        np.matmul(inputs.data[rows], weight.data, out=data[rows])
+
+    parents = (inputs, *weights)
+    requires = any(parent.requires_grad for parent in parents)
+    out = Tensor(data, requires_grad=requires, _parents=parents if requires else ())
     if requires:
 
         def backward(grad: np.ndarray) -> None:
-            values._accumulate(grad[ids])
+            if inputs.requires_grad:
+                input_grad = np.empty_like(inputs.data)
+                for weight, rows in zip(weights, blocks):
+                    np.matmul(grad[rows], weight.data.T, out=input_grad[rows])
+                inputs._accumulate(input_grad, own=True)
+            for weight, rows in zip(weights, blocks):
+                if weight.requires_grad:
+                    weight._accumulate(inputs.data[rows].T @ grad[rows], own=True)
 
         out._backward = backward
     return out
 
 
-def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_sum(values: Tensor, segment_ids: SegmentIds, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` that share a segment id.
+
+    ``values`` has shape ``(N, D)`` and the result has shape
+    ``(num_segments, D)``.  Used for sum-style message aggregation and for
+    pooling subtoken embeddings per node (Eq. 7 uses the mean, built on this).
+
+    ``segment_ids`` may be a raw id array or a precomputed
+    :class:`~repro.nn.segments.SegmentIndex` (compiled batch plans pass the
+    latter so the sort is paid once per batch, not once per call).
+    """
+    index = as_segment_index(segment_ids, num_segments)
+    data = index.sum(values.data)
+    requires = values.requires_grad
+    out = Tensor(data, requires_grad=requires, _parents=(values,) if requires else ())
+    if requires:
+
+        def backward(grad: np.ndarray) -> None:
+            values._accumulate(grad[index.ids])
+
+        out._backward = backward
+    return out
+
+
+def segment_mean(values: Tensor, segment_ids: SegmentIds, num_segments: int) -> Tensor:
     """Mean of rows per segment; empty segments produce zeros."""
-    ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(ids, minlength=num_segments).astype(np.float64)
+    index = as_segment_index(segment_ids, num_segments)
+    counts = index.dense_counts(dtype=values.data.dtype)
     counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (values.ndim - 1))
-    summed = segment_sum(values, ids, num_segments)
+    summed = segment_sum(values, index, num_segments)
     return summed / Tensor(counts)
 
 
-def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int, empty_value: float = 0.0) -> Tensor:
+def segment_max(values: Tensor, segment_ids: SegmentIds, num_segments: int, empty_value: float = 0.0) -> Tensor:
     """Element-wise max of rows per segment (the paper's ⊕ operator).
 
     Empty segments receive ``empty_value`` (no incoming message for the node).
     Gradient flows only to the rows that achieved the maximum; ties split the
     gradient equally.
     """
-    ids = np.asarray(segment_ids, dtype=np.int64)
-    data = np.full((num_segments,) + values.shape[1:], -np.inf, dtype=np.float64)
-    np.maximum.at(data, ids, values.data)
-    empty_mask = ~np.isfinite(data)
-    data[empty_mask] = empty_value
-
+    index = as_segment_index(segment_ids, num_segments)
+    data, _ = index.max(values.data, empty_value=empty_value)
     requires = values.requires_grad
     out = Tensor(data, requires_grad=requires, _parents=(values,) if requires else ())
     if requires:
+        cells_per_segment = int(np.prod(values.shape[1:], dtype=np.int64)) if values.ndim > 1 else 1
 
         def backward(grad: np.ndarray) -> None:
-            winners = (values.data == data[ids]).astype(np.float64)
-            # Divide gradient among ties within each segment.
-            tie_counts = np.zeros_like(data)
-            np.add.at(tie_counts, ids, winners)
-            denom = np.maximum(tie_counts[ids], 1.0)
-            values._accumulate(grad[ids] * winners / denom)
+            gathered = data[index.ids]
+            winners = values.data == gathered
+            upstream = grad[index.ids]
+            # Every non-empty (segment, cell) has at least one winner, so the
+            # winner count equals the non-empty cell count exactly when there
+            # are no ties — in which case the tie-splitting scatter (a full
+            # ``(num_segments, D)`` buffer plus an ``add.at``) is skipped.
+            if int(winners.sum()) == index.num_nonempty * cells_per_segment:
+                values._accumulate(upstream * winners)
+            else:
+                tie_counts = index.sum(winners.astype(data.dtype))
+                denom = np.maximum(tie_counts[index.ids], 1.0)
+                values._accumulate(upstream * winners / denom)
 
         out._backward = backward
     return out
@@ -157,19 +216,37 @@ def dropout(values: Tensor, rate: float, rng: np.random.Generator, training: boo
     if not training or rate <= 0.0:
         return values
     keep = 1.0 - rate
-    mask = (rng.random(values.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(values.shape) < keep).astype(values.data.dtype) / keep
     return values * Tensor(mask)
 
 
-def pairwise_l1_distances(a: Tensor, b: Tensor) -> Tensor:
+#: Cap on the number of elements a single ``(chunk, M, D)`` broadcast of
+#: :func:`pairwise_l1_distances` may allocate (~32 MiB of float64).
+PAIRWISE_CHUNK_ELEMENTS = 4_194_304
+
+
+def pairwise_l1_distances(a: Tensor, b: Tensor, max_elements: int = PAIRWISE_CHUNK_ELEMENTS) -> Tensor:
     """All-pairs L1 (Manhattan) distances between rows of ``a`` and ``b``.
 
     The similarity loss (Eq. 3) and the kNN prediction (Eq. 5) both use the
     L1 distance, following the paper.  Returns shape ``(len(a), len(b))``.
+
+    The naive broadcast materialises an ``(N, M, D)`` intermediate, which
+    grows cubically with the batch; when it would exceed ``max_elements``
+    the rows of ``a`` are processed in chunks so peak memory stays bounded.
+    Each row's distances (and gradients) are independent of the chunking, so
+    the result is identical either way.
     """
-    # (N, 1, D) - (1, M, D) -> (N, M, D); |.| summed over D.
     n, d = a.shape
     m = b.shape[0]
-    a3 = a.reshape(n, 1, d)
     b3 = b.reshape(1, m, d)
-    return (a3 - b3).abs().sum(axis=2)
+    if n * m * d <= max_elements or n <= 1:
+        a3 = a.reshape(n, 1, d)
+        return (a3 - b3).abs().sum(axis=2)
+    rows_per_chunk = max(1, max_elements // max(m * d, 1))
+    chunks: list[Tensor] = []
+    for start in range(0, n, rows_per_chunk):
+        stop = min(start + rows_per_chunk, n)
+        a3 = a[start:stop].reshape(stop - start, 1, d)
+        chunks.append((a3 - b3).abs().sum(axis=2))
+    return concatenate(chunks, axis=0)

@@ -78,6 +78,22 @@ class Module:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every trainable parameter to ``dtype`` in place.
+
+        Pending gradients are dropped (they belong to the previous dtype's
+        computation graph).  Casting to the current dtype is a no-op that
+        keeps the existing arrays, so float64 models are untouched.
+        """
+        from repro.nn.dtype import resolve_dtype
+
+        resolved = resolve_dtype(dtype)
+        for parameter in self.parameters():
+            if parameter.data.dtype != resolved:
+                parameter.data = parameter.data.astype(resolved)
+                parameter.zero_grad()
+        return self
+
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
@@ -153,8 +169,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gain = Tensor(np.ones(dim), requires_grad=True, name="ln_gain")
-        self.shift = Tensor(np.zeros(dim), requires_grad=True, name="ln_shift")
+        self.gain = Tensor(init.ones((dim,)), requires_grad=True, name="ln_gain")
+        self.shift = Tensor(init.zeros((dim,)), requires_grad=True, name="ln_shift")
 
     def forward(self, inputs: Tensor) -> Tensor:
         mean = inputs.mean(axis=-1, keepdims=True)

@@ -1,8 +1,18 @@
-"""Gradient-based optimisers for the reproduction's models."""
+"""Gradient-based optimisers for the reproduction's models.
+
+Embedding tables receive their gradients as sparse ``(row_indices, rows)``
+contributions (see :meth:`repro.nn.tensor.Tensor.gather_rows`), and the
+optimisers here consume them without ever densifying into a full-vocabulary
+buffer.  The sparse update is *exactly* equivalent to the dense one: a row
+whose Adam state is all-zero and whose gradient is zero would receive a zero
+update, so only rows that have ever been touched need to be visited.  Rows
+touched at least once keep decaying momentum like the dense update would, so
+float64 trajectories are bit-identical to the historical dense behaviour.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -25,18 +35,29 @@ class Optimizer:
         """Scale all gradients so their global L2 norm is at most ``max_norm``.
 
         Returns the pre-clipping norm, which the trainer logs to spot
-        divergence early.
+        divergence early.  Sparse row gradients participate in the norm and
+        the scaling without being densified; a parameter that somehow holds
+        both a dense and a sparse gradient is merged first so overlapping
+        rows are not double-counted.
         """
         total = 0.0
         for parameter in self.parameters:
-            if parameter.grad is not None:
-                total += float((parameter.grad**2).sum())
+            if parameter._grad is not None and parameter.grad_rows:
+                parameter.densify_grad()
+            if parameter._grad is not None:
+                total += float((parameter._grad**2).sum())
+            else:
+                sparse = parameter.coalesce_grad_rows()
+                if sparse is not None:
+                    total += float((sparse[1] ** 2).sum())
         norm = float(np.sqrt(total))
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
             for parameter in self.parameters:
-                if parameter.grad is not None:
-                    parameter.grad *= scale
+                if parameter._grad is not None:
+                    parameter._grad *= scale
+                elif parameter.grad_rows:
+                    parameter.grad_rows[0][1][...] *= scale
         return norm
 
     def step(self) -> None:  # pragma: no cover - abstract
@@ -54,14 +75,24 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         for parameter, velocity in zip(self.parameters, self._velocity):
-            if parameter.grad is None:
-                continue
             if self.momentum:
+                # Momentum couples every row to the full history; densify.
+                grad = parameter.densify_grad()
+                if grad is None:
+                    continue
                 velocity *= self.momentum
-                velocity -= self.lr * parameter.grad
+                velocity -= self.lr * grad
                 parameter.data += velocity
+                continue
+            if parameter._grad is not None and parameter.grad_rows:
+                parameter.densify_grad()
+            if parameter._grad is not None:
+                parameter.data -= self.lr * parameter._grad
             else:
-                parameter.data -= self.lr * parameter.grad
+                sparse = parameter.coalesce_grad_rows()
+                if sparse is not None:
+                    indices, rows = sparse
+                    parameter.data[indices] -= self.lr * rows
 
 
 class Adam(Optimizer):
@@ -83,15 +114,30 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        #: Rows of each parameter whose Adam state is (possibly) non-zero.
+        #: ``None`` until the parameter first receives a sparse gradient.
+        self._active_rows: list[Optional[np.ndarray]] = [None for _ in self.parameters]
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
-        for parameter, m, v in zip(self.parameters, self._m, self._v):
-            if parameter.grad is None:
+        for slot, (parameter, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
+            if parameter.grad_rows and (parameter._grad is not None or self.weight_decay):
+                # Mixed dense+sparse usage, or weight decay (which grads every
+                # row): fall back to the dense update for correctness.
+                parameter.densify_grad()
+            if parameter._grad is None and parameter.grad_rows:
+                self._sparse_step(slot, parameter, m, v, bias1, bias2)
                 continue
-            grad = parameter.grad
+            if parameter._grad is None:
+                # No gradient at all this step: skip, like the dense update.
+                continue
+            if self._active_rows[slot] is not None:
+                # The parameter switched to dense gradients: from here on all
+                # rows may carry state, so stop tracking the active subset.
+                self._active_rows[slot] = None
+            grad = parameter._grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * parameter.data
             m *= self.beta1
@@ -101,3 +147,41 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _sparse_step(
+        self,
+        slot: int,
+        parameter: Tensor,
+        m: np.ndarray,
+        v: np.ndarray,
+        bias1: float,
+        bias2: float,
+    ) -> None:
+        indices, rows = parameter.coalesce_grad_rows()
+        active = self._active_rows[slot]
+        if active is None:
+            active = np.zeros(parameter.data.shape[0], dtype=bool)
+            # If the parameter ever received dense gradients before, any row
+            # may hold state; seed the active set from the stored moments.
+            if self._step_count > 1:
+                nonzero = (m != 0).any(axis=tuple(range(1, m.ndim))) if m.ndim > 1 else m != 0
+                active |= nonzero
+        active[indices] = True
+        self._active_rows[slot] = active
+        rows_to_update = np.flatnonzero(active)
+        if rows_to_update.size > parameter.data.shape[0] // 2:
+            # Most rows carry state: the vectorised full-table update is
+            # cheaper than fancy-indexed row updates (and identical in value).
+            m *= self.beta1
+            m[indices] += (1.0 - self.beta1) * rows
+            v *= self.beta2
+            v[indices] += (1.0 - self.beta2) * rows**2
+            parameter.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            return
+        m[rows_to_update] *= self.beta1
+        m[indices] += (1.0 - self.beta1) * rows
+        v[rows_to_update] *= self.beta2
+        v[indices] += (1.0 - self.beta2) * rows**2
+        m_hat = m[rows_to_update] / bias1
+        v_hat = v[rows_to_update] / bias2
+        parameter.data[rows_to_update] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -44,7 +44,7 @@ class GRUCell(Module):
         return update * hidden + (1.0 - update) * candidate
 
     def initial_state(self, batch: int) -> Tensor:
-        return Tensor(np.zeros((batch, self.hidden_dim)))
+        return Tensor(np.zeros((batch, self.hidden_dim), dtype=self.w_hidden.data.dtype))
 
 
 class GRU(Module):

@@ -37,7 +37,10 @@ def load_state_dict(module: Module, state: dict[str, np.ndarray], strict: bool =
             raise ValueError(
                 f"shape mismatch for {name}: saved {values.shape}, expected {parameter.data.shape}"
             )
-        parameter.data[...] = values
+        # Adopt the stored array (dtype included): a float32-trained model
+        # must reproduce its predictions exactly after a round trip, not
+        # recompute them through upcast float64 weights.
+        parameter.data = values.copy()
     if strict:
         extra = set(state) - {name for name, _ in module.named_parameters()}
         if missing or extra:

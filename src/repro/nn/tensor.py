@@ -25,15 +25,42 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.nn.dtype import get_default_dtype, is_float_array
+from repro.nn.segments import SegmentIndex
+
 ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+#: A sparse (row-indices, row-gradients) contribution to a leaf's gradient.
+SparseGrad = tuple[np.ndarray, np.ndarray]
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
+    if is_float_array(value):
         return value
-    return np.asarray(value, dtype=np.float64)
+    if isinstance(value, np.ndarray):
+        return value.astype(get_default_dtype())
+    if isinstance(value, (np.float32, np.float64)):
+        # Full reductions produce 0-d NumPy scalars; keep their dtype so a
+        # float32 graph does not re-enter through the float64 default.
+        return np.asarray(value)
+    return np.asarray(value, dtype=get_default_dtype())
+
+
+def _is_duplicate_free_index(index) -> bool:
+    """Whether an index expression cannot select the same cell twice.
+
+    Integers, slices, Ellipsis and boolean masks never repeat cells, so the
+    gradient of ``__getitem__`` can accumulate with a plain ``+=`` instead of
+    the much slower ``np.add.at``.  Integer arrays may repeat and keep the
+    ``add.at`` path.
+    """
+    if isinstance(index, tuple):
+        return all(_is_duplicate_free_index(part) for part in index)
+    if isinstance(index, (int, np.integer, slice)) or index is Ellipsis or index is None:
+        return True
+    if isinstance(index, np.ndarray) and index.dtype == bool:
+        return True
+    return False
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -63,7 +90,7 @@ class Tensor:
         created by layers set this to ``True``; constants default to ``False``.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "_grad", "grad_rows", "requires_grad", "_backward", "_parents", "name")
 
     def __init__(
         self,
@@ -74,10 +101,35 @@ class Tensor:
     ) -> None:
         self.data = _as_array(data)
         self.requires_grad = bool(requires_grad)
-        self.grad: Optional[np.ndarray] = None
+        self._grad: Optional[np.ndarray] = None
+        #: Sparse row-wise gradient contributions (leaf embedding tables only);
+        #: coalesced by :meth:`coalesce_grad_rows` before the optimiser reads them.
+        self.grad_rows: Optional[list[SparseGrad]] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple[Tensor, ...] = tuple(_parents)
         self.name = name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def grad(self) -> Optional[np.ndarray]:
+        """The dense gradient; pending sparse row contributions are folded in.
+
+        The optimisers read the raw fields (``_grad`` / ``grad_rows``) so they
+        can apply row-wise updates without ever materialising a full-table
+        gradient; every other consumer sees the historical dense view.
+        """
+        if self.grad_rows:
+            self.densify_grad()
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: Optional[np.ndarray]) -> None:
+        self._grad = value
+        if value is None:
+            self.grad_rows = None
 
     # -- basic introspection ---------------------------------------------------
 
@@ -114,8 +166,18 @@ class Tensor:
     # -- graph construction helpers --------------------------------------------
 
     @staticmethod
-    def _lift(value: Union["Tensor", ArrayLike]) -> "Tensor":
-        return value if isinstance(value, Tensor) else Tensor(value)
+    def _lift(value: Union["Tensor", ArrayLike], dtype: Optional[np.dtype] = None) -> "Tensor":
+        """Wrap a non-tensor operand, matching ``dtype`` for scalars/lists.
+
+        Binary operations pass their tensor operand's dtype so Python scalars
+        (``1.0 - update`` and friends) do not promote a float32 graph to
+        float64 through the global default.
+        """
+        if isinstance(value, Tensor):
+            return value
+        if dtype is not None and not isinstance(value, np.ndarray):
+            return Tensor(np.asarray(value, dtype=dtype))
+        return Tensor(value)
 
     def _make(
         self,
@@ -129,17 +191,96 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, own: bool = False) -> None:
+        """Add ``grad`` to this tensor's gradient.
+
+        ``own=True`` asserts the caller computed ``grad`` freshly and holds no
+        other reference, letting the first contribution adopt the array
+        instead of copying it.  Closures that pass the upstream gradient
+        through unchanged (add, reshape, slicing) must leave it ``False`` —
+        adopting a shared array would alias two tensors' gradients.
+        """
         if not self.requires_grad:
             return
-        if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+        if self._grad is None:
+            if (
+                own
+                and isinstance(grad, np.ndarray)
+                and grad.dtype == self.data.dtype
+                and grad.shape == self.data.shape
+                and grad.base is None
+                and grad.flags.writeable
+            ):
+                self._grad = grad
+            else:
+                # Materialise a private copy in one pass (cheaper than
+                # zeros + iadd, and safe against upstream aliasing).
+                self._grad = np.array(grad, dtype=self.data.dtype)
+        else:
+            self._grad += grad
+
+    def _accumulate_at(self, index, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad[index]`` without a dense buffer."""
+        if not self.requires_grad:
+            return
+        if self._grad is None:
+            self._grad = np.zeros_like(self.data)
+        if _is_duplicate_free_index(index):
+            self._grad[index] += grad
+        else:
+            np.add.at(self._grad, index, grad)
+
+    def _accumulate_rows(self, indices: np.ndarray, grad: np.ndarray) -> None:
+        """Record a sparse row-wise gradient contribution on a leaf tensor."""
+        if not self.requires_grad:
+            return
+        if self.grad_rows is None:
+            self.grad_rows = []
+        self.grad_rows.append((indices, grad))
+
+    def coalesce_grad_rows(self) -> Optional[SparseGrad]:
+        """Merge recorded sparse contributions into one ``(unique_rows, grads)`` pair.
+
+        Duplicate row indices are summed (in recording order per row, like a
+        dense scatter-add would).  The coalesced pair replaces the recorded
+        list so repeated calls — the gradient clipper and then the optimiser —
+        do not re-reduce, and in-place scaling of the returned rows sticks.
+        Returns ``None`` when no sparse contributions exist.
+        """
+        if not self.grad_rows:
+            return None
+        if len(self.grad_rows) == 1:
+            indices, rows = self.grad_rows[0]
+            if indices.size <= 1 or bool(np.all(indices[1:] > indices[:-1])):
+                return self.grad_rows[0]
+        all_indices = np.concatenate([indices for indices, _ in self.grad_rows])
+        all_rows = np.concatenate([rows for _, rows in self.grad_rows], axis=0)
+        unique, inverse = np.unique(all_indices, return_inverse=True)
+        summed = np.zeros((unique.size,) + all_rows.shape[1:], dtype=self.data.dtype)
+        np.add.at(summed, inverse, all_rows)
+        self.grad_rows = [(unique, summed)]
+        return self.grad_rows[0]
+
+    def densify_grad(self) -> Optional[np.ndarray]:
+        """Fold any sparse row contributions into a dense ``self.grad``.
+
+        Used by optimisers when a parameter received both dense and sparse
+        gradients in one step (e.g. an embedding table also used in a dense
+        product), where per-row updates would no longer be equivalent.
+        """
+        sparse = self.coalesce_grad_rows()
+        if sparse is not None:
+            indices, rows = sparse
+            if self._grad is None:
+                self._grad = np.zeros_like(self.data)
+            self._grad[indices] += rows
+            self.grad_rows = None
+        return self._grad
 
     # -- arithmetic -------------------------------------------------------------
 
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray) -> None:
@@ -152,73 +293,73 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
+            self._accumulate(-grad, own=True)
 
         return self._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data - other.data
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.shape))
-            other._accumulate(_unbroadcast(-grad, other.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape), own=True)
 
         return self._make(out_data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._lift(other) - self
+        return self._lift(other, self.data.dtype) - self
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad * other.data, self.shape))
-            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+            self._accumulate(_unbroadcast(grad * other.data, self.shape), own=True)
+            other._accumulate(_unbroadcast(grad * self.data, other.shape), own=True)
 
         return self._make(out_data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            self._accumulate(_unbroadcast(grad / other.data, self.shape), own=True)
             other._accumulate(
-                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape), own=True
             )
 
         return self._make(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return self._lift(other) / self
+        return self._lift(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         out_data = self.data**exponent
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+            self._accumulate(grad * exponent * self.data ** (exponent - 1), own=True)
 
         return self._make(out_data, (self,), backward)
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._lift(other)
+        other = self._lift(other, self.data.dtype)
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
                 if other.data.ndim == 1:
-                    self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data)
+                    self._accumulate(np.outer(grad, other.data) if grad.ndim == 1 else grad[..., None] * other.data, own=True)
                 else:
-                    self._accumulate(_unbroadcast(grad @ other.data.swapaxes(-1, -2), self.shape))
+                    self._accumulate(_unbroadcast(grad @ other.data.swapaxes(-1, -2), self.shape), own=True)
             if other.requires_grad:
                 if self.data.ndim == 1:
-                    other._accumulate(np.outer(self.data, grad) if grad.ndim == 1 else self.data[..., None] @ grad[None, ...])
+                    other._accumulate(np.outer(self.data, grad) if grad.ndim == 1 else self.data[..., None] @ grad[None, ...], own=True)
                 else:
-                    other._accumulate(_unbroadcast(self.data.swapaxes(-1, -2) @ grad, other.shape))
+                    other._accumulate(_unbroadcast(self.data.swapaxes(-1, -2) @ grad, other.shape), own=True)
 
         return self._make(out_data, (self, other), backward)
 
@@ -228,7 +369,7 @@ class Tensor:
         out_data = np.exp(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
+            self._accumulate(grad * out_data, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -236,7 +377,7 @@ class Tensor:
         out_data = np.log(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
+            self._accumulate(grad / self.data, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -244,7 +385,7 @@ class Tensor:
         out_data = np.tanh(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data**2))
+            self._accumulate(grad * (1.0 - out_data**2), own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -252,7 +393,7 @@ class Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data * (1.0 - out_data))
+            self._accumulate(grad * out_data * (1.0 - out_data), own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -261,7 +402,7 @@ class Tensor:
         out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -270,7 +411,7 @@ class Tensor:
         out_data = np.abs(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * sign)
+            self._accumulate(grad * sign, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -278,7 +419,7 @@ class Tensor:
         out_data = np.sqrt(self.data)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12), own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -287,7 +428,7 @@ class Tensor:
         out_data = np.clip(self.data, low, high)
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
+            self._accumulate(grad * mask, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -302,7 +443,7 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else axis
                 for ax in sorted(a % self.data.ndim for a in axes):
                     g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -318,7 +459,7 @@ class Tensor:
                 axes = (axis,) if isinstance(axis, int) else axis
                 for ax in sorted(a % self.data.ndim for a in axes):
                     g = np.expand_dims(g, ax)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.shape).copy(), own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -327,11 +468,11 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             expanded = out_data if keepdims else np.expand_dims(out_data, axis)
-            mask = (self.data == expanded).astype(np.float64)
+            mask = (self.data == expanded).astype(self.data.dtype)
             # Split gradient equally among ties to keep the operation well-defined.
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             g = grad if keepdims else np.expand_dims(grad, axis)
-            self._accumulate(mask * g)
+            self._accumulate(mask * g, own=True)
 
         return self._make(out_data, (self,), backward)
 
@@ -359,26 +500,40 @@ class Tensor:
         out_data = self.data[index]
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
+            self._accumulate_at(index, grad)
 
         return self._make(out_data, (self,), backward)
 
-    def gather_rows(self, indices: np.ndarray) -> "Tensor":
+    def gather_rows(self, indices: np.ndarray, scatter_index: Optional[SegmentIndex] = None) -> "Tensor":
         """Select rows by integer index (embedding-style lookup).
 
         Unlike ``__getitem__`` with an ndarray index this keeps the index as a
         first-class argument so repeated indices accumulate gradient
-        correctly via ``np.add.at``.
+        correctly.  The backward pass picks the cheapest correct scatter:
+
+        * **leaf tensors** (embedding tables) record a sparse
+          ``(indices, rows)`` contribution instead of densifying into a
+          full-table buffer — the optimiser then updates only touched rows;
+        * non-leaf tensors scatter through ``scatter_index`` (a precomputed
+          :class:`~repro.nn.segments.SegmentIndex` over ``indices``, e.g.
+          from a compiled batch plan) when provided, falling back to
+          ``np.add.at`` otherwise.
         """
         idx = np.asarray(indices, dtype=np.int64)
         out_data = self.data[idx]
+        is_leaf = self._backward is None and not self._parents
 
         def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, idx, grad)
-            self._accumulate(full)
+            if not self.requires_grad:
+                return
+            if is_leaf and idx.ndim == 1:
+                self._accumulate_rows(idx, grad)
+            elif scatter_index is not None and idx.ndim == 1:
+                if self._grad is None:
+                    self._grad = np.zeros_like(self.data)
+                scatter_index.scatter_add(self._grad, grad)
+            else:
+                self._accumulate_at(idx, grad)
 
         return self._make(out_data, (self,), backward)
 
@@ -422,9 +577,9 @@ class Tensor:
 
         self._accumulate(grad)
         for node in reversed(topo):
-            if node._backward is None or node.grad is None:
+            if node._backward is None or node._grad is None:
                 continue
-            node._backward(node.grad)
+            node._backward(node._grad)
 
         # Free gradients held by intermediate nodes; only leaves keep them.
         for node in topo:
@@ -432,4 +587,5 @@ class Tensor:
                 node.grad = None
 
     def zero_grad(self) -> None:
-        self.grad = None
+        self._grad = None
+        self.grad_rows = None

@@ -166,3 +166,109 @@ class TestDistancesAndDropout:
         kept = dropped[dropped > 0]
         assert np.allclose(kept, 2.0)  # inverted dropout scaling
         assert 0.3 < (dropped > 0).mean() < 0.7
+
+
+class TestSegmentMaxGradients:
+    """Regression coverage for the optimized segment_max backward."""
+
+    def test_gradient_with_ties_splits_equally(self):
+        # Rows 0 and 1 are identical in segment 0 → each winner gets half.
+        values = Tensor(np.array([[3.0, 1.0], [3.0, 5.0], [2.0, 4.0]]), requires_grad=True)
+        ids = np.array([0, 0, 1])
+        out = F.segment_max(values, ids, 2)
+        out.sum().backward()
+        expected = np.array([[0.5, 0.0], [0.5, 1.0], [1.0, 1.0]])
+        assert np.allclose(values.grad, expected)
+
+    def test_gradient_with_empty_segments_and_no_ties(self):
+        values = Tensor(np.array([[1.0, 9.0], [4.0, 2.0]]), requires_grad=True)
+        ids = np.array([0, 2])  # segment 1 (and 3) receive no rows
+        out = F.segment_max(values, ids, 4, empty_value=-7.0)
+        assert np.allclose(out.data[1], -7.0) and np.allclose(out.data[3], -7.0)
+        out.sum().backward()
+        # Single-winner segments take the full upstream gradient.
+        assert np.allclose(values.grad, np.ones((2, 2)))
+
+    def test_gradient_with_three_way_tie(self):
+        values = Tensor(np.full((3, 1), 2.0), requires_grad=True)
+        out = F.segment_max(values, np.array([0, 0, 0]), 1)
+        out.sum().backward()
+        assert np.allclose(values.grad, np.full((3, 1), 1.0 / 3.0))
+
+    def test_accepts_precomputed_segment_index(self):
+        from repro.nn.segments import SegmentIndex
+
+        values = Tensor(np.random.default_rng(0).normal(size=(6, 3)), requires_grad=True)
+        ids = np.array([2, 0, 2, 1, 0, 2])
+        index = SegmentIndex.build(ids, 4)
+        from_ids = F.segment_max(Tensor(values.data), ids, 4)
+        from_index = F.segment_max(values, index, 4)
+        assert (from_ids.data == from_index.data).all()
+        from_index.sum().backward()
+        assert values.grad is not None
+
+    def test_segment_index_num_segments_mismatch_raises(self):
+        from repro.nn.segments import SegmentIndex
+
+        index = SegmentIndex.build(np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(np.ones((2, 2))), index, 3)
+
+
+class TestChunkedPairwiseDistances:
+    def test_chunked_matches_unchunked_forward_and_backward(self):
+        rng = np.random.default_rng(3)
+        a_data = rng.normal(size=(7, 5))
+        b_data = rng.normal(size=(4, 5))
+
+        a1, b1 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        full = F.pairwise_l1_distances(a1, b1)  # default: no chunking at this size
+        full.sum().backward()
+
+        a2, b2 = Tensor(a_data, requires_grad=True), Tensor(b_data, requires_grad=True)
+        chunked = F.pairwise_l1_distances(a2, b2, max_elements=40)  # forces several chunks
+        chunked.sum().backward()
+
+        assert (full.data == chunked.data).all()
+        assert (a1.grad == a2.grad).all()
+        assert (b1.grad == b2.grad).all()
+
+    def test_weighted_gradient_equivalence(self):
+        rng = np.random.default_rng(4)
+        a_data, b_data = rng.normal(size=(6, 3)), rng.normal(size=(5, 3))
+        weights = rng.normal(size=(6, 5))
+
+        grads = []
+        for max_elements in (10**9, 20):
+            a = Tensor(a_data, requires_grad=True)
+            b = Tensor(b_data, requires_grad=True)
+            distances = F.pairwise_l1_distances(a, b, max_elements=max_elements)
+            (distances * Tensor(weights)).sum().backward()
+            grads.append((a.grad.copy(), b.grad.copy()))
+        assert (grads[0][0] == grads[1][0]).all()
+        assert (grads[0][1] == grads[1][1]).all()
+
+
+class TestBlockLinear:
+    def test_matches_per_block_matmul(self):
+        rng = np.random.default_rng(5)
+        inputs = Tensor(rng.normal(size=(7, 3)), requires_grad=True)
+        w1 = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        blocks = [slice(0, 4), slice(4, 7)]
+        fused = F.block_linear(inputs, [w1, w2], blocks)
+        reference = np.concatenate([inputs.data[0:4] @ w1.data, inputs.data[4:7] @ w2.data])
+        assert np.allclose(fused.data, reference)
+
+        fused.sum().backward()
+        ones = np.ones((7, 4))
+        assert np.allclose(inputs.grad, np.concatenate([ones[0:4] @ w1.data.T, ones[4:7] @ w2.data.T]))
+        assert np.allclose(w1.grad, inputs.data[0:4].T @ ones[0:4])
+        assert np.allclose(w2.grad, inputs.data[4:7].T @ ones[4:7])
+
+    def test_validates_arguments(self):
+        inputs = Tensor(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            F.block_linear(inputs, [Tensor(np.ones((2, 2)))], [])
+        with pytest.raises(ValueError):
+            F.block_linear(inputs, [], [])
