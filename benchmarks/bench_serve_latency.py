@@ -1,0 +1,140 @@
+"""Latency and micro-batching behaviour of the annotation daemon.
+
+The serving claim of the refactor is twofold: a long-lived daemon answers
+annotation requests without ever reloading the model, and **concurrent**
+requests are coalesced into micro-batches that share one embedding pass
+through the engine's batched suggestion path — without changing a single
+answer.
+
+This benchmark trains a small pipeline once, serves it over a Unix socket
+and measures
+
+* **serial latency** — one request at a time, per-request round trip;
+* **concurrent wall time** — the same requests fired from parallel client
+  threads, which the daemon's batching window coalesces.
+
+Parity (daemon answers == one-shot :class:`ProjectAnnotator` answers,
+suggestion for suggestion) is asserted unconditionally; the
+timing/coalescing claims (concurrent ≤ serial total, batches actually
+merged) go through ``bench_check`` like every hardware-dependent claim.
+"""
+
+import os
+import shutil
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from _bench_utils import run_once
+from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
+from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.engine import AnnotatorConfig, ProjectAnnotator
+from repro.serve import AnnotationClient, AnnotationServer, ServeConfig
+from repro.utils.timing import Stopwatch
+
+NUM_REQUESTS = 6
+
+
+@pytest.fixture(scope="module")
+def serving_pipeline():
+    dataset = TypeAnnotationDataset.synthetic(
+        SynthesisConfig(num_files=16, seed=61, num_user_classes=10),
+        DatasetConfig(rarity_threshold=8, seed=61),
+    )
+    return TypilusPipeline.fit(
+        dataset,
+        EncoderConfig(family="graph", hidden_dim=24, gnn_steps=2, seed=61),
+        loss_kind=LossKind.TYPILUS,
+        training_config=TrainingConfig(epochs=3, graphs_per_batch=6, seed=61),
+    )
+
+
+@pytest.fixture(scope="module")
+def request_payloads():
+    """One small single-file project per simulated client."""
+    entries = CorpusSynthesizer(SynthesisConfig(num_files=NUM_REQUESTS, seed=404)).generate()
+    return [{entry.filename: entry.source} for entry in entries]
+
+
+def _suggestion_key(suggestion):
+    return (suggestion.scope, suggestion.name, suggestion.kind, suggestion.prediction.candidates)
+
+
+def _report_keys(report):
+    return {
+        file_report.filename: [_suggestion_key(s) for s in file_report.suggestions]
+        for file_report in report.files
+    }
+
+
+def _time(fn) -> float:
+    stopwatch = Stopwatch()
+    with stopwatch.measure("run"):
+        fn()
+    return stopwatch.sections["run"]
+
+
+def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_check, bench_record):
+    """Daemon answers match the one-shot engine; concurrency coalesces work."""
+    workdir = tempfile.mkdtemp(prefix="typilus-bench-serve-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    annotator_config = AnnotatorConfig(use_type_checker=False)
+    server = AnnotationServer(
+        serving_pipeline,
+        socket_path,
+        annotator_config=annotator_config,
+        serve_config=ServeConfig(batch_window_seconds=0.1),
+    ).start()
+    client = AnnotationClient(socket_path)
+    try:
+        client.wait_until_ready(timeout=10.0)
+        direct = ProjectAnnotator(serving_pipeline, annotator_config)
+
+        def measure():
+            client.annotate_sources(request_payloads[0])  # warm-up round trip
+            serial_seconds = _time(
+                lambda: [client.annotate_sources(payload) for payload in request_payloads]
+            )
+            with ThreadPoolExecutor(max_workers=NUM_REQUESTS) as pool:
+                concurrent_reports: list = []
+                concurrent_seconds = _time(
+                    lambda: concurrent_reports.extend(
+                        pool.map(client.annotate_sources, request_payloads)
+                    )
+                )
+            # Parity: every concurrent (micro-batched) answer equals the
+            # one-shot engine's answer for the same sources.
+            for payload, report in zip(request_payloads, concurrent_reports):
+                assert _report_keys(report) == _report_keys(direct.annotate_sources(payload))
+            stats = client.stats()
+            return {
+                "requests": NUM_REQUESTS,
+                "serial_seconds": serial_seconds,
+                "serial_latency_ms": 1000.0 * serial_seconds / NUM_REQUESTS,
+                "concurrent_seconds": concurrent_seconds,
+                "largest_batch": stats["largest_batch"],
+                "micro_batches": stats["micro_batches"],
+                "speedup_concurrent": serial_seconds / concurrent_seconds,
+            }
+
+        result = run_once(benchmark, measure)
+    finally:
+        server.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(
+        f"\nserve: serial {result['serial_latency_ms']:.1f}ms/request, "
+        f"{NUM_REQUESTS} concurrent in {result['concurrent_seconds'] * 1000:.0f}ms "
+        f"({result['speedup_concurrent']:.1f}x, largest micro-batch {result['largest_batch']})"
+    )
+    bench_record(
+        serial_latency_ms=result["serial_latency_ms"],
+        concurrent_seconds=result["concurrent_seconds"],
+        largest_batch=result["largest_batch"],
+        speedup_concurrent=result["speedup_concurrent"],
+    )
+    bench_check(result["largest_batch"] >= 2, "concurrent requests must coalesce into micro-batches")
+    bench_check(
+        result["speedup_concurrent"] >= 1.0,
+        "micro-batched concurrent serving must not be slower than serial round trips",
+    )

@@ -11,6 +11,8 @@ The package is organised as one subpackage per subsystem (see DESIGN.md):
 * :mod:`repro.core` — losses, TypeSpace, batched kNN prediction, training
   pipeline with save/load persistence;
 * :mod:`repro.engine` — project-scale batched annotation engine;
+* :mod:`repro.serve` — long-lived annotation daemon with request
+  micro-batching and serving-time type-map adaptation;
 * :mod:`repro.evaluation` — experiment runners for every table and figure.
 
 Quickstart::

@@ -1,6 +1,6 @@
 """Command-line interface for the Typilus reproduction.
 
-Six subcommands cover the library's main workflows without writing Python:
+Seven subcommands cover the library's main workflows without writing Python:
 
 ``corpus``
     Generate a synthetic corpus to a directory and print its statistics.
@@ -23,7 +23,14 @@ Six subcommands cover the library's main workflows without writing Python:
     with ``--load-model`` to serve a previously trained pipeline without
     re-training, ``--save-model`` to persist the freshly trained one, and
     ``--jobs``/``--cache-dir`` for parallel extraction plus incremental
-    re-annotation (unchanged files are served from the cache).
+    re-annotation (unchanged files are served from the cache).  With
+    ``--server`` the project is annotated by a running daemon instead of a
+    locally loaded model; ``--report-json`` writes the full report to a file.
+``serve``
+    Run the long-lived annotation daemon: load (or train) a pipeline once,
+    listen on a Unix socket and micro-batch concurrent annotation requests
+    through the batched engine.  ``serve --socket S --ping`` waits until a
+    daemon answers; ``serve --socket S --shutdown`` stops it.
 ``check``
     Run the optional type checker over Python files and print diagnostics.
 
@@ -34,12 +41,15 @@ Examples::
     python -m repro.cli train --dataset /tmp/dataset --epochs 8 --save-model /tmp/model
     python -m repro.cli suggest path/to/file.py --confidence 0.5
     python -m repro.cli annotate path/to/project --load-model /tmp/model --jobs 4 --cache-dir /tmp/cache
+    python -m repro.cli serve --load-model /tmp/model --socket /tmp/typilus.sock
+    python -m repro.cli annotate path/to/project --server /tmp/typilus.sock
     python -m repro.cli check path/to/file.py --mode strict
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -157,6 +167,34 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print only confident contradictions of existing annotations")
     annotate.add_argument("--disagreement-threshold", type=float, default=0.8,
                           help="confidence needed for a disagreement finding")
+    annotate.add_argument("--server", type=Path, default=None,
+                          help="annotate through the daemon listening on this Unix socket "
+                               "instead of loading a model locally")
+    annotate.add_argument("--report-json", type=Path, default=None,
+                          help="write the full annotation report (suggestions + summary) to this JSON file")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived annotation daemon (micro-batched serving)"
+    )
+    _add_corpus_arguments(serve)
+    _add_training_arguments(serve)
+    _add_ingest_arguments(serve)
+    serve.add_argument("--socket", type=Path, required=True,
+                       help="Unix socket path the daemon listens on")
+    serve.add_argument("--load-model", type=Path, default=None,
+                       help="serve a pipeline saved with --save-model instead of training")
+    serve.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
+    serve.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
+    serve.add_argument("--batch-window-ms", type=float, default=10.0,
+                       help="how long the daemon waits to coalesce concurrent requests")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="maximum requests merged into one micro-batch")
+    serve.add_argument("--ping", action="store_true",
+                       help="wait until a daemon answers on --socket, print its status and exit")
+    serve.add_argument("--ping-timeout", type=float, default=30.0,
+                       help="seconds --ping waits for the daemon to come up")
+    serve.add_argument("--shutdown", action="store_true",
+                       help="ask the daemon on --socket to stop and exit")
 
     check = subparsers.add_parser("check", help="run the optional type checker")
     check.add_argument("files", nargs="+", type=Path, help="Python files to check")
@@ -290,25 +328,71 @@ def command_suggest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_report_json(report, path: Path) -> None:
+    from repro.engine import suggestion_to_payload
+
+    payload = {
+        "files": [
+            {
+                "filename": file_report.filename,
+                "suggestions": [suggestion_to_payload(s) for s in file_report.suggestions],
+            }
+            for file_report in report.files
+        ],
+        "skipped_files": list(report.skipped_files),
+        "summary": report.summary(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    print(f"report written to {path}")
+
+
 def command_annotate(args: argparse.Namespace) -> int:
     if not args.directory.is_dir():
         raise SystemExit(f"{args.directory} is not a directory")
-    pipeline = _obtain_pipeline(args)
-    if args.save_model is not None:
-        pipeline.save(args.save_model)
-        print(f"pipeline saved to {args.save_model}")
-    ingest = _ingest_config(args)
-    annotator = ProjectAnnotator(
-        pipeline,
-        AnnotatorConfig(
-            use_type_checker=not args.no_type_checker,
-            confidence_threshold=args.confidence,
-            disagreement_threshold=args.disagreement_threshold,
-            jobs=ingest.jobs,
-            cache_dir=args.cache_dir,
-        ),
-    )
-    report = annotator.annotate_directory(args.directory)
+    if args.server is not None:
+        from repro.serve import AnnotationClient
+
+        # Filtering and caching are fixed by the daemon's own configuration;
+        # refuse flags we cannot honour rather than return a report the user
+        # did not ask for.
+        fixed_by_daemon = [
+            flag
+            for flag, requested in [
+                ("--confidence", args.confidence != 0.0),
+                ("--no-type-checker", args.no_type_checker),
+                ("--load-model", args.load_model is not None),
+                ("--save-model", args.save_model is not None),
+                ("--cache-dir", args.cache_dir is not None),
+                ("--jobs", args.jobs != 1),
+            ]
+            if requested
+        ]
+        if fixed_by_daemon:
+            raise SystemExit(
+                f"{', '.join(fixed_by_daemon)} cannot be combined with --server: these are "
+                "fixed by the daemon's configuration (set them on 'repro serve' instead)"
+            )
+        client = AnnotationClient(args.server, disagreement_threshold=args.disagreement_threshold)
+        report = client.annotate_directory(args.directory)
+    else:
+        pipeline = _obtain_pipeline(args)
+        if args.save_model is not None:
+            pipeline.save(args.save_model)
+            print(f"pipeline saved to {args.save_model}")
+        ingest = _ingest_config(args)
+        annotator = ProjectAnnotator(
+            pipeline,
+            AnnotatorConfig(
+                use_type_checker=not args.no_type_checker,
+                confidence_threshold=args.confidence,
+                disagreement_threshold=args.disagreement_threshold,
+                jobs=ingest.jobs,
+                cache_dir=args.cache_dir,
+            ),
+        )
+        report = annotator.annotate_directory(args.directory)
+    if args.report_json is not None:
+        _write_report_json(report, args.report_json)
     if args.disagreements_only:
         rows = [
             [filename, s.scope, s.name, s.existing_annotation or "-", s.suggested_type or "-", f"{s.confidence:.2f}"]
@@ -325,6 +409,47 @@ def command_annotate(args: argparse.Namespace) -> int:
             print(render_table(["scope", "symbol", "kind", "existing", "suggested", "confidence"], rows))
     print()
     print(render_table(["statistic", "value"], [[key, str(value)] for key, value in report.summary().items()]))
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    from repro.serve import AnnotationClient, AnnotationServer, ServeConfig
+
+    if args.shutdown:
+        AnnotationClient(args.socket).shutdown()
+        print(f"daemon on {args.socket} is stopping")
+        return 0
+    if args.ping:
+        info = AnnotationClient(args.socket).wait_until_ready(timeout=args.ping_timeout)
+        print(f"daemon ready on {args.socket} ({info['markers']} markers, dim {info['dim']})")
+        return 0
+    pipeline = _obtain_pipeline(args)
+    ingest = _ingest_config(args)
+    server = AnnotationServer(
+        pipeline,
+        args.socket,
+        annotator_config=AnnotatorConfig(
+            use_type_checker=not args.no_type_checker,
+            confidence_threshold=args.confidence,
+            jobs=ingest.jobs,
+            cache_dir=args.cache_dir,
+        ),
+        serve_config=ServeConfig(
+            batch_window_seconds=args.batch_window_ms / 1000.0,
+            max_batch_requests=args.max_batch,
+        ),
+    )
+    server.start()
+    print(
+        f"serving on {args.socket} ({len(pipeline.type_space)} markers); "
+        "stop with 'repro serve --socket ... --shutdown' or Ctrl-C",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        server.close()
+        print("daemon stopped")
     return 0
 
 
@@ -348,6 +473,7 @@ _COMMANDS = {
     "train": command_train,
     "suggest": command_suggest,
     "annotate": command_annotate,
+    "serve": command_serve,
     "check": command_check,
 }
 

@@ -15,13 +15,25 @@ Both indexes are batch-first: the primitive operation is
 numpy and returns one :class:`BatchNeighbourResult` of array triples
 (indices, distances, counts).  The per-query :meth:`query` and the
 list-of-objects :meth:`query_batch` are thin views over that path.
+
+Both indexes are also **incrementally updatable**: :meth:`extend` appends
+new points without touching the existing ones — the exact index appends
+rows into amortised-growth storage, the approximate index buckets only the
+new points — so a long-lived TypeSpace can grow marker by marker at a cost
+proportional to the extension, not to the whole index.  An index extended
+point by point answers queries identically to one rebuilt from scratch
+over the same points.
+
+Storage is dtype-aware: float32 point sets stay float32 end to end
+(queries are cast to the *index's* dtype, never silently up to float64),
+while float64 and integer inputs keep the historical float64 behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Protocol
+from typing import Optional, Protocol
 
 import numpy as np
 
@@ -33,16 +45,34 @@ except ImportError:  # pragma: no cover - exercised only on scipy-less installs
     _cdist = None
 
 
+def resolve_point_dtype(points: np.ndarray, dtype: Optional[np.dtype] = None) -> np.dtype:
+    """The storage dtype for a point set: float32 stays float32, else float64."""
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"index dtype must be float32 or float64, got {dtype}")
+        return dtype
+    if np.asarray(points).dtype == np.float32:
+        return np.dtype(np.float32)
+    return np.dtype(np.float64)
+
+
 def l1_distance_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
-    """All-pairs L1 distances as a ``(num_queries, num_points)`` matrix."""
-    if _cdist is not None:
+    """All-pairs L1 distances as a ``(num_queries, num_points)`` matrix.
+
+    The result dtype follows the operands: float32 inputs produce float32
+    distances (scipy's ``cdist`` always returns float64, so the float32 path
+    uses the numpy accumulation instead of paying an up-cast copy).
+    """
+    result_dtype = np.result_type(queries.dtype, points.dtype)
+    if _cdist is not None and result_dtype == np.float64:
         return _cdist(queries, points, "cityblock")
     # Accumulate per dimension with in-place ops on contiguous columns: this
     # keeps the working set at one (queries × points) matrix instead of the
     # (queries × points × dim) broadcast temporary.
     queries_t = np.ascontiguousarray(queries.T)
     points_t = np.ascontiguousarray(points.T)
-    distances = np.zeros((len(queries), len(points)))
+    distances = np.zeros((len(queries), len(points)), dtype=result_dtype)
     scratch = np.empty_like(distances)
     for dim in range(queries_t.shape[0]):
         np.subtract.outer(queries_t[dim], points_t[dim], out=scratch)
@@ -64,11 +94,12 @@ class BatchNeighbourResult:
     """Neighbours of a whole query batch as dense arrays.
 
     ``indices`` is ``(num_queries, k)`` int64 and ``distances`` the matching
-    float64 array, both sorted by increasing distance per row.  Every column
-    of every row is a valid neighbour: non-empty indexes answer with exactly
-    ``min(k, len(index))`` columns, and an empty index answers with
-    zero-width ``(num_queries, 0)`` arrays — there is no padding.  ``counts``
-    is that per-row column count (``0`` only for empty indexes).
+    float array (the index's storage dtype), both sorted by increasing
+    distance per row.  Every column of every row is a valid neighbour:
+    non-empty indexes answer with exactly ``min(k, len(index))`` columns, and
+    an empty index answers with zero-width ``(num_queries, 0)`` arrays —
+    there is no padding.  ``counts`` is that per-row column count (``0`` only
+    for empty indexes).
     """
 
     indices: np.ndarray
@@ -86,16 +117,16 @@ class BatchNeighbourResult:
         return [self.row(position) for position in range(len(self))]
 
 
-def _empty_batch(num_queries: int) -> BatchNeighbourResult:
+def _empty_batch(num_queries: int, dtype: np.dtype = np.dtype(np.float64)) -> BatchNeighbourResult:
     return BatchNeighbourResult(
         indices=np.zeros((num_queries, 0), dtype=np.int64),
-        distances=np.zeros((num_queries, 0)),
+        distances=np.zeros((num_queries, 0), dtype=dtype),
         counts=np.zeros(num_queries, dtype=np.int64),
     )
 
 
-def _as_query_matrix(vectors: np.ndarray) -> np.ndarray:
-    vectors = np.asarray(vectors, dtype=np.float64)
+def _as_query_matrix(vectors: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    vectors = np.asarray(vectors, dtype=dtype)
     if vectors.ndim == 1:
         vectors = vectors.reshape(1, -1)
     if vectors.ndim != 2:
@@ -123,21 +154,54 @@ class NearestNeighbourIndex(Protocol):
     def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:  # pragma: no cover
         ...
 
+    def extend(self, points: np.ndarray) -> None:  # pragma: no cover - typing
+        ...
+
     def __len__(self) -> int:  # pragma: no cover - typing
         ...
 
 
 class ExactL1Index:
-    """Brute-force exact k-nearest-neighbour search under the L1 distance."""
+    """Brute-force exact k-nearest-neighbour search under the L1 distance.
 
-    def __init__(self, points: np.ndarray) -> None:
-        points = np.asarray(points, dtype=np.float64)
+    Rows live in amortised-growth storage: :meth:`extend` appends new points
+    in O(new rows) (amortised) instead of forcing callers to rebuild, which
+    is what makes marker-by-marker TypeSpace adaptation cheap.
+    """
+
+    def __init__(self, points: np.ndarray, dtype: Optional[np.dtype] = None) -> None:
+        points = np.asarray(points)
         if points.ndim != 2:
             raise ValueError("points must be a (num_points, dim) array")
-        self.points = points
+        self.dtype = resolve_point_dtype(points, dtype)
+        self._storage = np.asarray(points, dtype=self.dtype)
+        self._size = len(points)
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._storage[: self._size]
 
     def __len__(self) -> int:
-        return len(self.points)
+        return self._size
+
+    def extend(self, points: np.ndarray) -> None:
+        """Append rows to the index without touching the existing ones."""
+        points = np.asarray(points, dtype=self.dtype)
+        if points.ndim != 2 or points.shape[1] != self._storage.shape[1]:
+            raise ValueError(
+                f"extension must be a (num_points, {self._storage.shape[1]}) array, "
+                f"got shape {points.shape}"
+            )
+        if not len(points):
+            return
+        needed = self._size + len(points)
+        if needed > len(self._storage):
+            capacity = max(needed, 2 * len(self._storage), 16)
+            storage = np.empty((capacity, self._storage.shape[1]), dtype=self.dtype)
+            storage[: self._size] = self._storage[: self._size]
+            self._storage = storage
+        self._storage[self._size : needed] = points
+        self._size = needed
 
     def query(self, vector: np.ndarray, k: int) -> NeighbourResult:
         return self.query_batch_arrays(vector, k).row(0)
@@ -146,17 +210,18 @@ class ExactL1Index:
         return self.query_batch_arrays(vectors, k).to_list()
 
     def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:
-        vectors = _as_query_matrix(vectors)
-        if len(self.points) == 0:
-            return _empty_batch(len(vectors))
-        k = min(k, len(self.points))
+        vectors = _as_query_matrix(vectors, self.dtype)
+        if self._size == 0:
+            return _empty_batch(len(vectors), self.dtype)
+        points = self.points
+        k = min(k, self._size)
         all_indices = np.empty((len(vectors), k), dtype=np.int64)
-        all_distances = np.empty((len(vectors), k))
+        all_distances = np.empty((len(vectors), k), dtype=self.dtype)
         # Chunk the queries to bound the (queries × points) distance matrix.
-        chunk_size = max(1, 4_000_000 // max(len(self.points), 1))
+        chunk_size = max(1, 4_000_000 // max(self._size, 1))
         for start in range(0, len(vectors), chunk_size):
             chunk = vectors[start : start + chunk_size]
-            distances = l1_distance_matrix(chunk, self.points)
+            distances = l1_distance_matrix(chunk, points)
             positions, sorted_distances = _top_k_rows(distances, k)
             all_indices[start : start + len(chunk)] = positions
             all_distances[start : start + len(chunk)] = sorted_distances
@@ -177,6 +242,12 @@ class RandomProjectionIndex:
     the query rows by signature, so the candidate set of each bucket
     neighbourhood is gathered and scored once per bucket instead of once per
     query.
+
+    :meth:`extend` re-buckets only the new points: their signatures are
+    computed with the same (seeded) hyperplanes and appended to the affected
+    buckets, so extending is O(new points), and an index grown by extension
+    answers queries identically to one built from scratch over the same
+    point set.
     """
 
     def __init__(
@@ -185,6 +256,7 @@ class RandomProjectionIndex:
         num_bits: int = 8,
         probe_radius: int = 1,
         seed: int = 0,
+        dtype: Optional[np.dtype] = None,
     ) -> None:
         if not isinstance(num_bits, (int, np.integer)) or num_bits < 1 or num_bits > 62:
             raise ValueError(f"num_bits must be an integer in [1, 62], got {num_bits!r}")
@@ -195,35 +267,72 @@ class RandomProjectionIndex:
                 f"probe_radius {probe_radius} cannot exceed num_bits {num_bits} "
                 "(there are no buckets beyond Hamming distance num_bits)"
             )
-        self.points = np.asarray(points, dtype=np.float64)
         self.num_bits = int(num_bits)
         self.probe_radius = int(probe_radius)
-        rng = SeededRNG(seed)
-        dim = self.points.shape[1] if self.points.size else 1
-        self._planes = rng.np.normal(0.0, 1.0, size=(num_bits, dim))
-        self._offsets = np.zeros(num_bits)
+        self.seed = int(seed)
+        self._exact = ExactL1Index(np.asarray(points), dtype=dtype)
+        self.dtype = self._exact.dtype
+        # The hyperplanes are created lazily on the first non-empty point set,
+        # so an index constructed empty and later extended hashes points
+        # exactly as one constructed full (the RNG stream depends only on the
+        # seed, the plane shape only on the point dimension).
+        self._planes: Optional[np.ndarray] = None
+        self._offsets: Optional[np.ndarray] = None
         self._bit_weights = (1 << np.arange(self.num_bits - 1, -1, -1)).astype(np.int64)
         self._buckets: dict[int, np.ndarray] = {}
         self._candidate_cache: dict[int, np.ndarray] = {}
-        if self.points.size:
-            signatures = self._signatures_for(self.points)
-            order = np.argsort(signatures, kind="stable")
-            unique, starts = np.unique(signatures[order], return_index=True)
-            for position, signature in enumerate(unique):
-                stop = starts[position + 1] if position + 1 < len(starts) else len(order)
-                self._buckets[int(signature)] = np.sort(order[starts[position] : stop])
-        self._exact = ExactL1Index(self.points) if self.points.size else None
+        if len(self._exact):
+            self._bucket_points(0)
+
+    @property
+    def points(self) -> np.ndarray:
+        return self._exact.points
 
     def __len__(self) -> int:
-        return len(self.points)
+        return len(self._exact)
+
+    def extend(self, points: np.ndarray) -> None:
+        """Append points, re-bucketing only the extension."""
+        old_size = len(self._exact)
+        self._exact.extend(points)
+        if len(self._exact) > old_size:
+            self._bucket_points(old_size)
+
+    def _ensure_planes(self, dim: int) -> None:
+        if self._planes is None:
+            rng = SeededRNG(self.seed)
+            self._planes = rng.np.normal(0.0, 1.0, size=(self.num_bits, dim))
+            self._offsets = np.zeros(self.num_bits)
+
+    def _bucket_points(self, start: int) -> None:
+        """Assign buckets for the stored points from ``start`` onward."""
+        points = self._exact.points
+        self._ensure_planes(points.shape[1])
+        signatures = self._signatures_for(points[start:])
+        order = np.argsort(signatures, kind="stable")
+        unique, starts = np.unique(signatures[order], return_index=True)
+        for position, signature in enumerate(unique):
+            stop = starts[position + 1] if position + 1 < len(starts) else len(order)
+            # New point indices are all larger than the existing bucket
+            # members, so appending the (sorted) extension keeps every bucket
+            # sorted — identical to a from-scratch build over all points.
+            members = np.sort(order[starts[position] : stop]) + start
+            existing = self._buckets.get(int(signature))
+            if existing is None:
+                self._buckets[int(signature)] = members
+            else:
+                self._buckets[int(signature)] = np.concatenate([existing, members])
+        # Memoised candidate neighbourhoods reference the old bucket contents.
+        self._candidate_cache.clear()
 
     def _signatures_for(self, vectors: np.ndarray) -> np.ndarray:
         """Sign-bit signatures for a whole matrix of vectors, as packed int64."""
+        assert self._planes is not None and self._offsets is not None
         bits = (vectors @ self._planes.T + self._offsets) > 0
         return bits.astype(np.int64) @ self._bit_weights
 
     def _signature(self, vector: np.ndarray) -> int:
-        return int(self._signatures_for(np.asarray(vector, dtype=np.float64).reshape(1, -1))[0])
+        return int(self._signatures_for(np.asarray(vector, dtype=self.dtype).reshape(1, -1))[0])
 
     def _probe_signatures(self, signature: int) -> list[int]:
         """All signatures within Hamming distance ``probe_radius``, any radius."""
@@ -267,12 +376,13 @@ class RandomProjectionIndex:
         return self.query_batch_arrays(vectors, k).to_list()
 
     def query_batch_arrays(self, vectors: np.ndarray, k: int) -> BatchNeighbourResult:
-        vectors = _as_query_matrix(vectors)
-        if self._exact is None:
-            return _empty_batch(len(vectors))
-        k = min(k, len(self.points))
+        vectors = _as_query_matrix(vectors, self.dtype)
+        if len(self._exact) == 0:
+            return _empty_batch(len(vectors), self.dtype)
+        points = self.points
+        k = min(k, len(points))
         all_indices = np.empty((len(vectors), k), dtype=np.int64)
-        all_distances = np.empty((len(vectors), k))
+        all_distances = np.empty((len(vectors), k), dtype=self.dtype)
         signatures = self._signatures_for(vectors)
         # Group query rows by signature in one O(N log N) pass: stable argsort
         # puts equal signatures adjacent, np.unique marks the group starts.
@@ -286,7 +396,7 @@ class RandomProjectionIndex:
             if len(candidates) < k:
                 fallback_groups.append(rows)
                 continue
-            distances = l1_distance_matrix(vectors[rows], self.points[candidates])
+            distances = l1_distance_matrix(vectors[rows], points[candidates])
             positions, sorted_distances = _top_k_rows(distances, k)
             all_indices[rows] = candidates[positions]
             all_distances[rows] = sorted_distances
@@ -299,8 +409,13 @@ class RandomProjectionIndex:
         return BatchNeighbourResult(all_indices, all_distances, counts)
 
 
-def build_index(points: np.ndarray, approximate: bool = False, **kwargs) -> NearestNeighbourIndex:
+def build_index(
+    points: np.ndarray,
+    approximate: bool = False,
+    dtype: Optional[np.dtype] = None,
+    **kwargs,
+) -> NearestNeighbourIndex:
     """Factory mirroring the paper's use of a spatial index over the TypeSpace."""
     if approximate:
-        return RandomProjectionIndex(points, **kwargs)
-    return ExactL1Index(points)
+        return RandomProjectionIndex(points, dtype=dtype, **kwargs)
+    return ExactL1Index(points, dtype=dtype)

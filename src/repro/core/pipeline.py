@@ -353,6 +353,38 @@ class TypilusPipeline:
             include_annotated=include_annotated,
         )[filename]
 
+    # -- adaptation ------------------------------------------------------------------------
+
+    def adapt_with_sources(
+        self,
+        type_name: str,
+        sources: Mapping[str, str],
+        provenance: str = "adaptation",
+    ) -> int:
+        """Extend the type map from annotated examples, without retraining.
+
+        Every symbol in ``sources`` whose existing annotation is exactly
+        ``type_name`` is embedded and added to the TypeSpace as a new marker
+        (Sec. 4.2's open-vocabulary adaptation).  The markers are appended in
+        one bulk call, which *extends* the space's columnar storage and its
+        spatial index in place — the cost is proportional to the new markers,
+        so a long-lived serving pipeline can adapt between requests.
+
+        Returns the number of markers added.
+        """
+        graphs: list[CodeGraph] = []
+        targets: list[list[int]] = []
+        for filename, source in sources.items():
+            graph = self._graph_builder.build(source, filename=filename)
+            graphs.append(graph)
+            targets.append(
+                [symbol.node_index for symbol in graph.symbols if symbol.annotation == type_name]
+            )
+        embeddings = self.embedder.embed_symbols(graphs, targets)
+        if len(embeddings):
+            self.type_space.add_markers([type_name] * len(embeddings), embeddings, source=provenance)
+        return len(embeddings)
+
     def find_annotation_disagreements(self, source: str, confidence_threshold: float = 0.8) -> list[SymbolSuggestion]:
         """Confidently-predicted types that contradict existing annotations (Sec. 7)."""
         suggestions = self.suggest_for_source(
@@ -378,8 +410,8 @@ class TypilusPipeline:
             digest.update(values.tobytes())
         if len(self.type_space):
             digest.update(np.ascontiguousarray(self.type_space.marker_matrix(), dtype=np.float64).tobytes())
-        for marker in self.type_space.markers:
-            digest.update(marker.type_name.encode("utf-8") + b"\x00")
+        for type_name in self.type_space.marker_type_names():
+            digest.update(type_name.encode("utf-8") + b"\x00")
         digest.update(f"{self.predictor.k}:{self.predictor.p}:{self.predictor.epsilon}".encode("utf-8"))
         return digest.hexdigest()
 

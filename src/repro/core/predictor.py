@@ -65,7 +65,7 @@ class KNNTypePredictor:
 
     def predict(self, embedding: np.ndarray) -> TypePrediction:
         """Predict a ranked distribution over types for one embedding."""
-        embedding = np.asarray(embedding, dtype=np.float64).reshape(1, -1)
+        embedding = np.asarray(embedding).reshape(1, -1)
         return self.predict_batch(embedding)[0]
 
     def predict_batch(self, embeddings: np.ndarray) -> list[TypePrediction]:
@@ -76,7 +76,9 @@ class KNNTypePredictor:
         pair and one lexicographic sort that ranks every query's candidates
         by ``(-probability, type name)`` simultaneously.
         """
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        # Queries are handed to the space as-is: the index casts them to its
+        # storage dtype once, so float32 spaces never pay a float64 round trip.
+        embeddings = np.asarray(embeddings)
         if embeddings.ndim == 1:
             embeddings = embeddings.reshape(1, -1)
         num_queries = len(embeddings)
@@ -148,11 +150,14 @@ def adapt_space_with_new_type(
 ) -> TypeSpace:
     """One-shot adaptation (Sec. 4.2): add markers for a previously unseen type.
 
-    The encoder is untouched; only the type map grows.  After this call the
-    predictor can output ``type_name`` for queries that land near the new
-    markers — the paper's "open vocabulary without retraining" property,
-    exercised by the adaptation tests and the rare-type benchmarks.
+    The encoder is untouched; only the type map grows — one bulk marker
+    append that *extends* the space's columnar storage and its spatial index
+    in place (cost proportional to the new markers, not the space).  After
+    this call the predictor can output ``type_name`` for queries that land
+    near the new markers — the paper's "open vocabulary without retraining"
+    property, exercised by the adaptation tests and the rare-type benchmarks.
     """
-    for embedding in embeddings:
-        space.add_marker(type_name, np.asarray(embedding, dtype=np.float64), source=source)
+    stacked = np.asarray([np.asarray(embedding).reshape(-1) for embedding in embeddings])
+    if len(stacked):
+        space.add_markers([type_name] * len(stacked), stacked, source=source)
     return space

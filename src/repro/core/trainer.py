@@ -510,13 +510,24 @@ class Trainer:
         """Embed every supervised symbol of a split (in dataset order)."""
         return SymbolEmbedder(self.encoder).embed_split(split, batch_graphs=batch_graphs)
 
-    def build_type_space(self, include_valid: bool = True, approximate_index: bool = False) -> TypeSpace:
+    def build_type_space(
+        self,
+        include_valid: bool = True,
+        approximate_index: bool = False,
+        dtype=None,
+    ) -> TypeSpace:
         """Populate the type map from the train (and validation) annotations.
 
         This mirrors Sec. 7: "we built the type map over the training and the
-        validation sets".
+        validation sets".  ``dtype`` selects the marker storage precision
+        (default float64, the historical behaviour; ``float32`` keeps a
+        float32 encoder's serving path up-cast free at half the memory).
         """
-        space = TypeSpace(self.encoder.output_dim, approximate_index=approximate_index)
+        space = TypeSpace(
+            self.encoder.output_dim,
+            approximate_index=approximate_index,
+            dtype=dtype if dtype is not None else np.float64,
+        )
         train_embeddings, train_samples = self.embed_split(self.dataset.train)
         space.add_markers([s.annotation for s in train_samples], train_embeddings, source="train")
         if include_valid and self.dataset.valid.samples:

@@ -12,16 +12,24 @@ Typilus supports an open type vocabulary without retraining.
 The space answers whole query batches at once: :meth:`TypeSpace.nearest_batch`
 returns dense arrays of type codes and distances (one row per query) backed
 by the vectorized index, which is what the batched predictor and the project
-annotation engine consume.  The marker matrix, the per-marker type codes and
-the index itself are cached and invalidated together whenever a marker is
-added.
+annotation engine consume.
+
+Storage is **columnar and incremental**: markers live in one growable
+embedding matrix plus a parallel int64 type-code array over an interned
+vocabulary — there is no per-marker object graph.  Adding markers *extends*
+the matrix, the code array and (when already built) the nearest-neighbour
+index in place, at a cost proportional to the extension; nothing is
+invalidated wholesale, which is what keeps long-lived serving and one-shot
+type adaptation cheap.  The marker dtype is configurable (``float64`` by
+default, matching the historical behaviour bit for bit; ``float32`` halves
+the memory and keeps float32 encoder pipelines up-cast free).
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -65,82 +73,167 @@ class TypeNeighbourBatch:
 
 
 class TypeSpace:
-    """A collection of type markers plus a nearest-neighbour index over them."""
+    """A columnar collection of type markers plus a nearest-neighbour index.
 
-    def __init__(self, dim: int, approximate_index: bool = False) -> None:
+    The marker embeddings form one ``(num_markers, dim)`` matrix in growable
+    storage, the marker types one int64 code array over an interned
+    vocabulary.  :meth:`add_marker` / :meth:`add_markers` append to both and
+    extend the spatial index in place when it has been built — repeated
+    additions cost O(extension), not O(markers).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        approximate_index: bool = False,
+        dtype: Union[str, np.dtype] = np.float64,
+    ) -> None:
         self.dim = dim
         self.approximate_index = approximate_index
-        self._markers: list[TypeMarker] = []
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"TypeSpace dtype must be float32 or float64, got {self.dtype}")
+        self._embeddings = np.empty((0, dim), dtype=self.dtype)  # growable row storage
+        self._size = 0
+        self._codes = np.empty(0, dtype=np.int64)  # growable, parallel to the rows
+        self._sources: list[str] = []
+        self._vocabulary: dict[str, int] = {}  # interned type name → code
+        self._vocabulary_list: list[str] = []  # code → type name
         self._index: Optional[NearestNeighbourIndex] = None
-        self._matrix: Optional[np.ndarray] = None
-        self._type_codes: Optional[np.ndarray] = None
-        self._type_vocabulary: Optional[tuple[str, ...]] = None
+        # Vocabulary-derived caches, rebuilt lazily only when a *new* type
+        # name appears (O(num_types), independent of the marker count).
+        self._vocabulary_tuple: Optional[tuple[str, ...]] = None
         self._vocabulary_array: Optional[np.ndarray] = None
         self._name_ranks: Optional[np.ndarray] = None
 
     # -- population ----------------------------------------------------------------
 
-    def _invalidate_caches(self) -> None:
-        self._index = None
-        self._matrix = None
-        self._type_codes = None
-        self._type_vocabulary = None
-        self._vocabulary_array = None
-        self._name_ranks = None
+    def _intern(self, type_name: str) -> int:
+        code = self._vocabulary.get(type_name)
+        if code is None:
+            code = len(self._vocabulary)
+            self._vocabulary[type_name] = code
+            self._vocabulary_list.append(type_name)
+            # The vocabulary grew: views over it are stale (the marker
+            # columns and the index are not — they only ever extend).
+            self._vocabulary_tuple = None
+            self._vocabulary_array = None
+            self._name_ranks = None
+        return code
+
+    def _append_rows(self, embeddings: np.ndarray, codes: np.ndarray, sources: Sequence[str]) -> None:
+        needed = self._size + len(embeddings)
+        if needed > len(self._embeddings):
+            capacity = max(needed, 2 * len(self._embeddings), 16)
+            storage = np.empty((capacity, self.dim), dtype=self.dtype)
+            storage[: self._size] = self._embeddings[: self._size]
+            self._embeddings = storage
+            code_storage = np.empty(capacity, dtype=np.int64)
+            code_storage[: self._size] = self._codes[: self._size]
+            self._codes = code_storage
+        self._embeddings[self._size : needed] = embeddings
+        self._codes[self._size : needed] = codes
+        self._sources.extend(sources)
+        self._size = needed
+        if self._index is not None:
+            self._index.extend(self._embeddings[needed - len(embeddings) : needed])
 
     def add_marker(self, type_name: str, embedding: np.ndarray, source: str = "") -> None:
-        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        embedding = np.asarray(embedding, dtype=self.dtype).reshape(-1)
         if embedding.shape[0] != self.dim:
             raise ValueError(f"marker dimension {embedding.shape[0]} does not match TypeSpace dim {self.dim}")
-        self._markers.append(TypeMarker(type_name=type_name, embedding=embedding, source=source))
-        self._invalidate_caches()  # the index and marker arrays are rebuilt lazily
+        self._append_rows(
+            embedding.reshape(1, -1),
+            np.asarray([self._intern(type_name)], dtype=np.int64),
+            [source],
+        )
 
-    def add_markers(self, type_names: Sequence[str], embeddings: np.ndarray, source: str = "") -> None:
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+    def add_markers(
+        self,
+        type_names: Sequence[str],
+        embeddings: np.ndarray,
+        source: Union[str, Sequence[str]] = "",
+    ) -> None:
+        """Append many markers in one shot.
+
+        This is the bulk path: the rows are copied into storage once, the
+        codes interned in one pass and the index (when built) extended with a
+        single call — never once per marker.  ``source`` may be one shared
+        provenance string or a per-marker sequence.
+        """
+        embeddings = np.asarray(embeddings, dtype=self.dtype)
+        if embeddings.ndim != 2 or embeddings.shape[1] != self.dim:
+            raise ValueError(
+                f"embeddings must be a (num_markers, {self.dim}) array, got shape {embeddings.shape}"
+            )
         if len(type_names) != len(embeddings):
             raise ValueError("type_names and embeddings must have the same length")
-        for type_name, embedding in zip(type_names, embeddings):
-            self.add_marker(type_name, embedding, source=source)
+        if isinstance(source, str):
+            sources: Sequence[str] = [source] * len(embeddings)
+        else:
+            sources = list(source)
+            if len(sources) != len(embeddings):
+                raise ValueError("per-marker sources must match the number of markers")
+        if not len(embeddings):
+            return
+        codes = np.fromiter(
+            (self._intern(type_name) for type_name in type_names), dtype=np.int64, count=len(type_names)
+        )
+        self._append_rows(embeddings, codes, sources)
 
     # -- queries ----------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._markers)
+        return self._size
 
     @property
     def markers(self) -> list[TypeMarker]:
-        return list(self._markers)
+        """The markers as a list of objects (a view for analysis/tests)."""
+        return [
+            TypeMarker(
+                type_name=self._vocabulary_list[self._codes[position]],
+                embedding=self._embeddings[position],
+                source=self._sources[position],
+            )
+            for position in range(self._size)
+        ]
+
+    def marker_type_names(self) -> list[str]:
+        """Per-marker type names (decoded from the columnar code array)."""
+        vocabulary = self._vocabulary_list
+        return [vocabulary[code] for code in self._codes[: self._size]]
+
+    def marker_sources(self) -> list[str]:
+        """Per-marker provenance strings."""
+        return list(self._sources)
 
     def known_types(self) -> set[str]:
-        return {marker.type_name for marker in self._markers}
+        return set(self._vocabulary)
 
     def type_counts(self) -> Counter:
-        return Counter(marker.type_name for marker in self._markers)
+        counts = np.bincount(self._codes[: self._size], minlength=len(self._vocabulary_list))
+        return Counter(
+            {name: int(count) for name, count in zip(self._vocabulary_list, counts) if count}
+        )
 
     def marker_matrix(self) -> np.ndarray:
-        if self._matrix is None:
-            if not self._markers:
-                self._matrix = np.zeros((0, self.dim))
-            else:
-                self._matrix = np.stack([marker.embedding for marker in self._markers])
-        return self._matrix
+        """The ``(num_markers, dim)`` embedding matrix (a view, not a copy)."""
+        return self._embeddings[: self._size]
 
     def type_vocabulary(self) -> tuple[str, ...]:
         """Distinct marker types in first-seen order (the code space of queries)."""
-        self._ensure_type_codes()
-        assert self._type_vocabulary is not None
-        return self._type_vocabulary
+        if self._vocabulary_tuple is None:
+            self._vocabulary_tuple = tuple(self._vocabulary_list)
+        return self._vocabulary_tuple
 
     def marker_type_codes(self) -> np.ndarray:
         """Per-marker integer codes into :meth:`type_vocabulary`."""
-        self._ensure_type_codes()
-        assert self._type_codes is not None
-        return self._type_codes
+        return self._codes[: self._size]
 
     def type_vocabulary_array(self) -> np.ndarray:
         """The vocabulary as a cached numpy object array (code → name)."""
         if self._vocabulary_array is None:
-            self._vocabulary_array = np.asarray(self.type_vocabulary(), dtype=object)
+            self._vocabulary_array = np.asarray(self._vocabulary_list, dtype=object)
         return self._vocabulary_array
 
     def type_name_ranks(self) -> np.ndarray:
@@ -152,30 +245,25 @@ class TypeSpace:
             self._name_ranks = ranks
         return self._name_ranks
 
-    def _ensure_type_codes(self) -> None:
-        if self._type_codes is not None:
-            return
-        vocabulary: dict[str, int] = {}
-        codes = np.empty(len(self._markers), dtype=np.int64)
-        for position, marker in enumerate(self._markers):
-            code = vocabulary.setdefault(marker.type_name, len(vocabulary))
-            codes[position] = code
-        self._type_codes = codes
-        self._type_vocabulary = tuple(vocabulary)
-
     def index(self) -> NearestNeighbourIndex:
-        """The (lazily rebuilt) spatial index over the markers."""
+        """The spatial index over the markers (built lazily, then extended)."""
         if self._index is None:
-            self._index = build_index(self.marker_matrix(), approximate=self.approximate_index)
+            self._index = build_index(
+                self.marker_matrix(), approximate=self.approximate_index, dtype=self.dtype
+            )
         return self._index
 
     def nearest(self, embedding: np.ndarray, k: int) -> list[tuple[str, float]]:
         """The ``k`` nearest markers of ``embedding``: ``(type, L1 distance)``."""
-        return self.nearest_batch(np.asarray(embedding, dtype=np.float64).reshape(1, -1), k).row(0)
+        return self.nearest_batch(np.asarray(embedding).reshape(1, -1), k).row(0)
 
     def nearest_batch(self, embeddings: np.ndarray, k: int) -> TypeNeighbourBatch:
-        """Nearest markers of a whole query batch in one vectorized index call."""
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        """Nearest markers of a whole query batch in one vectorized index call.
+
+        Queries run in the space's storage dtype — the index casts them once,
+        so a float32 space never silently promotes the distance math to
+        float64.
+        """
         result: BatchNeighbourResult = self.index().query_batch_arrays(embeddings, k)
         return TypeNeighbourBatch(
             type_codes=self.marker_type_codes()[result.indices],
@@ -187,24 +275,30 @@ class TypeSpace:
     # -- persistence -------------------------------------------------------------------
 
     def save(self, path: str) -> str:
-        """Persist markers to an ``.npz`` file."""
+        """Persist markers to an ``.npz`` file (embeddings keep their dtype)."""
         np.savez(
             path,
             embeddings=self.marker_matrix(),
-            type_names=np.asarray([marker.type_name for marker in self._markers], dtype=object),
-            sources=np.asarray([marker.source for marker in self._markers], dtype=object),
+            type_names=np.asarray(self.marker_type_names(), dtype=object),
+            sources=np.asarray(self._sources, dtype=object),
             dim=np.asarray([self.dim]),
         )
         return path
 
     @classmethod
     def load(cls, path: str, approximate_index: bool = False) -> "TypeSpace":
+        """Restore a space saved with :meth:`save` in one bulk load.
+
+        All markers are appended with a single :meth:`add_markers` call, so
+        the storage is allocated once and the index is built at most once —
+        never once per marker.  The stored embedding dtype is preserved.
+        """
         with np.load(path, allow_pickle=True) as archive:
             dim = int(archive["dim"][0])
-            space = cls(dim, approximate_index=approximate_index)
             embeddings = archive["embeddings"]
-            type_names = archive["type_names"]
-            sources = archive["sources"]
-            for type_name, embedding, source in zip(type_names, embeddings, sources):
-                space.add_marker(str(type_name), embedding, source=str(source))
+            dtype = np.float32 if embeddings.dtype == np.float32 else np.float64
+            space = cls(dim, approximate_index=approximate_index, dtype=dtype)
+            type_names = [str(name) for name in archive["type_names"]]
+            sources = [str(source) for source in archive["sources"]]
+            space.add_markers(type_names, embeddings.reshape(len(type_names), dim), source=sources)
         return space

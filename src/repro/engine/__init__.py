@@ -18,6 +18,8 @@ from repro.engine.annotator import (
     FileReport,
     ProjectAnnotator,
     ProjectReport,
+    suggestion_from_payload,
+    suggestion_to_payload,
 )
 
 __all__ = [
@@ -26,4 +28,6 @@ __all__ = [
     "FileReport",
     "ProjectAnnotator",
     "ProjectReport",
+    "suggestion_from_payload",
+    "suggestion_to_payload",
 ]

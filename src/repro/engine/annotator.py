@@ -162,14 +162,14 @@ class AnnotationCache:
                 return None
             if payload.get("format") != ANNOTATION_CACHE_VERSION:
                 return None
-            return [_suggestion_from_payload(entry) for entry in payload["suggestions"]]
+            return [suggestion_from_payload(entry) for entry in payload["suggestions"]]
         except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError, AttributeError):
             return None
 
     def store(self, source: str, suggestions: list[SymbolSuggestion]) -> None:
         payload = {
             "format": ANNOTATION_CACHE_VERSION,
-            "suggestions": [_suggestion_to_payload(suggestion) for suggestion in suggestions],
+            "suggestions": [suggestion_to_payload(suggestion) for suggestion in suggestions],
         }
         atomic_write_text(self.path_for(source), json.dumps(payload, separators=(",", ":")))
 
@@ -258,21 +258,32 @@ class ProjectAnnotator:
 
     def annotate_directory(self, directory: Union[str, Path], pattern: str = "**/*.py") -> ProjectReport:
         """Annotate every matching file under a directory in one pass."""
-        directory = Path(directory)
-        if not directory.is_dir():
-            raise NotADirectoryError(f"{directory} is not a directory")
-        sources: dict[str, str] = {}
-        unreadable: list[str] = []
-        for path in sorted(directory.glob(pattern)):
-            if not path.is_file():
-                continue
-            try:
-                sources[str(path.relative_to(directory))] = path.read_text(encoding="utf-8")
-            except (OSError, UnicodeDecodeError):
-                unreadable.append(str(path.relative_to(directory)))
+        sources, unreadable = discover_sources(directory, pattern)
         report = self.annotate_sources(sources)
         report.skipped_files.extend(unreadable)
         return report
+
+
+def discover_sources(directory: Union[str, Path], pattern: str = "**/*.py") -> tuple[dict[str, str], list[str]]:
+    """Collect a directory's matching files as (relative name → text, unreadable).
+
+    This is the single file-discovery used by both the in-process annotator
+    and the serving client, so the two paths see the same project — the
+    invariant behind their report parity.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise NotADirectoryError(f"{directory} is not a directory")
+    sources: dict[str, str] = {}
+    unreadable: list[str] = []
+    for path in sorted(directory.glob(pattern)):
+        if not path.is_file():
+            continue
+        try:
+            sources[str(path.relative_to(directory))] = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            unreadable.append(str(path.relative_to(directory)))
+    return sources, unreadable
 
 
 # ---------------------------------------------------------------------------
@@ -280,7 +291,7 @@ class ProjectAnnotator:
 # ---------------------------------------------------------------------------
 
 
-def _suggestion_to_payload(suggestion: SymbolSuggestion) -> dict:
+def suggestion_to_payload(suggestion: SymbolSuggestion) -> dict:
     filtered = suggestion.filtered
     return {
         "name": suggestion.name,
@@ -301,7 +312,7 @@ def _suggestion_to_payload(suggestion: SymbolSuggestion) -> dict:
     }
 
 
-def _suggestion_from_payload(payload: dict) -> SymbolSuggestion:
+def suggestion_from_payload(payload: dict) -> SymbolSuggestion:
     filtered_payload = payload["filtered"]
     filtered = None
     if filtered_payload is not None:

@@ -1,0 +1,28 @@
+"""Long-lived annotation serving: daemon, client and wire protocol.
+
+Where :mod:`repro.engine` annotates one project per process,
+:mod:`repro.serve` keeps a trained pipeline resident:
+:class:`AnnotationServer` loads it once, listens on a local Unix socket and
+coalesces concurrent annotation requests into micro-batches through the
+engine's batched suggestion path (identical answers, shared embedding
+passes), while the incrementally-extendable TypeSpace lets ``adapt``
+requests grow the open type vocabulary between batches without a rebuild.
+:class:`AnnotationClient` is the matching client; it returns the same
+report objects as the in-process engine.
+"""
+
+from repro.serve.client import AnnotationClient, ServeError
+from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
+from repro.serve.server import AnnotationServer, ServeConfig, ServeStats
+
+__all__ = [
+    "AnnotationClient",
+    "AnnotationServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServeConfig",
+    "ServeError",
+    "ServeStats",
+    "recv_frame",
+    "send_frame",
+]

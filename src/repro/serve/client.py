@@ -1,0 +1,119 @@
+"""Client for the annotation daemon.
+
+:class:`AnnotationClient` talks to a running :class:`~repro.serve.server.
+AnnotationServer` over its Unix socket and reassembles the wire payloads
+into the same :class:`~repro.engine.annotator.ProjectReport` /
+:class:`~repro.engine.annotator.FileReport` objects the in-process
+:class:`~repro.engine.annotator.ProjectAnnotator` produces — code written
+against the engine's report types works unchanged against the daemon, and
+the two paths can be compared suggestion for suggestion.
+
+Each request uses its own connection (the server handles connections
+concurrently and micro-batches the work behind them), so a client instance
+is safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.engine.annotator import FileReport, ProjectReport, discover_sources, suggestion_from_payload
+from repro.serve.protocol import ProtocolError, recv_frame, send_frame
+
+
+class ServeError(RuntimeError):
+    """The daemon answered a request with an error."""
+
+
+class AnnotationClient:
+    """Sends annotation / adaptation requests to a running daemon."""
+
+    def __init__(
+        self,
+        socket_path: Union[str, Path],
+        timeout: float = 120.0,
+        disagreement_threshold: float = 0.8,
+    ) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = timeout
+        self.disagreement_threshold = disagreement_threshold
+
+    # -- transport ---------------------------------------------------------------------
+
+    def _request(self, payload: dict) -> dict:
+        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            connection.settimeout(self.timeout)
+            connection.connect(str(self.socket_path))
+            send_frame(connection, payload)
+            response = recv_frame(connection)
+        finally:
+            connection.close()
+        if response is None:
+            raise ProtocolError("server closed the connection without answering")
+        if not response.get("ok"):
+            raise ServeError(str(response.get("error", "unknown server error")))
+        return response
+
+    # -- operations --------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness probe: marker count, dimension and index flavour."""
+        return self._request({"op": "ping"})
+
+    def wait_until_ready(self, timeout: float = 10.0, poll_interval: float = 0.05) -> dict:
+        """Poll :meth:`ping` until the daemon answers (e.g. right after spawn)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.ping()
+            except (OSError, ProtocolError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(f"no daemon answered on {self.socket_path} within {timeout:.1f}s")
+                time.sleep(poll_interval)
+
+    def stats(self) -> dict:
+        """The daemon's request / micro-batching counters."""
+        return self._request({"op": "stats"})
+
+    def annotate_sources(self, sources: Mapping[str, str]) -> ProjectReport:
+        """Annotate an in-memory file set through the daemon.
+
+        The returned report matches a one-shot
+        :meth:`~repro.engine.annotator.ProjectAnnotator.annotate_sources`
+        run of the same pipeline suggestion for suggestion;
+        ``elapsed_seconds`` is the client-observed round trip.
+        """
+        started = time.monotonic()
+        response = self._request({"op": "annotate", "sources": dict(sources)})
+        report = ProjectReport(
+            elapsed_seconds=time.monotonic() - started,
+            disagreement_threshold=self.disagreement_threshold,
+        )
+        for filename, payloads in response["files"]:
+            report.files.append(
+                FileReport(
+                    filename=filename,
+                    suggestions=[suggestion_from_payload(payload) for payload in payloads],
+                )
+            )
+        report.skipped_files.extend(response["skipped"])
+        return report
+
+    def annotate_directory(self, directory: Union[str, Path], pattern: str = "**/*.py") -> ProjectReport:
+        """Annotate every matching file under a directory through the daemon."""
+        sources, unreadable = discover_sources(directory, pattern)
+        report = self.annotate_sources(sources)
+        report.skipped_files.extend(unreadable)
+        return report
+
+    def adapt(self, type_name: str, sources: Mapping[str, str]) -> dict:
+        """Extend the daemon's type map from annotated examples (Sec. 4.2)."""
+        return self._request({"op": "adapt", "type_name": type_name, "sources": dict(sources)})
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop; returns its acknowledgement."""
+        return self._request({"op": "shutdown"})

@@ -1,0 +1,70 @@
+"""Wire protocol of the annotation service: length-prefixed JSON frames.
+
+The daemon and its clients exchange single JSON documents over a local
+stream socket.  Each frame is a 4-byte big-endian payload length followed by
+that many bytes of UTF-8 JSON — trivial to parse incrementally, impossible
+to mis-split on newlines inside source code, and safe against a client that
+sends garbage (a frame that is not valid JSON, or longer than
+:data:`MAX_FRAME_BYTES`, raises :class:`ProtocolError` instead of wedging
+the connection).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: Upper bound on a single frame; a whole project's sources fit comfortably,
+#: a corrupted length prefix does not allocate gigabytes.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad length, truncated payload or invalid JSON)."""
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialise ``payload`` and write one length-prefixed frame."""
+    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES} byte cap")
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def _recv_exactly(sock: socket.socket, num_bytes: int) -> Optional[bytes]:
+    """Read exactly ``num_bytes``; ``None`` on clean EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = num_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(f"connection closed mid-frame ({remaining} bytes missing)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` when the peer closed the connection cleanly."""
+    header = _recv_exactly(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} byte cap")
+    body = _recv_exactly(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between frame header and payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"invalid frame payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame payload must be a JSON object, got {type(payload).__name__}")
+    return payload

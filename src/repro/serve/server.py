@@ -1,0 +1,415 @@
+"""A long-lived annotation daemon with request micro-batching.
+
+:class:`AnnotationServer` loads a trained pipeline **once** and answers
+annotation requests over a local Unix stream socket, which is what turns the
+batch-first engine into a service: clients pay per request, never per model
+load.  Three design points:
+
+* **Micro-batching.**  Every ``annotate`` request lands on one queue; a
+  single batcher thread drains whatever arrived within a small window (or up
+  to ``max_batch_requests``) and routes the *union* of their files — each
+  filename namespaced by its request — through one
+  :meth:`~repro.engine.annotator.ProjectAnnotator.annotate_sources` call.
+  Concurrent clients therefore share one embedding pass and one vectorized
+  kNN query, and because the merged batch runs the exact same code path as a
+  one-shot annotation, coalescing cannot change any answer.
+* **Serialized mutation.**  ``adapt`` requests (open-vocabulary type-map
+  extension, Sec. 4.2) flow through the same queue, so the pipeline is only
+  ever touched by the batcher thread; an adaptation is a cheap columnar
+  index *extension*, not a rebuild, and the next micro-batch simply sees the
+  grown TypeSpace.
+* **Plain protocol.**  Length-prefixed JSON frames
+  (:mod:`repro.serve.protocol`); one response per request; ``shutdown`` is
+  an ordinary request, acknowledged before the listener closes.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.pipeline import TypilusPipeline
+from repro.engine.annotator import AnnotatorConfig, ProjectAnnotator, suggestion_to_payload
+from repro.serve.protocol import ProtocolError, recv_frame, send_frame
+
+#: Separates the request ordinal from the filename in a merged micro-batch;
+#: NUL cannot appear in a path, so the namespacing is collision-free.
+_NAMESPACE = "\x00"
+
+
+@dataclass
+class ServeConfig:
+    """Micro-batching knobs of the daemon."""
+
+    #: How long the batcher waits for more requests after the first one.
+    batch_window_seconds: float = 0.01
+    #: Hard cap on requests coalesced into one annotation pass.
+    max_batch_requests: int = 32
+
+
+@dataclass
+class ServeStats:
+    """Counters the daemon exposes through the ``stats`` op."""
+
+    requests: int = 0
+    annotate_requests: int = 0
+    adapt_requests: int = 0
+    micro_batches: int = 0
+    largest_batch: int = 0
+    coalesced_requests: int = 0  # annotate requests that shared their batch
+    errors: int = 0
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "annotate_requests": self.annotate_requests,
+            "adapt_requests": self.adapt_requests,
+            "micro_batches": self.micro_batches,
+            "largest_batch": self.largest_batch,
+            "coalesced_requests": self.coalesced_requests,
+            "errors": self.errors,
+        }
+
+
+class _Pending:
+    """One queued request: the batcher fills ``result`` and sets ``done``."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[dict] = None
+
+    def fail(self, message: str) -> None:
+        self.result = {"ok": False, "error": message}
+        self.done.set()
+
+
+class _PendingAnnotate(_Pending):
+    def __init__(self, sources: dict[str, str]) -> None:
+        super().__init__()
+        self.sources = sources
+
+
+class _PendingAdapt(_Pending):
+    def __init__(self, type_name: str, sources: dict[str, str]) -> None:
+        super().__init__()
+        self.type_name = type_name
+        self.sources = sources
+
+
+@dataclass
+class _BatchPlanState:
+    batch: list[_PendingAnnotate] = field(default_factory=list)
+    carry: Optional[_PendingAdapt] = None
+    stopping: bool = False
+
+
+class AnnotationServer:
+    """Serves a loaded pipeline over a Unix socket, micro-batching requests."""
+
+    def __init__(
+        self,
+        pipeline: TypilusPipeline,
+        socket_path: Union[str, Path],
+        annotator_config: Optional[AnnotatorConfig] = None,
+        serve_config: Optional[ServeConfig] = None,
+    ) -> None:
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError("the annotation daemon requires AF_UNIX sockets")
+        self.pipeline = pipeline
+        self.socket_path = Path(socket_path)
+        self.annotator = ProjectAnnotator(pipeline, annotator_config or AnnotatorConfig())
+        self.config = serve_config or ServeConfig()
+        self.stats = ServeStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._threads: list[threading.Thread] = []
+        self._stats_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "AnnotationServer":
+        """Bind the socket and start the acceptor and batcher threads."""
+        if self._listener is not None:
+            return self
+        self._reclaim_stale_socket()
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(str(self.socket_path))
+        listener.listen(64)
+        # Closing a socket does not wake a thread blocked in accept() on
+        # Linux; a short timeout lets the acceptor poll the stop flag instead.
+        listener.settimeout(0.25)
+        self._listener = listener
+        for name, target in (("serve-batcher", self._batch_loop), ("serve-acceptor", self._accept_loop)):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def serve_forever(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`shutdown`) arrives."""
+        self.start()
+        self._stop.wait()
+        self.close()
+
+    def shutdown(self) -> None:
+        """Stop accepting, drain the queue sentinel and remove the socket."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._queue.put(None)  # unblocks the batcher
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Shut down and join the worker threads."""
+        self.shutdown()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def _reclaim_stale_socket(self) -> None:
+        """Unlink a leftover socket file, but refuse to evict a live daemon."""
+        if not self.socket_path.exists():
+            self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            probe.settimeout(0.25)
+            probe.connect(str(self.socket_path))
+        except OSError:
+            self.socket_path.unlink()  # stale: nothing is listening
+        else:
+            raise RuntimeError(f"another daemon is already serving on {self.socket_path}")
+        finally:
+            probe.close()
+
+    # -- connection handling -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                connection, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # listener closed during shutdown
+                break
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,), name="serve-conn", daemon=True
+            )
+            thread.start()
+
+    def _serve_connection(self, connection: socket.socket) -> None:
+        with connection:
+            while not self._stop.is_set():
+                try:
+                    request = recv_frame(connection)
+                except ProtocolError as error:
+                    self._count(errors=1)
+                    self._try_send(connection, {"ok": False, "error": str(error)})
+                    return
+                if request is None:
+                    return
+                response = self._dispatch(request)
+                if not self._try_send(connection, response):
+                    return
+                if request.get("op") == "shutdown":
+                    self.shutdown()
+                    return
+
+    @staticmethod
+    def _try_send(connection: socket.socket, payload: dict) -> bool:
+        try:
+            send_frame(connection, payload)
+            return True
+        except OSError:
+            return False
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                if name == "largest_batch":  # high-water mark, not a sum
+                    self.stats.largest_batch = max(self.stats.largest_batch, delta)
+                else:
+                    setattr(self.stats, name, getattr(self.stats, name) + delta)
+
+    # -- request dispatch --------------------------------------------------------------
+
+    def _dispatch(self, request: dict) -> dict:
+        self._count(requests=1)
+        op = request.get("op")
+        if op == "ping":
+            space = self.pipeline.type_space
+            return {
+                "ok": True,
+                "markers": len(space),
+                "dim": space.dim,
+                "approximate_index": space.approximate_index,
+                "dtype": str(space.dtype),
+            }
+        if op == "stats":
+            with self._stats_lock:
+                summary = self.stats.summary()
+            summary.update(ok=True, markers=len(self.pipeline.type_space))
+            return summary
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}
+        if op == "annotate":
+            sources = self._validated_sources(request)
+            if sources is None:
+                self._count(errors=1)
+                return {"ok": False, "error": "'sources' must map filenames to source text"}
+            self._count(annotate_requests=1)
+            return self._enqueue_and_wait(_PendingAnnotate(sources))
+        if op == "adapt":
+            sources = self._validated_sources(request)
+            type_name = request.get("type_name")
+            if sources is None or not isinstance(type_name, str) or not type_name:
+                self._count(errors=1)
+                return {"ok": False, "error": "'adapt' needs a 'type_name' string and a 'sources' map"}
+            self._count(adapt_requests=1)
+            return self._enqueue_and_wait(_PendingAdapt(type_name, sources))
+        self._count(errors=1)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def _enqueue_and_wait(self, pending: _Pending) -> dict:
+        if self._stop.is_set():
+            return {"ok": False, "error": "daemon is stopping"}
+        self._queue.put(pending)
+        # A shutdown can race past the check above and beat this request into
+        # the queue: the batcher may consume its sentinel and exit without
+        # ever seeing the item.  Poll the stop flag instead of blocking
+        # forever; on shutdown, grant the batcher a grace period to finish a
+        # batch that may already include this request, then give up.
+        while not pending.done.wait(timeout=0.5):
+            if self._stop.is_set() and not pending.done.wait(timeout=5.0):
+                pending.fail("daemon is stopping")
+                break
+        assert pending.result is not None
+        return pending.result
+
+    @staticmethod
+    def _validated_sources(request: dict) -> Optional[dict[str, str]]:
+        sources = request.get("sources")
+        if not isinstance(sources, dict):
+            return None
+        if any(not isinstance(key, str) or not isinstance(value, str) for key, value in sources.items()):
+            return None
+        return sources
+
+    # -- the batcher -------------------------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                break
+            if isinstance(item, _PendingAdapt):
+                self._run_adapt(item)
+                continue
+            state = self._collect_batch(item)
+            self._run_annotate_batch(state.batch)
+            if state.carry is not None:
+                self._run_adapt(state.carry)
+            if state.stopping:
+                break
+        # Fail whatever raced past the shutdown sentinel so no client hangs.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item.fail("daemon is stopping")
+
+    def _collect_batch(self, first: _PendingAnnotate) -> _BatchPlanState:
+        """Drain compatible requests for one micro-batch.
+
+        An ``adapt`` request ends the drain (it must observe the queue order:
+        annotations enqueued before it run first, ones after it see the grown
+        type map), as does the shutdown sentinel.
+        """
+        state = _BatchPlanState(batch=[first])
+        deadline = time.monotonic() + self.config.batch_window_seconds
+        while len(state.batch) < self.config.max_batch_requests:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                state.stopping = True
+                break
+            if isinstance(item, _PendingAdapt):
+                state.carry = item
+                break
+            state.batch.append(item)
+        return state
+
+    def _run_annotate_batch(self, batch: list[_PendingAnnotate]) -> None:
+        merged: dict[str, str] = {}
+        for ordinal, pending in enumerate(batch):
+            for filename, source in pending.sources.items():
+                merged[f"{ordinal}{_NAMESPACE}{filename}"] = source
+        try:
+            report = self.annotator.annotate_sources(merged)
+        except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
+            self._count(errors=1)
+            for pending in batch:
+                pending.fail(f"annotation failed: {error}")
+            return
+        files_by_request: list[list] = [[] for _ in batch]
+        for file_report in report.files:
+            ordinal, _, filename = file_report.filename.partition(_NAMESPACE)
+            files_by_request[int(ordinal)].append(
+                [filename, [suggestion_to_payload(suggestion) for suggestion in file_report.suggestions]]
+            )
+        skipped_by_request: list[list[str]] = [[] for _ in batch]
+        for namespaced in report.skipped_files:
+            ordinal, _, filename = namespaced.partition(_NAMESPACE)
+            skipped_by_request[int(ordinal)].append(filename)
+        self._count(
+            micro_batches=1,
+            largest_batch=len(batch),
+            coalesced_requests=len(batch) if len(batch) > 1 else 0,
+        )
+        for ordinal, pending in enumerate(batch):
+            pending.result = {
+                "ok": True,
+                "files": files_by_request[ordinal],
+                "skipped": skipped_by_request[ordinal],
+                "batch_size": len(batch),
+                "batch_reused_files": report.reused_files,
+            }
+            pending.done.set()
+
+    def _run_adapt(self, pending: _PendingAdapt) -> None:
+        try:
+            added = self.pipeline.adapt_with_sources(
+                pending.type_name, pending.sources, provenance="serve:adapt"
+            )
+        except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
+            self._count(errors=1)
+            pending.fail(f"adaptation failed: {error}")
+            return
+        pending.result = {
+            "ok": True,
+            "added_markers": added,
+            "markers": len(self.pipeline.type_space),
+        }
+        pending.done.set()

@@ -20,7 +20,13 @@ def _load(path: Path):
 
 def test_expected_examples_exist():
     names = {path.name for path in EXAMPLE_FILES}
-    assert {"quickstart.py", "find_annotation_errors.py", "annotate_project.py", "rare_type_adaptation.py"} <= names
+    assert {
+        "quickstart.py",
+        "find_annotation_errors.py",
+        "annotate_project.py",
+        "rare_type_adaptation.py",
+        "serve_project.py",
+    } <= names
 
 
 @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
@@ -34,6 +40,7 @@ def test_example_snippets_are_valid_python():
     quickstart = _load(EXAMPLES_DIR / "quickstart.py")
     errors_example = _load(EXAMPLES_DIR / "find_annotation_errors.py")
     adaptation = _load(EXAMPLES_DIR / "rare_type_adaptation.py")
+    serving = _load(EXAMPLES_DIR / "serve_project.py")
     import ast
 
     for source in (
@@ -41,6 +48,7 @@ def test_example_snippets_are_valid_python():
         errors_example.SUSPICIOUS_MODULE,
         adaptation.ADAPTATION_EXAMPLE,
         adaptation.QUERY_SNIPPET,
+        serving.ADAPTATION_EXAMPLE,
     ):
         ast.parse(source)
 

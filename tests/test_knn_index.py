@@ -121,19 +121,20 @@ class TestExactApproximateAgreement:
         assert np.all(approximate.distances[:, 0] >= exact.distances[:, 0] - 1e-9)
 
 
-class TestAdaptationWithStaleIndex:
+class TestAdaptationWithBuiltIndex:
     def _space(self):
         space = TypeSpace(dim=3)
         space.add_markers(["int"] * 4, np.zeros((4, 3)), source="train")
         space.add_markers(["str"] * 4, np.full((4, 3), 4.0), source="train")
         return space
 
-    def test_adaptation_invalidates_built_index(self):
+    def test_adaptation_extends_built_index_in_place(self):
         space = self._space()
-        stale = space.index()  # force the index to exist before adapting
+        built = space.index()  # force the index to exist before adapting
         assert space.nearest(np.full(3, 10.0), k=1)[0][0] == "str"
         adapt_space_with_new_type(space, "torch.Tensor", [np.full(3, 10.0)])
-        assert space.index() is not stale  # rebuilt, not reused
+        assert space.index() is built  # extended, not rebuilt
+        assert len(space.index()) == 9
         assert space.nearest(np.full(3, 10.0), k=1)[0][0] == "torch.Tensor"
 
     def test_adaptation_refreshes_batch_vocabulary_and_codes(self):
@@ -150,6 +151,227 @@ class TestAdaptationWithStaleIndex:
         space = TypeSpace(dim=3, approximate_index=True)
         space.add_markers(["int"] * 6, np.zeros((6, 3)), source="train")
         predictor = KNNTypePredictor(space, k=3, p=2.0)
-        space.index()  # build the (approximate) index, then let it go stale
+        space.index()  # build the (approximate) index, then extend it
         adapt_space_with_new_type(space, "bytes", [np.full(3, 9.0)])
         assert predictor.predict(np.full(3, 9.0)).top_type == "bytes"
+
+
+class TestIncrementalExtension:
+    """extend() must answer queries identically to a from-scratch build."""
+
+    def _points(self, n=90, dim=5, seed=17):
+        return np.random.default_rng(seed).normal(size=(n, dim))
+
+    def test_exact_extend_matches_from_scratch(self):
+        points = self._points()
+        extended = ExactL1Index(points[:40])
+        for start in range(40, len(points), 7):  # uneven increments
+            extended.extend(points[start : start + 7])
+        rebuilt = ExactL1Index(points)
+        queries = np.random.default_rng(18).normal(size=(20, points.shape[1]))
+        one = extended.query_batch_arrays(queries, k=8)
+        other = rebuilt.query_batch_arrays(queries, k=8)
+        assert one.indices.tobytes() == other.indices.tobytes()
+        assert one.distances.tobytes() == other.distances.tobytes()
+
+    def test_approximate_extend_matches_from_scratch(self):
+        points = self._points(n=150)
+        extended = RandomProjectionIndex(points[:60], num_bits=6, probe_radius=1, seed=4)
+        extended.extend(points[60:110])
+        extended.extend(points[110:])
+        rebuilt = RandomProjectionIndex(points, num_bits=6, probe_radius=1, seed=4)
+        queries = np.random.default_rng(19).normal(size=(25, points.shape[1]))
+        one = extended.query_batch_arrays(queries, k=6)
+        other = rebuilt.query_batch_arrays(queries, k=6)
+        assert one.indices.tobytes() == other.indices.tobytes()
+        assert one.distances.tobytes() == other.distances.tobytes()
+
+    def test_extend_from_empty_matches_direct_construction(self):
+        points = self._points(n=50, dim=4)
+        grown = RandomProjectionIndex(np.zeros((0, 4)), num_bits=5, probe_radius=1, seed=9)
+        grown.extend(points)
+        direct = RandomProjectionIndex(points, num_bits=5, probe_radius=1, seed=9)
+        queries = np.random.default_rng(20).normal(size=(10, 4))
+        assert (
+            grown.query_batch_arrays(queries, 5).indices.tobytes()
+            == direct.query_batch_arrays(queries, 5).indices.tobytes()
+        )
+
+    def test_extend_validates_dimension(self):
+        index = ExactL1Index(self._points(n=10, dim=5))
+        with pytest.raises(ValueError):
+            index.extend(np.zeros((2, 4)))
+        index.extend(np.zeros((0, 5)))  # empty extension is a no-op
+        assert len(index) == 10
+
+    def test_extend_after_queries_serves_new_points(self):
+        points = self._points(n=40, dim=4)
+        index = RandomProjectionIndex(points, num_bits=4, probe_radius=4, seed=3)
+        far = np.full((1, 4), 50.0)
+        assert index.query(far[0], 1).distances[0] > 100  # nothing near yet
+        index.extend(far)
+        result = index.query(far[0], 1)
+        assert result.indices[0] == 40
+        assert result.distances[0] == 0.0
+
+
+class TestDtypeAwareStorage:
+    """float32 point sets stay float32; queries run in the stored dtype."""
+
+    def _points(self, dtype, n=80, dim=6):
+        return np.random.default_rng(33).normal(size=(n, dim)).astype(dtype)
+
+    def test_exact_index_preserves_float32(self):
+        index = ExactL1Index(self._points(np.float32))
+        assert index.points.dtype == np.float32
+        batch = index.query_batch_arrays(self._points(np.float32, n=5), k=3)
+        assert batch.distances.dtype == np.float32
+
+    def test_float64_queries_cast_down_to_index_dtype(self):
+        index = ExactL1Index(self._points(np.float32))
+        batch = index.query_batch_arrays(self._points(np.float64, n=5), k=3)
+        assert batch.distances.dtype == np.float32
+
+    def test_integer_points_default_to_float64(self):
+        index = ExactL1Index(np.arange(12).reshape(4, 3))
+        assert index.points.dtype == np.float64
+
+    def test_explicit_dtype_overrides_input(self):
+        index = ExactL1Index(np.zeros((3, 2)), dtype=np.float32)
+        assert index.points.dtype == np.float32
+        with pytest.raises(ValueError):
+            ExactL1Index(np.zeros((3, 2)), dtype=np.int32)
+
+    def test_float32_results_equivalent_to_float64_path(self):
+        """The float32 path must find the same neighbours as float64 (satellite)."""
+        points64 = self._points(np.float64, n=200, dim=8)
+        points32 = points64.astype(np.float32)
+        queries64 = np.random.default_rng(34).normal(size=(30, 8))
+        exact64 = ExactL1Index(points64).query_batch_arrays(queries64, k=5)
+        exact32 = ExactL1Index(points32).query_batch_arrays(queries64.astype(np.float32), k=5)
+        assert exact32.indices.tobytes() == exact64.indices.tobytes()
+        assert np.allclose(exact32.distances, exact64.distances, rtol=1e-5, atol=1e-5)
+
+    def test_float32_typespace_nearest_batch_matches_float64(self):
+        rng = np.random.default_rng(35)
+        embeddings = rng.normal(size=(120, 7))
+        names = [f"type_{i % 9}" for i in range(120)]
+        space64 = TypeSpace(dim=7)
+        space64.add_markers(names, embeddings, source="t")
+        space32 = TypeSpace(dim=7, dtype=np.float32)
+        space32.add_markers(names, embeddings, source="t")
+        queries = rng.normal(size=(15, 7))
+        batch64 = space64.nearest_batch(queries, k=4)
+        batch32 = space32.nearest_batch(queries, k=4)
+        assert batch32.distances.dtype == np.float32
+        assert batch32.type_codes.tobytes() == batch64.type_codes.tobytes()
+        assert np.allclose(batch32.distances, batch64.distances, rtol=1e-5, atol=1e-5)
+
+    def test_typespace_rejects_non_float_dtype(self):
+        with pytest.raises(ValueError):
+            TypeSpace(dim=3, dtype=np.int64)
+
+
+class TestRandomProjectionEdgeCases:
+    def test_empty_index_returns_empty_rows(self):
+        index = RandomProjectionIndex(np.zeros((0, 4)), num_bits=5)
+        assert len(index) == 0
+        batch = index.query_batch_arrays(np.ones((3, 4)), k=5)
+        assert batch.indices.shape == (3, 0)
+        assert list(batch.counts) == [0, 0, 0]
+
+    def test_k_larger_than_index_clamps_to_size(self):
+        points = np.random.default_rng(40).normal(size=(7, 3))
+        index = RandomProjectionIndex(points, num_bits=4, probe_radius=1, seed=1)
+        batch = index.query_batch_arrays(np.zeros((2, 3)), k=50)
+        assert batch.indices.shape == (2, 7)
+        assert list(batch.counts) == [7, 7]
+        for row in range(2):
+            assert sorted(batch.indices[row].tolist()) == list(range(7))
+
+    def test_duplicate_points_all_reachable(self):
+        points = np.tile(np.array([[1.0, 2.0, 3.0]]), (6, 1))
+        index = RandomProjectionIndex(points, num_bits=4, probe_radius=0, seed=2)
+        result = index.query(np.array([1.0, 2.0, 3.0]), k=6)
+        assert sorted(result.indices.tolist()) == list(range(6))
+        assert np.allclose(result.distances, 0.0)
+
+    def test_seeded_recall_floor_vs_exact(self):
+        """Property test: across seeds, probed recall stays above a floor."""
+        rng = np.random.default_rng(41)
+        points = rng.normal(size=(400, 8))
+        queries = rng.normal(size=(40, 8))
+        k = 10
+        exact = ExactL1Index(points).query_batch_arrays(queries, k)
+        for seed in range(5):
+            approximate = RandomProjectionIndex(
+                points, num_bits=7, probe_radius=2, seed=seed
+            ).query_batch_arrays(queries, k)
+            hits = sum(
+                len(set(exact.indices[row].tolist()) & set(approximate.indices[row].tolist()))
+                for row in range(len(queries))
+            )
+            assert hits / (len(queries) * k) >= 0.5, f"recall collapsed for seed {seed}"
+
+
+class TestBulkBuildRegression:
+    """Bulk loads must (re)build or extend the index once — never per marker."""
+
+    def _counting_build_index(self, monkeypatch):
+        import repro.core.typespace as typespace_module
+        from repro.core.knn import build_index as real_build_index
+
+        calls = {"builds": 0}
+
+        def counting(*args, **kwargs):
+            calls["builds"] += 1
+            return real_build_index(*args, **kwargs)
+
+        monkeypatch.setattr(typespace_module, "build_index", counting)
+        return calls
+
+    def test_bulk_add_then_query_builds_once(self, monkeypatch):
+        calls = self._counting_build_index(monkeypatch)
+        space = TypeSpace(dim=4)
+        space.add_markers([f"t{i % 5}" for i in range(60)], np.random.default_rng(1).normal(size=(60, 4)))
+        space.nearest_batch(np.zeros((3, 4)), k=3)
+        assert calls["builds"] == 1
+
+    def test_bulk_add_on_built_index_extends_instead_of_rebuilding(self, monkeypatch):
+        calls = self._counting_build_index(monkeypatch)
+        space = TypeSpace(dim=4)
+        space.add_markers(["int"] * 10, np.zeros((10, 4)))
+        space.index()
+        assert calls["builds"] == 1
+        extensions = {"count": 0}
+        real_extend = type(space.index()).extend
+
+        def counting_extend(self, points):
+            extensions["count"] += 1
+            return real_extend(self, points)
+
+        monkeypatch.setattr(type(space.index()), "extend", counting_extend)
+        space.add_markers(["str"] * 25, np.ones((25, 4)))
+        space.nearest_batch(np.zeros((2, 4)), k=3)
+        assert calls["builds"] == 1  # never rebuilt
+        assert extensions["count"] == 1  # one extension for the whole bulk call
+
+    def test_load_builds_index_once(self, monkeypatch, tmp_path):
+        space = TypeSpace(dim=3)
+        space.add_markers(["int", "str", "int"], np.arange(9.0).reshape(3, 3), source="train")
+        path = str(tmp_path / "space.npz")
+        space.save(path)
+        calls = self._counting_build_index(monkeypatch)
+        restored = TypeSpace.load(path)
+        restored.nearest_batch(np.zeros((2, 3)), k=2)
+        assert calls["builds"] == 1
+        assert restored.marker_type_names() == ["int", "str", "int"]
+        assert restored.marker_sources() == ["train", "train", "train"]
+
+    def test_per_marker_adds_extend_existing_index(self, monkeypatch):
+        calls = self._counting_build_index(monkeypatch)
+        space = TypeSpace(dim=2)
+        for position in range(12):
+            space.add_marker(f"t{position % 3}", np.full(2, float(position)))
+            space.nearest(np.zeros(2), k=1)  # query between every add
+        assert calls["builds"] == 1  # built once, then extended 11 times

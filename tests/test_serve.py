@@ -1,0 +1,331 @@
+"""The annotation daemon: protocol, micro-batching, parity and adaptation."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import struct
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import TypilusPipeline
+from repro.engine import AnnotatorConfig, ProjectAnnotator
+from repro.serve import (
+    AnnotationClient,
+    AnnotationServer,
+    ProtocolError,
+    ServeConfig,
+    ServeError,
+    recv_frame,
+    send_frame,
+)
+
+FILE_A = "def scale_amount(amount, factor):\n    return amount * factor\n"
+FILE_B = (
+    "def count_entries(entries):\n"
+    "    return len(entries)\n"
+    "\n"
+    "def join_names(names):\n"
+    "    return ','.join(names)\n"
+)
+FILE_C = "def format_label(label):\n    return label.strip()\n"
+
+
+def _suggestion_key(suggestion):
+    return (
+        suggestion.scope,
+        suggestion.name,
+        suggestion.kind,
+        suggestion.existing_annotation,
+        suggestion.prediction.candidates,
+        None
+        if suggestion.filtered is None
+        else (
+            suggestion.filtered.accepted_type,
+            suggestion.filtered.accepted_confidence,
+            suggestion.filtered.rejected,
+        ),
+    )
+
+
+def _report_keys(report):
+    return {
+        file_report.filename: [_suggestion_key(s) for s in file_report.suggestions]
+        for file_report in report.files
+    }
+
+
+@pytest.fixture(scope="module")
+def model_dir(trained_pipeline, tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve-model") / "model"
+    trained_pipeline.save(path)
+    return path
+
+
+@contextmanager
+def _running_server(model_dir, annotator_config=None, serve_config=None):
+    # A short socket path of our own: pytest tmp paths can overflow the
+    # ~107-byte AF_UNIX limit.
+    workdir = tempfile.mkdtemp(prefix="typilus-serve-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    pipeline = TypilusPipeline.load(model_dir)
+    server = AnnotationServer(
+        pipeline,
+        socket_path,
+        annotator_config=annotator_config or AnnotatorConfig(use_type_checker=False),
+        serve_config=serve_config or ServeConfig(batch_window_seconds=0.2),
+    ).start()
+    client = AnnotationClient(socket_path)
+    client.wait_until_ready(timeout=10.0)
+    try:
+        yield SimpleNamespace(
+            server=server, client=client, pipeline=pipeline, socket_path=socket_path
+        )
+    finally:
+        server.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+@pytest.fixture()
+def served(model_dir):
+    with _running_server(model_dir) as handle:
+        yield handle
+
+
+class TestServingParity:
+    def test_daemon_report_matches_one_shot_annotator(self, served):
+        """Acceptance: serve == ProjectAnnotator, suggestion for suggestion."""
+        sources = {"a.py": FILE_A, "b.py": FILE_B, "c.py": FILE_C}
+        direct = ProjectAnnotator(
+            served.pipeline, AnnotatorConfig(use_type_checker=False)
+        ).annotate_sources(sources)
+        through_daemon = served.client.annotate_sources(sources)
+        assert _report_keys(through_daemon) == _report_keys(direct)
+        assert through_daemon.skipped_files == direct.skipped_files
+        assert [f.filename for f in through_daemon.files] == [f.filename for f in direct.files]
+
+    def test_parity_holds_with_type_checker(self, model_dir):
+        config = AnnotatorConfig(use_type_checker=True)
+        with _running_server(model_dir, annotator_config=config) as served:
+            sources = {"a.py": FILE_A}
+            direct = ProjectAnnotator(served.pipeline, config).annotate_sources(sources)
+            through_daemon = served.client.annotate_sources(sources)
+            assert _report_keys(through_daemon) == _report_keys(direct)
+
+    def test_unparsable_files_are_skipped(self, served):
+        report = served.client.annotate_sources({"ok.py": FILE_A, "broken.py": "def broken(:\n"})
+        assert report.skipped_files == ["broken.py"]
+        assert [f.filename for f in report.files] == ["ok.py"]
+
+    def test_annotate_directory_through_daemon(self, served, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "a.py").write_text(FILE_A, encoding="utf-8")
+        (tmp_path / "pkg" / "b.py").write_text(FILE_B, encoding="utf-8")
+        report = served.client.annotate_directory(tmp_path)
+        direct = ProjectAnnotator(
+            served.pipeline, AnnotatorConfig(use_type_checker=False)
+        ).annotate_directory(tmp_path)
+        assert _report_keys(report) == _report_keys(direct)
+
+
+class TestMicroBatching:
+    def test_concurrent_requests_coalesce_and_stay_correct(self, served):
+        per_request = [
+            {"a.py": FILE_A},
+            {"b.py": FILE_B},
+            {"c.py": FILE_C},
+            {"a2.py": FILE_A, "b2.py": FILE_B},
+            {"c2.py": FILE_C},
+        ]
+        with ThreadPoolExecutor(max_workers=len(per_request)) as pool:
+            reports = list(pool.map(served.client.annotate_sources, per_request))
+        annotator = ProjectAnnotator(served.pipeline, AnnotatorConfig(use_type_checker=False))
+        for sources, report in zip(per_request, reports):
+            assert _report_keys(report) == _report_keys(annotator.annotate_sources(sources))
+        stats = served.client.stats()
+        assert stats["annotate_requests"] == len(per_request)
+        assert stats["largest_batch"] >= 2  # coalescing actually happened
+        assert stats["micro_batches"] < len(per_request)
+
+    def test_same_filename_different_content_across_requests(self, served):
+        """Request namespacing: identical filenames must not collide in a batch."""
+        results = {}
+
+        def annotate(tag, source):
+            results[tag] = served.client.annotate_sources({"mod.py": source})
+
+        threads = [
+            threading.Thread(target=annotate, args=("a", FILE_A)),
+            threading.Thread(target=annotate, args=("b", FILE_B)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        annotator = ProjectAnnotator(served.pipeline, AnnotatorConfig(use_type_checker=False))
+        assert _report_keys(results["a"]) == _report_keys(annotator.annotate_sources({"mod.py": FILE_A}))
+        assert _report_keys(results["b"]) == _report_keys(annotator.annotate_sources({"mod.py": FILE_B}))
+
+    def test_batch_cap_respected(self, model_dir):
+        config = ServeConfig(batch_window_seconds=0.5, max_batch_requests=2)
+        with _running_server(model_dir, serve_config=config) as served:
+            per_request = [{f"f{i}.py": FILE_A} for i in range(4)]
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                list(pool.map(served.client.annotate_sources, per_request))
+            assert served.client.stats()["largest_batch"] <= 2
+
+
+class TestServingAdaptation:
+    def test_adapt_extends_type_map_between_requests(self, served):
+        before = served.client.ping()["markers"]
+        example = (
+            "def handle(event: CustomEventKind) -> CustomEventKind:\n"
+            "    return event\n"
+        )
+        response = served.client.adapt("CustomEventKind", {"example.py": example})
+        assert response["added_markers"] >= 1
+        assert response["markers"] == before + response["added_markers"]
+        assert served.client.ping()["markers"] == response["markers"]
+        # the daemon keeps answering afterwards, with the grown space
+        report = served.client.annotate_sources({"a.py": FILE_A})
+        assert report.num_files == 1
+        assert "CustomEventKind" in served.pipeline.type_space.known_types()
+
+    def test_adapt_with_no_matching_symbols_adds_nothing(self, served):
+        before = served.client.ping()["markers"]
+        response = served.client.adapt("NeverAnnotated", {"a.py": FILE_A})
+        assert response["added_markers"] == 0
+        assert served.client.ping()["markers"] == before
+
+
+class TestLifecycleAndProtocol:
+    def test_shutdown_request_stops_daemon_and_removes_socket(self, model_dir):
+        with _running_server(model_dir) as served:
+            acknowledgement = served.client.shutdown()
+            assert acknowledgement["stopping"] is True
+            served.server.close()
+            assert not os.path.exists(served.socket_path)
+            with pytest.raises((OSError, TimeoutError)):
+                served.client.wait_until_ready(timeout=0.3)
+
+    def test_stale_socket_file_is_reclaimed(self, model_dir):
+        workdir = tempfile.mkdtemp(prefix="typilus-serve-")
+        socket_path = os.path.join(workdir, "daemon.sock")
+        try:
+            leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            leftover.bind(socket_path)
+            leftover.close()  # bound but never listening: a crash leftover
+            pipeline = TypilusPipeline.load(model_dir)
+            server = AnnotationServer(pipeline, socket_path).start()
+            try:
+                assert AnnotationClient(socket_path).wait_until_ready(timeout=10.0)["ok"]
+            finally:
+                server.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_second_daemon_refuses_live_socket(self, served, model_dir):
+        other = TypilusPipeline.load(model_dir)
+        with pytest.raises(RuntimeError, match="already serving"):
+            AnnotationServer(other, served.socket_path).start()
+
+    def test_unknown_op_is_an_error_not_a_crash(self, served):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
+            connection.connect(served.socket_path)
+            send_frame(connection, {"op": "frobnicate"})
+            response = recv_frame(connection)
+        assert response == {"ok": False, "error": "unknown op 'frobnicate'"}
+        assert served.client.ping()["ok"]  # daemon still alive
+
+    def test_malformed_frame_gets_error_response(self, served):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as connection:
+            connection.connect(served.socket_path)
+            body = b"this is not json"
+            connection.sendall(struct.pack(">I", len(body)) + body)
+            response = recv_frame(connection)
+        assert response is not None and response["ok"] is False
+        assert served.client.ping()["ok"]
+
+    def test_bad_sources_payload_rejected(self, served):
+        with pytest.raises(ServeError, match="sources"):
+            served.client._request({"op": "annotate", "sources": "not a mapping"})
+
+    def test_frame_roundtrip_and_limits(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"hello": "wörld", "n": 3})
+            assert recv_frame(right) == {"hello": "wörld", "n": 3}
+            left.close()
+            assert recv_frame(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_oversized_frame_header_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 1 << 31))
+            with pytest.raises(ProtocolError, match="cap"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestServeCLI:
+    def test_ping_and_client_mode_annotate(self, served, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--socket", served.socket_path, "--ping"]) == 0
+        assert "daemon ready" in capsys.readouterr().out
+
+        project = tmp_path / "project"
+        project.mkdir()
+        (project / "a.py").write_text(FILE_A, encoding="utf-8")
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "annotate",
+                str(project),
+                "--server",
+                served.socket_path,
+                "--report-json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert [entry["filename"] for entry in payload["files"]] == ["a.py"]
+        direct = ProjectAnnotator(
+            served.pipeline, AnnotatorConfig(use_type_checker=False)
+        ).annotate_sources({"a.py": FILE_A})
+        from repro.engine import suggestion_to_payload
+
+        assert payload["files"][0]["suggestions"] == [
+            json.loads(json.dumps(suggestion_to_payload(s))) for s in direct.files[0].suggestions
+        ]
+
+    def test_client_mode_rejects_daemon_fixed_flags(self, served, tmp_path):
+        from repro.cli import main
+
+        project = tmp_path / "project"
+        project.mkdir()
+        (project / "a.py").write_text(FILE_A, encoding="utf-8")
+        for flags in (["--confidence", "0.5"], ["--no-type-checker"], ["--jobs", "2"]):
+            with pytest.raises(SystemExit, match="--server"):
+                main(["annotate", str(project), "--server", served.socket_path, *flags])
+
+    def test_cli_shutdown_stops_daemon(self, model_dir, capsys):
+        from repro.cli import main
+
+        with _running_server(model_dir) as served:
+            assert main(["serve", "--socket", served.socket_path, "--shutdown"]) == 0
+            assert "stopping" in capsys.readouterr().out
+            served.server.close()
+            assert not os.path.exists(served.socket_path)
