@@ -129,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--out", type=Path, required=True,
                         help="directory to write the sharded dataset to (reload with 'train --dataset')")
     ingest.add_argument("--shard-size", type=int, default=64, help="graphs per dataset shard file")
+    ingest.add_argument("--shard-format", choices=["binary", "json"], default="binary",
+                        help="graph shard layout: fingerprint-validated FlatGraph .npz arrays "
+                             "(default) or the legacy JSON payloads")
 
     train = subparsers.add_parser("train", help="train a model and report test metrics")
     _add_corpus_arguments(train)
@@ -282,7 +285,7 @@ def _obtain_pipeline(args: argparse.Namespace) -> TypilusPipeline:
 
 def command_ingest(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
-    dataset.save(args.out, shard_size=args.shard_size)
+    dataset.save(args.out, shard_size=args.shard_size, shard_format=args.shard_format)
     print(f"dataset saved to {args.out}")
     rows = [[key, str(value)] for key, value in dataset.summary().items()]
     if dataset.ingest_report is not None:

@@ -81,7 +81,7 @@ def build_encoder(dataset: TypeAnnotationDataset, config: Optional[EncoderConfig
 
     token_vocabulary: Optional[TokenVocabulary] = None
     if config.node_init == "token":
-        texts = [node.text for graph in dataset.train.graphs for node in graph.nodes]
+        texts = [text for graph in dataset.train.graphs for text in graph.node_texts()]
         token_vocabulary = TokenVocabulary.from_texts(texts)
     return build_encoder_from_vocabularies(config, dataset.subtokens, token_vocabulary)
 

@@ -32,9 +32,8 @@ from repro.core.typespace import TypeSpace
 from repro.corpus.dataset import AnnotatedSymbol, DatasetSplit, TypeAnnotationDataset
 from repro.graph.codegraph import CodeGraph
 from repro.graph.edges import EdgeKind
-from repro.graph.nodes import NodeKind
 from repro.models.base import SymbolEncoder
-from repro.models.batching import GraphBatch, SequenceBatch
+from repro.models.batching import GraphBatch, SequenceBatch, token_view
 from repro.models.featurize import TextFeatures
 from repro.models.ggnn import GGNNEncoder, build_message_plan
 from repro.nn.dtype import resolve_dtype
@@ -192,15 +191,28 @@ class BatchPlan:
         persisted: Optional[list[TextFeatures]],
         graph_index: int,
     ) -> _CompiledGraph:
-        node_texts = [node.text for node in graph.nodes]
-        if persisted is not None:
-            features = persisted[graph_index]
+        flat = graph.flat
+        if flat is not None:
+            # Columnar fast path: texts resolve through the intern table,
+            # features are gathered from a once-featurized string table, and
+            # the (E, 2) edge blocks are zero-copy transposed views of the
+            # arena's (2, E) arrays — no node objects, no tuple lists.
+            node_texts = flat.node_texts()
+            if persisted is not None:
+                features = persisted[graph_index]
+            else:
+                features = self.encoder.initializer.extractor.features_for_graph(graph)
+            edges = {kind: pairs.T for kind, pairs in flat.edges.items()}
         else:
-            features = self.encoder.initializer.featurize(node_texts)
-        edges = {
-            kind: np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
-            for kind, pairs in graph.edges.items()
-        }
+            node_texts = [node.text for node in graph.nodes]
+            if persisted is not None:
+                features = persisted[graph_index]
+            else:
+                features = self.encoder.initializer.featurize(node_texts)
+            edges = {
+                kind: np.asarray(pairs, dtype=np.int64).reshape(len(pairs), 2)
+                for kind, pairs in graph.edges.items()
+            }
         return _CompiledGraph(
             num_nodes=graph.num_nodes,
             node_texts=node_texts,
@@ -212,11 +224,9 @@ class BatchPlan:
     def _compile_sequence(
         self, graph: CodeGraph, samples: Sequence[AnnotatedSymbol], max_tokens: int
     ) -> _CompiledSequence:
-        token_nodes = [node for node in graph.nodes if node.kind == NodeKind.TOKEN][:max_tokens]
-        position_of_node = {node.index: position for position, node in enumerate(token_nodes)}
-        token_texts = [node.text for node in token_nodes]
+        token_texts, position_of_node, occurrence_pairs = token_view(graph, max_tokens)
         occurrences: dict[int, list[int]] = {}
-        for source, target in graph.edges_of(EdgeKind.OCCURRENCE_OF):
+        for source, target in occurrence_pairs:
             if source in position_of_node:
                 occurrences.setdefault(target, []).append(position_of_node[source])
         return _CompiledSequence(

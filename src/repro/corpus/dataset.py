@@ -251,34 +251,44 @@ class TypeAnnotationDataset:
         for split in self.splits.values():
             if not force and split.features_fingerprint == fingerprint and split.node_features is not None:
                 continue
-            split.node_features = [
-                extractor.features_for_texts([node.text for node in graph.nodes])
-                for graph in split.graphs
-            ]
+            split.node_features = [extractor.features_for_graph(graph) for graph in split.graphs]
             split.features_fingerprint = fingerprint
         return fingerprint
 
     # -- persistence ---------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path], shard_size: int = 64, include_features: bool = True) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        shard_size: int = 64,
+        include_features: bool = True,
+        shard_format: str = "binary",
+    ) -> Path:
         """Persist the assembled dataset to a directory, graphs sharded.
 
         Layout: ``dataset.json`` (manifest: config, splits' samples,
         registry, vocabulary, lattice, dedup report), ``sources.json``,
-        ``graphs-NNNNN.json`` shard files of at most ``shard_size`` graphs
-        each and — unless ``include_features`` is off — ``features.npz``
-        with each graph's precomputed subtoken id arrays.  :meth:`load`
-        restores a dataset whose splits, sample order, registry ids and
-        vocabulary are identical to the original — so a corpus is ingested
-        (and featurized) once and reloaded instantly by the trainer, the
-        benchmarks and the engine.
+        graph shard files of at most ``shard_size`` graphs each and —
+        unless ``include_features`` is off — ``features.npz`` with each
+        graph's precomputed subtoken id arrays.  ``shard_format="binary"``
+        (the default) writes fingerprint-validated ``graphs-NNNNN.npz``
+        archives of the columnar :class:`~repro.graph.flatgraph.FlatGraph`
+        arrays — several times faster to write and load than JSON and never
+        materialising per-node objects; ``shard_format="json"`` writes the
+        legacy ``graphs-NNNNN.json`` payloads.  :meth:`load` reads either
+        (per shard, by extension) and restores a dataset whose splits,
+        sample order, registry ids and vocabulary are identical to the
+        original — so a corpus is ingested (and featurized) once and
+        reloaded instantly by the trainer, the benchmarks and the engine.
         """
+        if shard_format not in ("binary", "json"):
+            raise ValueError(f"unknown shard format {shard_format!r}")
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         shard_size = max(1, int(shard_size))
 
         splits_payload: dict[str, dict] = {}
-        flat_graphs: list[dict] = []
+        all_graphs: list[CodeGraph] = []
         for split_name, split in self.splits.items():
             splits_payload[split_name] = {
                 "num_graphs": split.num_graphs,
@@ -296,17 +306,22 @@ class TypeAnnotationDataset:
                     for sample in split.samples
                 ],
             }
-            flat_graphs.extend(serialize.graph_to_payload(graph) for graph in split.graphs)
+            all_graphs.extend(split.graphs)
 
-        num_shards = max(1, math.ceil(len(flat_graphs) / shard_size))
+        num_shards = max(1, math.ceil(len(all_graphs) / shard_size))
+        extension = "npz" if shard_format == "binary" else "json"
         shard_names: list[str] = []
         for shard_index in range(num_shards):
-            shard_name = f"graphs-{shard_index:05d}.json"
+            shard_name = f"graphs-{shard_index:05d}.{extension}"
             shard_names.append(shard_name)
-            chunk = flat_graphs[shard_index * shard_size : (shard_index + 1) * shard_size]
-            (path / shard_name).write_text(
-                json.dumps({"graphs": chunk}, separators=(",", ":")), encoding="utf-8"
-            )
+            chunk = all_graphs[shard_index * shard_size : (shard_index + 1) * shard_size]
+            if shard_format == "binary":
+                serialize.write_graph_shard(path / shard_name, chunk)
+            else:
+                payloads = [serialize.graph_to_payload(graph) for graph in chunk]
+                (path / shard_name).write_text(
+                    json.dumps({"graphs": payloads}, separators=(",", ":")), encoding="utf-8"
+                )
 
         manifest = {
             "format_version": DATASET_FORMAT_VERSION,
@@ -338,17 +353,28 @@ class TypeAnnotationDataset:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TypeAnnotationDataset":
-        """Restore a dataset saved with :meth:`save`."""
+        """Restore a dataset saved with :meth:`save`.
+
+        Binary ``.npz`` shards load as columnar graphs (validated against
+        their stored fingerprint); legacy ``.json`` shards load through the
+        original payload decoder — directories written by older versions
+        keep working unchanged.
+        """
         path = Path(path)
         manifest = json.loads((path / "dataset.json").read_text(encoding="utf-8"))
         version = manifest.get("format_version")
         if version != DATASET_FORMAT_VERSION:
             raise ValueError(f"unsupported dataset format version {version!r}")
 
-        graph_payloads: list[dict] = []
+        all_graphs: list[CodeGraph] = []
         for shard_name in manifest["graph_shards"]:
-            shard = json.loads((path / shard_name).read_text(encoding="utf-8"))
-            graph_payloads.extend(shard["graphs"])
+            if shard_name.endswith(".npz"):
+                all_graphs.extend(serialize.read_graph_shard(path / shard_name))
+            else:
+                shard = json.loads((path / shard_name).read_text(encoding="utf-8"))
+                all_graphs.extend(
+                    serialize.graph_from_payload(payload) for payload in shard["graphs"]
+                )
 
         splits: dict[str, DatasetSplit] = {}
         cursor = 0
@@ -356,10 +382,7 @@ class TypeAnnotationDataset:
             split_payload = manifest["splits"][split_name]
             num_graphs = int(split_payload["num_graphs"])
             split = DatasetSplit(name=split_name)
-            split.graphs = [
-                serialize.graph_from_payload(payload)
-                for payload in graph_payloads[cursor : cursor + num_graphs]
-            ]
+            split.graphs = all_graphs[cursor : cursor + num_graphs]
             cursor += num_graphs
             split.samples = [
                 AnnotatedSymbol(
@@ -376,9 +399,9 @@ class TypeAnnotationDataset:
                 in split_payload["samples"]
             ]
             splits[split_name] = split
-        if cursor != len(graph_payloads):
+        if cursor != len(all_graphs):
             raise ValueError(
-                f"dataset directory holds {len(graph_payloads)} graphs but splits claim {cursor}"
+                f"dataset directory holds {len(all_graphs)} graphs but splits claim {cursor}"
             )
 
         config_payload = dict(manifest["config"])

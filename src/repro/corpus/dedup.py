@@ -5,14 +5,28 @@ corpus, citing Allamanis (2019): leaving duplicates in place leaks test data
 into training and inflates results.  This module reimplements the essential
 mechanism — token-multiset similarity with a configurable threshold and
 cluster-based removal keeping a single exemplar per cluster.
+
+Candidate generation is **banded MinHash** by default: each file's token
+set is summarised by a fixed number of MinHash values, grouped into bands,
+and only files sharing at least one band bucket with an existing exemplar
+are compared exactly.  The exact multiset-Jaccard check still decides
+membership, so MinHash only prunes comparisons — at corpus scale the scan
+drops from O(files × exemplars) fingerprint intersections to
+O(files × candidates), with candidates a small constant for non-duplicates.
+``candidate_strategy="pairwise"`` retains the original exhaustive scan; the
+test suite uses it as the reference oracle the banded path must match.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import tokenize
 from collections import Counter
 from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
 
 
 def file_token_fingerprint(source: str) -> Counter:
@@ -62,36 +76,170 @@ class DeduplicationReport:
         return self.total_files - self.removed_files
 
 
+class _MinHashIndex:
+    """Banded MinHash index over exemplar token *multisets*.
+
+    The clustering threshold is **multiset** Jaccard, so signatures hash the
+    multiset directly: a token appearing ``c`` times contributes ``c``
+    distinct elements ``(token, 0) … (token, c − 1)``.  Under that expansion
+    the plain set Jaccard of two expanded files equals their multiset
+    Jaccard exactly (``|A ∩ B| = Σ min`` counts, ``|A ∪ B| = Σ max``), so the
+    MinHash collision probability matches the quantity being thresholded —
+    repeated-token-heavy files (generated/boilerplate code) get no blind
+    spot.
+
+    ``num_permutations`` MinHash values per file, grouped into bands of
+    ``band_rows`` values; two files become candidates when any band hashes
+    identically.  With the default 64 permutations in 32 bands of 2, a pair
+    at similarity 0.5 is recalled with probability ≈ 1 − (1 − 0.5²)³²
+    > 0.9999.  :func:`for_threshold` drops to single-row bands (pure OR over
+    all 64 values) below 0.7, keeping recall ≈ 1 down to similarity 0.2.
+    Spurious candidates are discarded by the caller's exact multiset-Jaccard
+    verification, so bands only ever prune comparisons, never fabricate
+    matches.
+
+    All hashing is seeded and content-derived (BLAKE2b token digests mixed
+    with the occurrence index, fed through fixed random affine maps), so
+    candidate sets — and therefore clusters — are stable across runs and
+    platforms.
+    """
+
+    @classmethod
+    def for_threshold(cls, threshold: float) -> "_MinHashIndex":
+        return cls(band_rows=2 if threshold >= 0.7 else 1)
+
+    def __init__(self, num_permutations: int = 64, band_rows: int = 2, seed: int = 0x7F4A91) -> None:
+        if num_permutations % band_rows != 0:
+            raise ValueError("band_rows must divide num_permutations")
+        rng = np.random.default_rng(seed)
+        self._mul = rng.integers(1, np.iinfo(np.int64).max, size=num_permutations).astype(np.uint64) | np.uint64(1)
+        self._add = rng.integers(0, np.iinfo(np.int64).max, size=num_permutations).astype(np.uint64)
+        self.band_rows = band_rows
+        self.num_bands = num_permutations // band_rows
+        self._buckets: dict[tuple[int, bytes], list[int]] = {}
+        self._empty_positions: list[int] = []
+        self._token_hashes: dict[str, int] = {}
+
+    def _token_hash(self, token: str) -> int:
+        cached = self._token_hashes.get(token)
+        if cached is None:
+            digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+            cached = int.from_bytes(digest, "little")
+            self._token_hashes[token] = cached
+        return cached
+
+    #: SplitMix64 increment; spreads the occurrence index across the hash space.
+    _OCCURRENCE_MIX = np.uint64(0x9E3779B97F4A7C15)
+    #: Rows per chunk when reducing the signature table (bounds peak memory).
+    _CHUNK_ROWS = 16384
+
+    def signature(self, fingerprint: Counter):
+        """MinHash signature of the token *multiset* (``None`` if empty).
+
+        Each of a token's ``count`` occurrences hashes to a distinct base
+        value, so the signature estimates multiset Jaccard, not set Jaccard.
+        """
+        if not fingerprint:
+            return None
+        token_hashes = np.fromiter(
+            (self._token_hash(token) for token in fingerprint),
+            dtype=np.uint64,
+            count=len(fingerprint),
+        )
+        counts = np.fromiter(fingerprint.values(), dtype=np.int64, count=len(fingerprint))
+        expanded = np.repeat(token_hashes, counts)
+        # occurrence index within each token's run: 0 … count-1
+        starts = np.repeat(np.cumsum(counts) - counts, counts)
+        occurrence = (np.arange(expanded.shape[0], dtype=np.uint64)
+                      - starts.astype(np.uint64)) * self._OCCURRENCE_MIX
+        base = expanded + occurrence
+        # Affine maps in wrap-around uint64 arithmetic: deterministic, and
+        # uniform enough for banding (exact verification follows anyway).
+        # The (occurrences × permutations) table is reduced in row chunks so
+        # a huge generated file costs O(chunk × permutations) transient
+        # memory, not half a gigabyte.
+        signature: Optional[np.ndarray] = None
+        for start in range(0, base.shape[0], self._CHUNK_ROWS):
+            chunk = base[start : start + self._CHUNK_ROWS]
+            chunk_min = (chunk[:, None] * self._mul[None, :] + self._add[None, :]).min(axis=0)
+            signature = chunk_min if signature is None else np.minimum(signature, chunk_min)
+        return signature
+
+    def _band_keys(self, signature: np.ndarray):
+        for band in range(self.num_bands):
+            start = band * self.band_rows
+            yield band, signature[start : start + self.band_rows].tobytes()
+
+    def candidates(self, signature) -> list[int]:
+        """Exemplar positions sharing a band with ``signature``, in insertion order."""
+        if signature is None:
+            return list(self._empty_positions)
+        seen: set[int] = set()
+        for key in self._band_keys(signature):
+            seen.update(self._buckets.get(key, ()))
+        return sorted(seen)
+
+    def add(self, signature, position: int) -> None:
+        if signature is None:
+            self._empty_positions.append(position)
+            return
+        for key in self._band_keys(signature):
+            self._buckets.setdefault(key, []).append(position)
+
+
 class Deduplicator:
     """Greedy near-duplicate clustering over token fingerprints.
 
-    Files are compared pairwise against existing cluster exemplars; a file
-    whose similarity with an exemplar exceeds ``threshold`` joins that
-    cluster, otherwise it becomes a new exemplar.  Greedy clustering is the
-    standard approximation used by code-duplication tools and is exact enough
-    at corpus scale.
+    Files are compared against existing cluster exemplars; a file whose
+    similarity with an exemplar exceeds ``threshold`` joins that cluster,
+    otherwise it becomes a new exemplar.  Greedy clustering is the standard
+    approximation used by code-duplication tools and is exact enough at
+    corpus scale.
+
+    ``candidate_strategy`` selects how comparison candidates are generated:
+    ``"minhash"`` (default) consults the banded MinHash index and verifies
+    only bucket collisions with the exact multiset Jaccard; ``"pairwise"``
+    is the original exhaustive exemplar scan, kept as the reference oracle.
+    Both verify candidates in exemplar insertion order, so they produce the
+    same clusters whenever MinHash recalls every matching exemplar.
     """
 
-    def __init__(self, threshold: float = 0.8) -> None:
+    def __init__(self, threshold: float = 0.8, candidate_strategy: str = "minhash") -> None:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("threshold must be in (0, 1]")
+        if candidate_strategy not in ("minhash", "pairwise"):
+            raise ValueError(f"unknown candidate strategy {candidate_strategy!r}")
         self.threshold = threshold
+        self.candidate_strategy = candidate_strategy
 
     def deduplicate(self, files: dict[str, str]) -> tuple[dict[str, str], DeduplicationReport]:
         """Return ``(kept_files, report)`` for a mapping of filename → source."""
         exemplars: list[tuple[str, Counter]] = []
+        index = (
+            _MinHashIndex.for_threshold(self.threshold)
+            if self.candidate_strategy == "minhash"
+            else None
+        )
         clusters: dict[str, DuplicateCluster] = {}
         kept: dict[str, str] = {}
         removed = 0
 
         for filename in sorted(files):
             fingerprint = file_token_fingerprint(files[filename])
+            signature = index.signature(fingerprint) if index is not None else None
+            if index is not None:
+                positions = index.candidates(signature)
+            else:
+                positions = range(len(exemplars))
             matched_exemplar = None
-            for exemplar_name, exemplar_fingerprint in exemplars:
+            for position in positions:
+                exemplar_name, exemplar_fingerprint = exemplars[position]
                 if jaccard_similarity(fingerprint, exemplar_fingerprint) >= self.threshold:
                     matched_exemplar = exemplar_name
                     break
             if matched_exemplar is None:
+                if index is not None:
+                    index.add(signature, len(exemplars))
                 exemplars.append((filename, fingerprint))
                 clusters[filename] = DuplicateCluster(kept=filename, removed=[])
                 kept[filename] = files[filename]

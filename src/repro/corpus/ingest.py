@@ -24,20 +24,22 @@ identical either way, only the wall clock differs.
 from __future__ import annotations
 
 import hashlib
-import json
 import multiprocessing
 import os
 import tempfile
+import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence, TypeVar, Union
 
+import numpy as np
+
 from repro.corpus.serialize import (
-    GRAPH_PAYLOAD_VERSION,
+    GRAPH_SHARD_FORMAT_VERSION,
     PayloadError,
-    graph_from_payload,
-    graph_to_payload,
+    flat_graphs_from_arrays,
+    flat_graphs_to_arrays,
 )
 from repro.graph.builder import GraphBuildError, GraphBuilder
 from repro.graph.codegraph import CodeGraph
@@ -53,7 +55,8 @@ R = TypeVar("R")
 EXTRACTOR_VERSION = "1"
 
 #: Cache entry layout version (independent of the extractor semantics).
-CACHE_FORMAT_VERSION = 1
+#: v2: binary ``.npz`` FlatGraph entries instead of JSON payloads.
+CACHE_FORMAT_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -115,6 +118,23 @@ def atomic_write_text(path: Path, text: str) -> None:
         raise
 
 
+def atomic_write_npz(path: Path, arrays: dict) -> None:
+    """Write an ``.npz`` archive atomically (write-temp + rename)."""
+    handle = tempfile.NamedTemporaryFile(
+        "wb", dir=path.parent, prefix=".tmp-", suffix=path.suffix, delete=False
+    )
+    try:
+        with handle:
+            np.savez(handle, **arrays)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
 def _pool_extract(item: tuple[str, str]) -> tuple[str, Optional[ExtractedFile], Optional[str]]:
     """Pool-side wrapper returning ``(filename, extracted, error)``.
 
@@ -136,58 +156,73 @@ def _pool_extract(item: tuple[str, str]) -> tuple[str, Optional[ExtractedFile], 
 class GraphCache:
     """On-disk cache of extraction results, keyed by source content.
 
-    The key hashes the source text together with the extractor and payload
-    versions: editing a file, upgrading the extractor or changing the payload
-    layout each invalidate exactly the affected entries.  Filenames are *not*
+    The key hashes the source text together with the extractor and shard
+    versions: editing a file, upgrading the extractor or changing the layout
+    each invalidate exactly the affected entries.  Filenames are *not*
     part of the key — a renamed file is still a hit, with the stored graph
     re-labelled on load.
 
-    Entries are JSON; anything that fails to decode or validate is treated
-    as a miss (and overwritten on the next store), so a corrupted or
-    truncated entry costs one re-extraction, never an error.
+    Entries are fingerprint-validated binary ``.npz`` archives of the
+    columnar :class:`~repro.graph.flatgraph.FlatGraph` arrays; anything that
+    fails to decode or validate is treated as a miss (and overwritten on the
+    next store), so a corrupted or truncated entry costs one re-extraction,
+    never an error.
     """
 
     def __init__(self, directory: Union[str, Path], extractor_version: str = EXTRACTOR_VERSION) -> None:
         self.directory = Path(directory)
         self.extractor_version = extractor_version
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._evict_legacy_entries()
+
+    def _evict_legacy_entries(self) -> None:
+        """Delete v1 ``.json`` entries left behind by the pre-npz format.
+
+        Their keys can never match again after the format bump, so without
+        eviction a long-lived cache directory silently doubles in size.
+        Deletion failures are ignored — a leftover file is wasted disk, not
+        an error.
+        """
+        for stale in self.directory.glob("*.json"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
 
     def key(self, source: str) -> str:
-        material = f"{CACHE_FORMAT_VERSION}:{GRAPH_PAYLOAD_VERSION}:{self.extractor_version}\x00{source}"
+        material = f"{CACHE_FORMAT_VERSION}:{GRAPH_SHARD_FORMAT_VERSION}:{self.extractor_version}\x00{source}"
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def path_for(self, source: str) -> Path:
-        return self.directory / f"{self.key(source)}.json"
+        return self.directory / f"{self.key(source)}.npz"
 
     def load(self, source: str, filename: str) -> Optional[ExtractedFile]:
         """Return the cached extraction for ``source``, or ``None`` on a miss."""
         path = self.path_for(source)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            if not isinstance(payload, dict):
+            with np.load(path, allow_pickle=False) as archive:
+                if "x:extractor_version" not in archive.files:
+                    return None
+                if str(archive["x:extractor_version"][0]) != self.extractor_version:
+                    return None
+                flats = flat_graphs_from_arrays(archive)
+            if len(flats) != 1:
                 return None
-            if payload.get("format") != CACHE_FORMAT_VERSION:
-                return None
-            if payload.get("extractor_version") != self.extractor_version:
-                return None
-            graph = graph_from_payload(payload["graph"], filename=filename)
-        except (OSError, json.JSONDecodeError, PayloadError, KeyError, TypeError, AttributeError):
+            graph = CodeGraph.from_flat(flats[0], filename=filename)
+        except (OSError, zipfile.BadZipFile, EOFError, PayloadError, KeyError, ValueError, TypeError):
             return None
         return ExtractedFile(filename=filename, graph=graph, annotated_symbols=_annotated_symbols(graph))
 
     def store(self, source: str, extracted: ExtractedFile) -> Path:
         """Persist an extraction atomically (write-temp + rename)."""
         path = self.path_for(source)
-        payload = {
-            "format": CACHE_FORMAT_VERSION,
-            "extractor_version": self.extractor_version,
-            "graph": graph_to_payload(extracted.graph),
-        }
-        atomic_write_text(path, json.dumps(payload, separators=(",", ":")))
+        arrays = flat_graphs_to_arrays([extracted.graph.to_flat()])
+        arrays["x:extractor_version"] = np.asarray([self.extractor_version])
+        atomic_write_npz(path, arrays)
         return path
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return sum(1 for _ in self.directory.glob("*.npz"))
 
 
 # ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""JSON-payload serialization of graphs and datasets.
+"""Graph and dataset serialization: binary FlatGraph shards + JSON payloads.
 
 Two consumers share these helpers:
 
@@ -10,22 +10,36 @@ Two consumers share these helpers:
   whole assembled dataset — splits, samples, registry, vocabulary, lattice —
   to a directory that reloads in milliseconds.
 
-Payloads are plain JSON-compatible dictionaries: corruption surfaces as a
-decode/validation error (which the cache treats as a miss) rather than
-arbitrary unpickling behaviour, and the format stays diffable and
-language-neutral.
+**Binary graph shards (the default).**  Graphs persist as ``.npz`` archives
+of their columnar :class:`~repro.graph.flatgraph.FlatGraph` arrays — per
+graph: the interned string table, a ``(4, N) int32`` node block (kind code,
+text id, line, column), one ``(2, E_k) int32`` array per
+:class:`~repro.graph.edges.EdgeKind`, a ``(6, S) int32`` symbol block and
+the occurrence CSR pair.  Each shard carries a SHA-256 **fingerprint** over
+every array's bytes; :func:`flat_graphs_from_arrays` recomputes and
+compares it on load, so a truncated or bit-flipped shard raises
+:class:`PayloadError` (which the graph cache treats as a miss) instead of
+silently mis-indexing.  Loading never materialises per-node objects — the
+arrays are handed straight to featurization and batch assembly.
+
+**Legacy JSON payloads.**  The original dict-of-lists layout remains fully
+readable *and* writable (``shard_format="json"``): corruption surfaces as a
+decode/validation error, and the format stays diffable and
+language-neutral.  Dataset directories written before the binary format
+load unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Any, Optional
+import hashlib
+from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.corpus.dedup import DeduplicationReport, DuplicateCluster
 from repro.graph.codegraph import CodeGraph
-from repro.graph.edges import EdgeKind
+from repro.graph.edges import ALL_EDGE_KINDS, EdgeKind
+from repro.graph.flatgraph import FlatGraph
 from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
 from repro.graph.subtokens import SubtokenVocabulary
 from repro.models.featurize import SUBTOKEN, TextFeatures
@@ -35,6 +49,9 @@ from repro.types.registry import TypeRegistry
 #: Version of the graph payload layout; part of every cache key, so bumping
 #: it (or :data:`repro.corpus.ingest.EXTRACTOR_VERSION`) invalidates caches.
 GRAPH_PAYLOAD_VERSION = 1
+
+#: Version of the binary ``.npz`` graph-shard layout.
+GRAPH_SHARD_FORMAT_VERSION = 1
 
 #: Version of the ``features.npz`` companion file written next to dataset
 #: shards; unknown versions are ignored (features are recomputed instead).
@@ -51,13 +68,36 @@ class PayloadError(ValueError):
 
 
 def graph_to_payload(graph: CodeGraph) -> dict[str, Any]:
-    """Encode a graph as a JSON-compatible dictionary."""
+    """Encode a graph as a JSON-compatible dictionary.
+
+    Flat-backed graphs are encoded straight from their arrays — touching
+    ``graph.nodes``/``graph.edges`` would materialise the object views and
+    drop the columnar backing, degrading every later consumer of the same
+    in-memory graph.
+    """
+    flat = graph.flat
+    if flat is not None:
+        from repro.graph.flatgraph import NODE_KIND_ORDER
+
+        strings = flat.strings
+        kinds = flat.node_kind.tolist()
+        texts = flat.node_text.tolist()
+        lines = flat.node_line.tolist()
+        cols = flat.node_col.tolist()
+        nodes = [
+            [NODE_KIND_ORDER[kinds[i]].value, strings[texts[i]], lines[i], cols[i]]
+            for i in range(len(kinds))
+        ]
+        edges = {kind.value: pairs.T.tolist() for kind, pairs in flat.edges.items()}
+    else:
+        nodes = [[node.kind.value, node.text, node.lineno, node.col] for node in graph.nodes]
+        edges = {kind.value: [list(pair) for pair in pairs] for kind, pairs in graph.edges.items()}
     return {
         "version": GRAPH_PAYLOAD_VERSION,
         "filename": graph.filename,
         "source": graph.source,
-        "nodes": [[node.kind.value, node.text, node.lineno, node.col] for node in graph.nodes],
-        "edges": {kind.value: [list(pair) for pair in pairs] for kind, pairs in graph.edges.items()},
+        "nodes": nodes,
+        "edges": edges,
         "symbols": [
             [
                 symbol.node_index,
@@ -90,13 +130,10 @@ def graph_from_payload(payload: dict[str, Any], filename: Optional[str] = None) 
             GraphNode(index=index, kind=NodeKind(kind), text=text, lineno=lineno, col=col)
             for index, (kind, text, lineno, col) in enumerate(payload["nodes"])
         ]
-        graph.edges = defaultdict(
-            list,
-            {
-                EdgeKind(kind): [(int(source), int(target)) for source, target in pairs]
-                for kind, pairs in payload["edges"].items()
-            },
-        )
+        graph.edges = {
+            EdgeKind(kind): [(int(source), int(target)) for source, target in pairs]
+            for kind, pairs in payload["edges"].items()
+        }
         graph.symbols = [
             SymbolInfo(
                 node_index=node_index,
@@ -115,6 +152,242 @@ def graph_from_payload(payload: dict[str, Any], filename: Optional[str] = None) 
     except (KeyError, TypeError, ValueError, AttributeError) as error:
         raise PayloadError(f"malformed graph payload: {error}") from error
     return graph
+
+
+# ---------------------------------------------------------------------------
+# Binary FlatGraph shards
+# ---------------------------------------------------------------------------
+
+
+def _string_array(strings: Sequence[str]) -> np.ndarray:
+    """Unicode array of ``strings`` (empty sequences need an explicit dtype)."""
+    if not strings:
+        return np.zeros(0, dtype="<U1")
+    return np.asarray(list(strings))
+
+
+def _shard_fingerprint(arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's dtype-tagged bytes, in sorted key order.
+
+    ``x:``-prefixed keys are ancillary (callers may attach them after the
+    fingerprint is computed, e.g. the graph cache's extractor version) and
+    are excluded, as is the fingerprint itself.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        if key == "fingerprint" or key.startswith("x:"):
+            continue
+        value = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8") + b"\x00")
+        digest.update(str(value.dtype).encode("utf-8") + b"\x00")
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _pack_strings(strings: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack strings into a ``uint8`` UTF-8 blob + ``int64`` offset array."""
+    parts = [text.encode("utf-8") for text in strings]
+    splits = np.zeros(len(parts) + 1, dtype=np.int64)
+    np.cumsum([len(part) for part in parts], out=splits[1:])
+    blob = b"".join(parts)
+    return np.frombuffer(blob, dtype=np.uint8).copy(), splits
+
+
+def _unpack_strings(blob: np.ndarray, splits: np.ndarray) -> list[str]:
+    raw = blob.tobytes()
+    offsets = splits.tolist()
+    return [raw[offsets[i] : offsets[i + 1]].decode("utf-8") for i in range(len(offsets) - 1)]
+
+
+def _counts_splits(counts: Sequence[int]) -> np.ndarray:
+    splits = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=splits[1:])
+    return splits
+
+
+def flat_graphs_to_arrays(graphs: Sequence[FlatGraph]) -> dict[str, np.ndarray]:
+    """Encode columnar graphs as one ``np.savez``-ready array dictionary.
+
+    The shard itself is columnar: every graph's columns are concatenated
+    into one array per column, with ``(G + 1)``-length split arrays
+    recording per-graph boundaries — the archive holds a couple of dozen
+    arrays total regardless of how many graphs it contains (per-entry zip
+    and header costs dominate ``.npz`` handling of many small arrays).
+
+    Columns: ``strbytes``/``strsplits``/``strgraph`` (all intern tables as
+    one UTF-8 blob + per-string and per-graph offsets), ``metabytes``/
+    ``metasplits`` (filename and source per graph, interleaved), ``nodes``
+    ``(4, ΣN)`` + ``nodesplits``, one ``edges:<kind>`` ``(2, ΣE_k)`` +
+    ``edgesplits:<kind>`` pair per edge kind present anywhere in the shard,
+    ``symbols`` ``(6, ΣS)`` + ``symsplits``, and the occurrence values
+    ``occ`` with per-symbol counts ``occcounts`` (per-graph CSR splits are
+    rebuilt from the counts on load).  A shard-level ``fingerprint`` array
+    holds the SHA-256 of all content arrays.
+    """
+    num_graphs = len(graphs)
+    all_strings: list[str] = []
+    meta: list[str] = []
+    strings_per_graph: list[int] = []
+    for flat in graphs:
+        all_strings.extend(flat.strings)
+        strings_per_graph.append(len(flat.strings))
+        meta.extend((flat.filename, flat.source))
+    strbytes, strsplits = _pack_strings(all_strings)
+    metabytes, metasplits = _pack_strings(meta)
+
+    def concat32(pieces: list[np.ndarray], axis: int, empty_shape: tuple) -> np.ndarray:
+        if not pieces:
+            return np.zeros(empty_shape, dtype=np.int32)
+        return np.concatenate(pieces, axis=axis).astype(np.int32, copy=False)
+
+    arrays: dict[str, np.ndarray] = {
+        "format": np.asarray([GRAPH_SHARD_FORMAT_VERSION], dtype=np.int64),
+        "num_graphs": np.asarray([num_graphs], dtype=np.int64),
+        "strbytes": strbytes,
+        "strsplits": strsplits,
+        "strgraph": _counts_splits(strings_per_graph),
+        "metabytes": metabytes,
+        "metasplits": metasplits,
+        "nodes": concat32(
+            [
+                np.stack([flat.node_kind, flat.node_text, flat.node_line, flat.node_col])
+                for flat in graphs
+            ],
+            axis=1,
+            empty_shape=(4, 0),
+        ),
+        "nodesplits": _counts_splits([flat.num_nodes for flat in graphs]),
+        "symbols": concat32(
+            [
+                np.stack(
+                    [
+                        flat.symbol_node,
+                        flat.symbol_name,
+                        flat.symbol_kind,
+                        flat.symbol_scope,
+                        flat.symbol_annotation,
+                        flat.symbol_line,
+                    ]
+                )
+                for flat in graphs
+            ],
+            axis=1,
+            empty_shape=(6, 0),
+        ),
+        "symsplits": _counts_splits([flat.num_symbols for flat in graphs]),
+        "occ": concat32([flat.occurrence_ids for flat in graphs], axis=0, empty_shape=(0,)),
+        "occcounts": concat32(
+            [np.diff(flat.occurrence_splits) for flat in graphs], axis=0, empty_shape=(0,)
+        ),
+    }
+    for kind in ALL_EDGE_KINDS:
+        pieces = [flat.edges[kind] for flat in graphs if kind in flat.edges]
+        if not pieces:
+            continue
+        arrays[f"edges:{kind.value}"] = concat32(pieces, axis=1, empty_shape=(2, 0))
+        arrays[f"edgesplits:{kind.value}"] = _counts_splits(
+            [flat.edge_array(kind).shape[1] for flat in graphs]
+        )
+    arrays["fingerprint"] = _string_array([_shard_fingerprint(arrays)])
+    return arrays
+
+
+def flat_graphs_from_arrays(archive) -> list[FlatGraph]:
+    """Decode :func:`flat_graphs_to_arrays` output, validating the fingerprint.
+
+    ``archive`` is anything mapping keys to arrays (an ``np.load`` result or
+    a plain dict).  Raises :class:`PayloadError` on unknown versions, missing
+    arrays or fingerprint mismatches — never returns a partially decoded
+    shard.  Per-graph arrays are zero-copy slices of the shard columns.
+    """
+    try:
+        loaded = {key: np.asarray(archive[key]) for key in _archive_keys(archive)}
+        if int(loaded["format"][0]) != GRAPH_SHARD_FORMAT_VERSION:
+            raise PayloadError(
+                f"unsupported graph shard version {int(loaded['format'][0])!r}"
+            )
+        stored = str(loaded["fingerprint"][0])
+        expected = _shard_fingerprint(loaded)
+        if stored != expected:
+            raise PayloadError("graph shard fingerprint mismatch (corrupted shard?)")
+
+        num_graphs = int(loaded["num_graphs"][0])
+        all_strings = _unpack_strings(loaded["strbytes"], loaded["strsplits"])
+        meta = _unpack_strings(loaded["metabytes"], loaded["metasplits"])
+        strgraph = loaded["strgraph"].tolist()
+        nodesplits = loaded["nodesplits"].tolist()
+        symsplits = loaded["symsplits"].tolist()
+        nodes = loaded["nodes"]
+        symbols = loaded["symbols"]
+        occ = loaded["occ"]
+        occcounts = loaded["occcounts"]
+        edge_columns = [
+            (kind, loaded[f"edges:{kind.value}"], loaded[f"edgesplits:{kind.value}"].tolist())
+            for kind in ALL_EDGE_KINDS
+            if f"edges:{kind.value}" in loaded
+        ]
+
+        graphs: list[FlatGraph] = []
+        occ_cursor = 0
+        for i in range(num_graphs):
+            node_lo, node_hi = nodesplits[i], nodesplits[i + 1]
+            sym_lo, sym_hi = symsplits[i], symsplits[i + 1]
+            edges: dict[EdgeKind, np.ndarray] = {}
+            for kind, column, splits in edge_columns:
+                lo, hi = splits[i], splits[i + 1]
+                if hi > lo:
+                    edges[kind] = column[:, lo:hi]
+            counts = occcounts[sym_lo:sym_hi]
+            occurrence_splits = np.zeros(counts.shape[0] + 1, dtype=np.int32)
+            np.cumsum(counts, out=occurrence_splits[1:])
+            num_occurrences = int(occurrence_splits[-1]) if counts.size else 0
+            graphs.append(
+                FlatGraph(
+                    filename=meta[2 * i],
+                    source=meta[2 * i + 1],
+                    strings=tuple(all_strings[strgraph[i] : strgraph[i + 1]]),
+                    node_kind=nodes[0, node_lo:node_hi],
+                    node_text=nodes[1, node_lo:node_hi],
+                    node_line=nodes[2, node_lo:node_hi],
+                    node_col=nodes[3, node_lo:node_hi],
+                    edges=edges,
+                    symbol_node=symbols[0, sym_lo:sym_hi],
+                    symbol_name=symbols[1, sym_lo:sym_hi],
+                    symbol_kind=symbols[2, sym_lo:sym_hi],
+                    symbol_scope=symbols[3, sym_lo:sym_hi],
+                    symbol_annotation=symbols[4, sym_lo:sym_hi],
+                    symbol_line=symbols[5, sym_lo:sym_hi],
+                    occurrence_ids=occ[occ_cursor : occ_cursor + num_occurrences],
+                    occurrence_splits=occurrence_splits,
+                )
+            )
+            occ_cursor += num_occurrences
+    except PayloadError:
+        raise
+    except (KeyError, TypeError, ValueError, IndexError, AttributeError) as error:
+        raise PayloadError(f"malformed graph shard: {error}") from error
+    return graphs
+
+
+def _archive_keys(archive) -> Sequence[str]:
+    files = getattr(archive, "files", None)
+    if files is not None:
+        return files
+    return list(archive.keys())
+
+
+def write_graph_shard(path, graphs: Sequence[CodeGraph]) -> None:
+    """Write graphs to a binary ``.npz`` shard at ``path``."""
+    arrays = flat_graphs_to_arrays([graph.to_flat() for graph in graphs])
+    with open(path, "wb") as handle:
+        np.savez(handle, **arrays)
+
+
+def read_graph_shard(path) -> list[CodeGraph]:
+    """Read a binary shard back as (lazily materialised) :class:`CodeGraph`\\ s."""
+    with np.load(path, allow_pickle=False) as archive:
+        flats = flat_graphs_from_arrays(archive)
+    return [CodeGraph.from_flat(flat) for flat in flats]
 
 
 # ---------------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.graph.edges import (
     SYNTACTIC_EDGES,
     EdgeKind,
 )
+from repro.graph.flatgraph import FlatGraph, FlatGraphBuilder, StringTable
 from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
 from repro.graph.subtokens import (
     CharacterVocabulary,
@@ -24,6 +25,9 @@ from repro.graph.visualize import to_dot, write_dot
 
 __all__ = [
     "CodeGraph",
+    "FlatGraph",
+    "FlatGraphBuilder",
+    "StringTable",
     "GraphBuilder",
     "GraphBuildError",
     "build_graph",

@@ -35,6 +35,7 @@ from typing import Iterable, Optional
 from repro.graph.codegraph import CodeGraph
 from repro.graph.dataflow import NextMayUseAnalysis, UseEvent, compute_next_lexical_use
 from repro.graph.edges import EdgeKind
+from repro.graph.flatgraph import FlatGraphBuilder, is_identifier_text
 from repro.graph.nodes import NodeKind, SymbolInfo, SymbolKind
 from repro.graph.subtokens import split_identifier
 
@@ -241,19 +242,20 @@ class GraphBuilder:
         except SyntaxError as error:
             raise GraphBuildError(f"cannot parse {filename}: {error}") from error
 
-        graph = CodeGraph(filename=filename, source=erased)
-        state = _BuildState(graph=graph, annotations=annotations)
+        arena = FlatGraphBuilder(filename=filename, source=erased)
+        state = _BuildState(graph=arena, annotations=annotations)
         state.add_tokens(erased)
         state.walk_module(tree)
         state.run_dataflow()
         state.add_subtoken_edges()
         state.attach_annotations()
-        graph.validate()
+        flat = arena.finish()
+        flat.validate()
 
         if self.include_edges is not None:
             excluded = set(EdgeKind) - self.include_edges
-            graph = graph.without_edges(excluded)
-        return graph
+            flat = flat.without_edges(excluded)
+        return CodeGraph.from_flat(flat)
 
     def build_file(self, path: str) -> CodeGraph:
         with open(path, "r", encoding="utf-8") as handle:
@@ -270,9 +272,13 @@ class _FunctionContext:
 
 
 class _BuildState:
-    """Mutable state of a single graph construction."""
+    """Mutable state of a single graph construction.
 
-    def __init__(self, graph: CodeGraph, annotations: dict[SymbolKey, str]) -> None:
+    ``graph`` is the :class:`FlatGraphBuilder` arena the walk appends nodes,
+    edges and symbols into — no intermediate object graph is built.
+    """
+
+    def __init__(self, graph: FlatGraphBuilder, annotations: dict[SymbolKey, str]) -> None:
         self.graph = graph
         self.annotations = annotations
         self.token_index_at: dict[tuple[int, int], int] = {}
@@ -476,22 +482,25 @@ class _BuildState:
             self._add_assigned_from(node, node_index)
 
     def _add_assigned_from(self, node: ast.Assign | ast.AugAssign, node_index: int) -> None:
-        children = [target for source, target in self.graph.edges_of(EdgeKind.CHILD) if source == node_index]
+        graph = self.graph
+        children = [target for source, target in graph.edge_pairs(EdgeKind.CHILD) if source == node_index]
         if not children:
             return
-        child_nodes = [(index, self.graph.nodes[index]) for index in children]
+        child_nodes = [(index, graph.node_kind_of(index), graph.node_text_of(index)) for index in children]
         value_label = type(node.value).__name__
-        value_candidates = [index for index, info in child_nodes if info.kind == NodeKind.NON_TERMINAL and info.text == value_label]
+        value_candidates = [
+            index for index, kind, text in child_nodes if kind == NodeKind.NON_TERMINAL and text == value_label
+        ]
         if not value_candidates:
             return
         value_index = value_candidates[-1]
         targets = node.targets if isinstance(node, ast.Assign) else [node.target]
         target_labels = {type(target).__name__ for target in targets}
-        for index, info in child_nodes:
-            if index == value_index or info.kind != NodeKind.NON_TERMINAL:
+        for index, kind, text in child_nodes:
+            if index == value_index or kind != NodeKind.NON_TERMINAL:
                 continue
-            if info.text in target_labels:
-                self.graph.add_edge(EdgeKind.ASSIGNED_FROM, value_index, index)
+            if text in target_labels:
+                graph.add_edge(EdgeKind.ASSIGNED_FROM, value_index, index)
 
     # -- dataflow pass ---------------------------------------------------------------------
 
@@ -509,14 +518,18 @@ class _BuildState:
                 token_occurrences = [
                     index
                     for index in symbol.occurrence_indices
-                    if self.graph.nodes[index].kind == NodeKind.TOKEN
+                    if self.graph.node_kind_of(index) == NodeKind.TOKEN
                 ]
                 if not token_occurrences:
                     continue
                 first = token_occurrences[0]
-                node = self.graph.nodes[first]
                 events_in_scope.append(
-                    UseEvent(name=symbol.qualified_name, occurrence_id=first, lineno=node.lineno, col=node.col)
+                    UseEvent(
+                        name=symbol.qualified_name,
+                        occurrence_id=first,
+                        lineno=self.graph.node_line_of(first),
+                        col=self.graph.node_col_of(first),
+                    )
                 )
                 initial_last[symbol.qualified_name] = {first}
 
@@ -564,18 +577,29 @@ class _BuildState:
 
     def add_subtoken_edges(self) -> None:
         graph = self.graph
+        from repro.graph.flatgraph import NODE_KIND_CODES
+
+        eligible = (NODE_KIND_CODES[NodeKind.TOKEN], NODE_KIND_CODES[NodeKind.SYMBOL])
+        # Split each interned lexeme once; nodes sharing a text share the result.
+        splits_by_text_id: dict[int, list[str]] = {}
         identifier_nodes = [
-            node
-            for node in graph.nodes
-            if node.kind in (NodeKind.TOKEN, NodeKind.SYMBOL) and node.is_identifier_like()
+            (index, text_id)
+            for index, (kind_code, text_id) in enumerate(
+                zip(graph.iter_kind_codes(), graph.iter_text_ids())
+            )
+            if kind_code in eligible and is_identifier_text(graph.strings[text_id])
         ]
-        for node in identifier_nodes:
-            for subtoken in split_identifier(node.text):
+        for node_index, text_id in identifier_nodes:
+            subtokens = splits_by_text_id.get(text_id)
+            if subtokens is None:
+                subtokens = split_identifier(graph.strings[text_id])
+                splits_by_text_id[text_id] = subtokens
+            for subtoken in subtokens:
                 vocab_index = self.vocabulary_nodes.get(subtoken)
                 if vocab_index is None:
                     vocab_index = graph.add_node(NodeKind.VOCABULARY, subtoken)
                     self.vocabulary_nodes[subtoken] = vocab_index
-                graph.add_edge(EdgeKind.SUBTOKEN_OF, node.index, vocab_index)
+                graph.add_edge(EdgeKind.SUBTOKEN_OF, node_index, vocab_index)
 
     # -- annotations --------------------------------------------------------------------------
 

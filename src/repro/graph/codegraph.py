@@ -1,17 +1,27 @@
-"""The program-graph container produced by :mod:`repro.graph.builder`."""
+"""The program-graph container produced by :mod:`repro.graph.builder`.
+
+Since the columnar refactor, :class:`CodeGraph` is a thin *view* over a
+:class:`~repro.graph.flatgraph.FlatGraph` arena: hot paths (featurization,
+batch assembly, persistence) read the flat arrays through :attr:`flat`.
+Symbols are always object-backed (few, and callers hold live references);
+``nodes`` / ``edges`` materialise lazily on first access, and that access
+*drops* the flat backing — once the mutable containers are visible they are
+the single source of truth, so in-place edits can never silently diverge
+from stale arrays.  Graphs built by hand through ``add_node``/``add_edge``
+(tests, ad-hoc tooling) behave exactly as before — they simply carry no
+flat backing until :meth:`to_flat` is called.
+"""
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from repro.graph.edges import EdgeKind
+from repro.graph.flatgraph import FlatGraph, flatten_graph
 from repro.graph.nodes import GraphNode, NodeKind, SymbolInfo, SymbolKind
 from repro.graph.subtokens import split_identifier
 
 
-@dataclass
 class CodeGraph:
     """A program graph for a single Python file.
 
@@ -20,30 +30,194 @@ class CodeGraph:
     the (erased) ground-truth annotation used for supervision and evaluation.
     """
 
-    filename: str = "<unknown>"
-    source: str = ""
-    nodes: list[GraphNode] = field(default_factory=list)
-    edges: dict[EdgeKind, list[tuple[int, int]]] = field(
-        default_factory=lambda: defaultdict(list)
-    )
-    symbols: list[SymbolInfo] = field(default_factory=list)
+    def __init__(
+        self,
+        filename: str = "<unknown>",
+        source: str = "",
+        nodes: Optional[list[GraphNode]] = None,
+        edges: Optional[dict[EdgeKind, list[tuple[int, int]]]] = None,
+        symbols: Optional[list[SymbolInfo]] = None,
+    ) -> None:
+        self.filename = filename
+        self.source = source
+        self._flat: Optional[FlatGraph] = None
+        self._nodes: Optional[list[GraphNode]] = nodes if nodes is not None else []
+        self._edges: Optional[dict[EdgeKind, list[tuple[int, int]]]] = (
+            dict(edges) if edges is not None else {}
+        )
+        self._symbols: Optional[list[SymbolInfo]] = symbols if symbols is not None else []
+
+    # -- flat backing -----------------------------------------------------------
+
+    @classmethod
+    def from_flat(cls, flat: FlatGraph, filename: Optional[str] = None) -> "CodeGraph":
+        """Wrap a columnar graph; nodes and edges stay as arrays until asked for.
+
+        Symbols are materialised eagerly: they are few (one object per
+        symbol, versus hundreds of nodes), callers hold live references to
+        them (the ingest worker, the pipeline's suggestion paths), and
+        keeping them object-backed means any mutation is naturally picked
+        up by :meth:`to_flat`, which rebuilds the symbol columns from the
+        objects.
+        """
+        if filename is not None:
+            flat = flat.with_filename(filename)
+        graph = cls.__new__(cls)
+        graph.filename = flat.filename
+        graph.source = flat.source
+        graph._flat = flat
+        graph._nodes = None
+        graph._edges = None
+        graph._symbols = flat.materialise_symbols()
+        return graph
+
+    @property
+    def flat(self) -> Optional[FlatGraph]:
+        """The columnar backing, or ``None`` for object-built/mutated graphs.
+
+        The backing is dropped the moment object nodes or edges are exposed
+        (through the properties or a mutation), so a stale-array state is
+        unreachable: either consumers read the arrays, or they hold the
+        (mutable) objects and the arrays are gone.
+        """
+        return self._flat
+
+    def to_flat(self) -> FlatGraph:
+        """This graph as a :class:`FlatGraph`.
+
+        With an intact backing only the symbol columns are rebuilt (from
+        the live :class:`SymbolInfo` objects — see :meth:`from_flat`); the
+        node and edge arrays are reused as-is.  Object-backed graphs are
+        flattened wholesale.
+        """
+        if self._flat is not None:
+            from repro.graph.flatgraph import rebuild_symbol_columns
+
+            flat = rebuild_symbol_columns(self._flat, self._symbols)
+            if flat.filename != self.filename or flat.source != self.source:
+                from dataclasses import replace
+
+                flat = replace(flat, filename=self.filename, source=self.source)
+            return flat
+        return flatten_graph(self.filename, self.source, self.nodes, self.edges, self.symbols)
+
+    def _materialise(self) -> None:
+        """Reconstruct object nodes/edges and drop the flat backing.
+
+        Once the mutable object containers are visible to callers the
+        arrays can silently go stale, so they are discarded rather than
+        kept alongside.
+        """
+        flat = self._flat
+        if flat is None:
+            return
+        strings = flat.strings
+        kinds = flat.node_kind.tolist()
+        texts = flat.node_text.tolist()
+        lines = flat.node_line.tolist()
+        cols = flat.node_col.tolist()
+        from repro.graph.flatgraph import NODE_KIND_ORDER
+
+        self._nodes = [
+            GraphNode(index=i, kind=NODE_KIND_ORDER[kinds[i]], text=strings[texts[i]],
+                      lineno=lines[i], col=cols[i])
+            for i in range(len(kinds))
+        ]
+        self._edges = {
+            kind: [tuple(pair) for pair in pairs.T.tolist()]
+            for kind, pairs in flat.edges.items()
+        }
+        self._flat = None
+
+    # -- materialised views ------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[GraphNode]:
+        if self._nodes is None:
+            self._materialise()
+        return self._nodes
+
+    @nodes.setter
+    def nodes(self, value: list[GraphNode]) -> None:
+        self._materialise()
+        self._nodes = value
+
+    @property
+    def edges(self) -> dict[EdgeKind, list[tuple[int, int]]]:
+        if self._edges is None:
+            self._materialise()
+        return self._edges
+
+    @edges.setter
+    def edges(self, value: dict[EdgeKind, list[tuple[int, int]]]) -> None:
+        self._materialise()
+        self._edges = dict(value)
+
+    @property
+    def symbols(self) -> list[SymbolInfo]:
+        return self._symbols
+
+    @symbols.setter
+    def symbols(self, value: list[SymbolInfo]) -> None:
+        self._symbols = value
+
+    # -- equality / repr -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodeGraph):
+            return NotImplemented
+        if (
+            self.filename != other.filename
+            or self.source != other.source
+            or self.symbols != other.symbols
+        ):
+            return False
+        mine, theirs = self._flat, other._flat
+        if mine is not None and theirs is not None:
+            # Compare through the arrays so equality checks never drop the
+            # columnar backing.  Text ids are table-local, so texts (not
+            # ids) are compared; kind codes are canonical.
+            import numpy as np
+
+            if mine is theirs:
+                return True
+            return (
+                np.array_equal(mine.node_kind, theirs.node_kind)
+                and np.array_equal(mine.node_line, theirs.node_line)
+                and np.array_equal(mine.node_col, theirs.node_col)
+                and mine.node_texts() == theirs.node_texts()
+                and set(mine.edges) == set(theirs.edges)
+                and all(
+                    np.array_equal(pairs, theirs.edges[kind])
+                    for kind, pairs in mine.edges.items()
+                )
+            )
+        return self.nodes == other.nodes and dict(self.edges) == dict(other.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CodeGraph(filename={self.filename!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, symbols={len(self.symbols)})"
+        )
 
     # -- construction ---------------------------------------------------------
 
     def add_node(self, kind: NodeKind, text: str, lineno: int = -1, col: int = -1) -> int:
-        node = GraphNode(index=len(self.nodes), kind=kind, text=text, lineno=lineno, col=col)
-        self.nodes.append(node)
+        self._materialise()
+        node = GraphNode(index=len(self._nodes), kind=kind, text=text, lineno=lineno, col=col)
+        self._nodes.append(node)
         return node.index
 
     def add_edge(self, kind: EdgeKind, source: int, target: int) -> None:
+        self._materialise()
         if source == target:
             return
-        if not (0 <= source < len(self.nodes) and 0 <= target < len(self.nodes)):
+        if not (0 <= source < len(self._nodes) and 0 <= target < len(self._nodes)):
             raise IndexError(
                 f"edge {kind.value} references missing node ({source}, {target}); "
-                f"graph has {len(self.nodes)} nodes"
+                f"graph has {len(self._nodes)} nodes"
             )
-        self.edges[kind].append((source, target))
+        self._edges.setdefault(kind, []).append((source, target))
 
     def add_symbol(
         self,
@@ -62,24 +236,53 @@ class CodeGraph:
             annotation=annotation,
             lineno=lineno,
         )
-        self.symbols.append(info)
+        self._symbols.append(info)
         return info
 
     # -- queries ----------------------------------------------------------------
 
     @property
     def num_nodes(self) -> int:
-        return len(self.nodes)
+        if self._flat is not None:
+            return self._flat.num_nodes
+        return len(self._nodes)
 
     @property
     def num_edges(self) -> int:
-        return sum(len(pairs) for pairs in self.edges.values())
+        if self._flat is not None:
+            return self._flat.num_edges
+        return sum(len(pairs) for pairs in self._edges.values())
 
-    def edges_of(self, kind: EdgeKind) -> list[tuple[int, int]]:
-        return list(self.edges.get(kind, ()))
+    def edges_of(self, kind: EdgeKind):
+        """The pair list of one edge kind.
+
+        Reading never mutates the graph: a kind with no edges yields an
+        empty tuple without inserting anything (the historical defaultdict
+        storage grew a spurious empty list per queried kind, polluting
+        serialization payloads and equality checks).
+        """
+        if self._flat is not None:
+            pairs = self._flat.edges.get(kind)
+            if pairs is None:
+                return ()
+            return [tuple(pair) for pair in pairs.T.tolist()]
+        pairs = self._edges.get(kind)
+        return list(pairs) if pairs else ()
+
+    def node_texts(self) -> list[str]:
+        """Every node's text, without materialising node objects."""
+        if self._flat is not None:
+            return self._flat.node_texts()
+        return [node.text for node in self.nodes]
 
     def nodes_of_kind(self, kind: NodeKind) -> list[GraphNode]:
         return [node for node in self.nodes if node.kind == kind]
+
+    def count_of_kind(self, kind: NodeKind) -> int:
+        """Number of nodes of one kind (array count when flat-backed)."""
+        if self._flat is not None:
+            return self._flat.count_of_kind(kind)
+        return len(self.nodes_of_kind(kind))
 
     def symbol_nodes(self) -> list[GraphNode]:
         return self.nodes_of_kind(NodeKind.SYMBOL)
@@ -106,6 +309,9 @@ class CodeGraph:
 
     def node_subtokens(self) -> Iterator[tuple[int, list[str]]]:
         """Yield ``(node_index, subtokens)`` for initialising node states (Eq. 7)."""
+        if self._flat is not None:
+            yield from self._flat.node_subtokens()
+            return
         for node in self.nodes:
             yield node.index, split_identifier(node.text)
 
@@ -116,17 +322,21 @@ class CodeGraph:
         shared (they are not mutated by the models).
         """
         excluded_set = set(excluded)
+        if self._flat is not None:
+            return CodeGraph.from_flat(self._flat.without_edges(excluded_set))
         clone = CodeGraph(filename=self.filename, source=self.source)
-        clone.nodes = self.nodes
-        clone.symbols = self.symbols
-        clone.edges = defaultdict(
-            list,
-            {kind: list(pairs) for kind, pairs in self.edges.items() if kind not in excluded_set},
-        )
+        clone._nodes = self.nodes
+        clone._symbols = self.symbols
+        clone._edges = {
+            kind: list(pairs) for kind, pairs in self.edges.items() if kind not in excluded_set
+        }
         return clone
 
     def validate(self) -> None:
         """Check internal consistency; raises ``ValueError`` on violation."""
+        if self._flat is not None:
+            self._flat.validate()
+            return
         for kind, pairs in self.edges.items():
             for source, target in pairs:
                 if not (0 <= source < len(self.nodes)) or not (0 <= target < len(self.nodes)):
@@ -143,9 +353,9 @@ class CodeGraph:
         return {
             "nodes": self.num_nodes,
             "edges": self.num_edges,
-            "tokens": len(self.nodes_of_kind(NodeKind.TOKEN)),
-            "non_terminals": len(self.nodes_of_kind(NodeKind.NON_TERMINAL)),
-            "vocabulary": len(self.nodes_of_kind(NodeKind.VOCABULARY)),
+            "tokens": self.count_of_kind(NodeKind.TOKEN),
+            "non_terminals": self.count_of_kind(NodeKind.NON_TERMINAL),
+            "vocabulary": self.count_of_kind(NodeKind.VOCABULARY),
             "symbols": len(self.symbols),
             "annotated_symbols": len(self.annotated_symbols()),
         }

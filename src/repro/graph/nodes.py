@@ -40,6 +40,16 @@ class SymbolKind(str, Enum):
     FUNCTION_RETURN = "function_return"
 
 
+def is_identifier_text(text: str) -> bool:
+    """Whether a lexeme contributes subtokens (Eq. 7): starts like a name.
+
+    The single source of truth for subtoken eligibility — used by the
+    arena builder's subtoken pass, :meth:`GraphNode.is_identifier_like`
+    and path extraction, so the three can never disagree.
+    """
+    return bool(text) and (text[0].isalpha() or text[0] == "_")
+
+
 @dataclass
 class GraphNode:
     """A single node of the program graph.
@@ -65,7 +75,7 @@ class GraphNode:
 
     def is_identifier_like(self) -> bool:
         """Whether the node's text should contribute subtokens (Eq. 7)."""
-        return bool(self.text) and (self.text[0].isalpha() or self.text[0] == "_")
+        return is_identifier_text(self.text)
 
 
 @dataclass

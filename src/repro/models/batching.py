@@ -64,7 +64,13 @@ class GraphBatch:
 
 
 def build_graph_batch(graphs: Sequence[CodeGraph], targets_per_graph: Sequence[Sequence[int]]) -> GraphBatch:
-    """Merge graphs into one disjoint graph, remapping target node indices."""
+    """Merge graphs into one disjoint graph, remapping target node indices.
+
+    Columnar graphs contribute their edge arrays directly (offset-shifted
+    views of the ``(2, E)`` blocks, no tuple-list walking); object-built
+    graphs go through the legacy per-pair path.  Both produce identical
+    batches.
+    """
     if len(graphs) != len(targets_per_graph):
         raise ValueError("graphs and targets_per_graph must have the same length")
     node_texts: list[str] = []
@@ -76,12 +82,18 @@ def build_graph_batch(graphs: Sequence[CodeGraph], targets_per_graph: Sequence[S
     target_chunks: list[np.ndarray] = []
     for graph_index, (graph, targets) in enumerate(zip(graphs, targets_per_graph)):
         offset = offsets[graph_index]
-        node_texts.extend(node.text for node in graph.nodes)
-        for kind, pairs in graph.edges.items():
-            if pairs:
-                edge_chunks.setdefault(kind, []).append(np.asarray(pairs, dtype=np.int64) + offset)
-            else:
-                edge_chunks.setdefault(kind, [])
+        flat = graph.flat
+        if flat is not None:
+            node_texts.extend(flat.node_texts())
+            for kind, pairs in flat.edges.items():
+                edge_chunks.setdefault(kind, []).append(pairs.T.astype(np.int64) + offset)
+        else:
+            node_texts.extend(node.text for node in graph.nodes)
+            for kind, pairs in graph.edges.items():
+                if pairs:
+                    edge_chunks.setdefault(kind, []).append(np.asarray(pairs, dtype=np.int64) + offset)
+                else:
+                    edge_chunks.setdefault(kind, [])
         target_chunks.append(np.asarray(list(targets), dtype=np.int64) + offset)
 
     edges = {
@@ -98,6 +110,26 @@ def build_graph_batch(graphs: Sequence[CodeGraph], targets_per_graph: Sequence[S
         graph_of_node=np.repeat(np.arange(len(graphs), dtype=np.int64), num_nodes_per_graph),
         num_graphs=len(graphs),
     )
+
+
+def token_view(graph: CodeGraph, max_tokens: int):
+    """``(texts, node-index → position, OCCURRENCE_OF pairs)`` for one graph.
+
+    Reads the columnar arrays when the graph is flat-backed (no node-object
+    materialisation); falls back to the object walk otherwise.
+    """
+    flat = graph.flat
+    if flat is not None:
+        token_indices = flat.node_indices_of_kind(NodeKind.TOKEN)[:max_tokens].tolist()
+        strings = flat.strings
+        texts = [strings[i] for i in flat.node_text[token_indices].tolist()]
+        position_of_node = {node: position for position, node in enumerate(token_indices)}
+        occurrence_pairs = flat.edge_array(EdgeKind.OCCURRENCE_OF).T.tolist()
+        return texts, position_of_node, occurrence_pairs
+    token_nodes = [node for node in graph.nodes if node.kind == NodeKind.TOKEN][:max_tokens]
+    position_of_node = {node.index: position for position, node in enumerate(token_nodes)}
+    texts = [node.text for node in token_nodes]
+    return texts, position_of_node, graph.edges_of(EdgeKind.OCCURRENCE_OF)
 
 
 # ---------------------------------------------------------------------------
@@ -144,15 +176,12 @@ def build_sequence_batch(
     longest = 1
 
     for sequence_index, (graph, targets) in enumerate(zip(graphs, targets_per_graph)):
-        token_nodes = [node for node in graph.nodes if node.kind == NodeKind.TOKEN]
-        token_nodes = token_nodes[:max_tokens]
-        position_of_node = {node.index: position for position, node in enumerate(token_nodes)}
-        texts = [node.text for node in token_nodes]
+        texts, position_of_node, occurrence_pairs = token_view(graph, max_tokens)
         longest = max(longest, len(texts))
         token_texts.append(texts)
 
         occurrences_by_symbol: dict[int, list[int]] = {}
-        for source, target in graph.edges_of(EdgeKind.OCCURRENCE_OF):
+        for source, target in occurrence_pairs:
             if target in targets and source in position_of_node:
                 occurrences_by_symbol.setdefault(target, []).append(position_of_node[source])
         for node_index in targets:

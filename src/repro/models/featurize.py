@@ -230,6 +230,24 @@ class FeatureExtractor:
         grid = np.vstack(rows) if rows else np.zeros((0, self.max_chars), dtype=np.int64)
         return TextFeatures(kind=CHARACTER, num_texts=len(rows), ids=grid)
 
+    # -- graph conversion ----------------------------------------------------------
+
+    def features_for_graph(self, graph) -> TextFeatures:
+        """Featurize a graph's node texts, via its intern table when flat.
+
+        Columnar graphs (:attr:`CodeGraph.flat`) carry every distinct lexeme
+        exactly once in their string table: the table is featurized once and
+        the per-node rows are gathered by text id, so a lexeme shared by a
+        thousand nodes is tokenized a single time.  The produced arrays are
+        byte-identical to featurizing ``[node.text for node in graph.nodes]``
+        directly, which remains the fallback for object-built graphs.
+        """
+        flat = getattr(graph, "flat", None)
+        if flat is None:
+            return self.features_for_texts([node.text for node in graph.nodes])
+        table = self.features_for_texts(flat.strings)
+        return table.take(flat.node_text)
+
 
 def vocabulary_fingerprint(kind: str, tokens: Iterable[str]) -> str:
     """Content hash of an ordered token list (id == position)."""

@@ -132,6 +132,78 @@ class TestDeduplication:
         assert jaccard_similarity(fingerprint, fingerprint) == 1.0
 
 
+def _cluster_payload(report):
+    return sorted((cluster.kept, sorted(cluster.removed)) for cluster in report.clusters)
+
+
+class TestMinHashCandidateGeneration:
+    """The banded-MinHash path must reproduce the pairwise oracle exactly."""
+
+    def _assert_strategies_agree(self, files, threshold=0.8):
+        minhash_kept, minhash_report = Deduplicator(
+            threshold=threshold, candidate_strategy="minhash"
+        ).deduplicate(files)
+        pairwise_kept, pairwise_report = Deduplicator(
+            threshold=threshold, candidate_strategy="pairwise"
+        ).deduplicate(files)
+        assert sorted(minhash_kept) == sorted(pairwise_kept)
+        assert minhash_report.removed_files == pairwise_report.removed_files
+        assert _cluster_payload(minhash_report) == _cluster_payload(pairwise_report)
+        return minhash_report
+
+    def test_identical_clusters_on_synthetic_corpus(self):
+        files = {
+            entry.filename: entry.source
+            for entry in generate_corpus(SynthesisConfig(num_files=40, seed=11))
+        }
+        report = self._assert_strategies_agree(files)
+        assert report.removed_files > 0  # the corpus ships real duplicates
+
+    def test_identical_clusters_across_thresholds(self):
+        files = {
+            entry.filename: entry.source
+            for entry in generate_corpus(SynthesisConfig(num_files=24, seed=5))
+        }
+        for threshold in (0.5, 0.8, 0.95, 1.0):
+            self._assert_strategies_agree(files, threshold=threshold)
+
+    def test_identical_clusters_with_empty_and_tiny_files(self):
+        files = {
+            "empty_a.py": "",
+            "empty_b.py": "# only a comment\n",
+            "tiny.py": "x = 1\n",
+            "tiny_copy.py": "x = 1\n",
+            "other.py": "def unrelated(value):\n    return value * 2\n",
+        }
+        report = self._assert_strategies_agree(files)
+        assert report.removed_files >= 2  # empties cluster together, tiny with its copy
+
+    def test_repeated_token_heavy_files_cluster_like_the_oracle(self):
+        """Multiset expansion regression: files dominated by one repeated
+        identifier have high multiset but tiny set Jaccard — signatures must
+        hash the multiset so such pairs still become candidates."""
+        for trial in range(10):
+            base = "x = x + x\n" * 40
+            left = base + "\n".join(f"left_{trial}_{i} = 1" for i in range(6))
+            right = base + "\n".join(f"right_{trial}_{i} = 1" for i in range(6))
+            report = self._assert_strategies_agree({"a.py": left, "b.py": right})
+            assert report.removed_files == 1  # the pair is a real near-duplicate
+
+    def test_default_strategy_is_minhash(self):
+        assert Deduplicator().candidate_strategy == "minhash"
+        with pytest.raises(ValueError):
+            Deduplicator(candidate_strategy="sorcery")
+
+    def test_minhash_is_deterministic_across_runs(self):
+        files = {
+            entry.filename: entry.source
+            for entry in generate_corpus(SynthesisConfig(num_files=16, seed=9))
+        }
+        first = Deduplicator().deduplicate(files)[1]
+        second = Deduplicator().deduplicate(files)[1]
+        assert _cluster_payload(first) == _cluster_payload(second)
+
+
 class TestDatasetAssembly:
     @pytest.fixture(scope="class")
     def dataset(self):

@@ -26,21 +26,35 @@ def saved_dir(dataset, tmp_path_factory):
 
 
 class TestSaveLayout:
-    def test_manifest_sources_and_shards_written(self, dataset, saved_dir):
+    def test_manifest_sources_and_binary_shards_written(self, dataset, saved_dir):
+        from repro.corpus.serialize import read_graph_shard
+
         assert (saved_dir / "dataset.json").exists()
         assert (saved_dir / "sources.json").exists()
-        shards = sorted(saved_dir.glob("graphs-*.json"))
+        assert not list(saved_dir.glob("graphs-*.json"))  # binary is the default
+        shards = sorted(saved_dir.glob("graphs-*.npz"))
         total_graphs = sum(split.num_graphs for split in dataset.splits.values())
         assert len(shards) == -(-total_graphs // 3)  # ceil division
-        stored = sum(
-            len(json.loads(shard.read_text(encoding="utf-8"))["graphs"]) for shard in shards
-        )
+        stored = sum(len(read_graph_shard(shard)) for shard in shards)
         assert stored == total_graphs
 
     def test_shard_size_one_gives_one_graph_per_file(self, dataset, tmp_path):
         dataset.save(tmp_path, shard_size=1)
-        shards = sorted(tmp_path.glob("graphs-*.json"))
+        shards = sorted(tmp_path.glob("graphs-*.npz"))
         assert len(shards) == sum(split.num_graphs for split in dataset.splits.values())
+
+    def test_json_shard_format_still_writable(self, dataset, tmp_path):
+        dataset.save(tmp_path, shard_size=3, shard_format="json")
+        shards = sorted(tmp_path.glob("graphs-*.json"))
+        assert shards and not list(tmp_path.glob("graphs-*.npz"))
+        stored = sum(
+            len(json.loads(shard.read_text(encoding="utf-8"))["graphs"]) for shard in shards
+        )
+        assert stored == sum(split.num_graphs for split in dataset.splits.values())
+
+    def test_unknown_shard_format_rejected(self, dataset, tmp_path):
+        with pytest.raises(ValueError, match="shard format"):
+            dataset.save(tmp_path, shard_format="parquet")
 
 
 class TestRoundTrip:
@@ -94,6 +108,66 @@ class TestRoundTrip:
         loaded = TypeAnnotationDataset.load(saved_dir)
         for kind in SymbolKind:
             assert loaded.train.samples_of_kind(kind) == dataset.train.samples_of_kind(kind)
+
+
+class TestFormatCompatibility:
+    def test_json_round_trip_matches_binary_round_trip(self, dataset, saved_dir, tmp_path):
+        dataset.save(tmp_path, shard_size=3, shard_format="json")
+        from_json = TypeAnnotationDataset.load(tmp_path)
+        from_binary = TypeAnnotationDataset.load(saved_dir)
+        assert from_json.summary() == from_binary.summary()
+        for name in ("train", "valid", "test"):
+            assert from_json.splits[name].samples == from_binary.splits[name].samples
+            assert [graph_to_payload(g) for g in from_json.splits[name].graphs] == [
+                graph_to_payload(g) for g in from_binary.splits[name].graphs
+            ]
+
+    def test_binary_loaded_graphs_are_flat_backed(self, saved_dir):
+        loaded = TypeAnnotationDataset.load(saved_dir)
+        for split in loaded.splits.values():
+            for graph in split.graphs:
+                assert graph.flat is not None
+
+    def test_corrupted_binary_shard_rejected(self, dataset, tmp_path):
+        import numpy as np
+
+        dataset.save(tmp_path, shard_size=1000)
+        (shard,) = sorted(tmp_path.glob("graphs-*.npz"))
+        with np.load(shard, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["nodes"] = arrays["nodes"] + 1
+        with open(shard, "wb") as handle:
+            np.savez(handle, **arrays)
+        from repro.corpus.serialize import PayloadError
+
+        with pytest.raises(PayloadError, match="fingerprint"):
+            TypeAnnotationDataset.load(tmp_path)
+
+    def test_legacy_json_fixture_loads(self):
+        """Backward-compat gate: a dataset directory written before the
+        binary shard format (checked in under tests/fixtures) still loads."""
+        from pathlib import Path
+
+        fixture = Path(__file__).parent / "fixtures" / "legacy_dataset"
+        loaded = TypeAnnotationDataset.load(fixture)
+        total_graphs = sum(split.num_graphs for split in loaded.splits.values())
+        assert total_graphs == loaded.summary()["files"] == 4
+        assert loaded.train.num_samples > 0
+        for split in loaded.splits.values():
+            for graph in split.graphs:
+                graph.validate()
+        # A legacy dataset re-saved with today's default becomes binary and
+        # round-trips unchanged.
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as scratch:
+            loaded.save(scratch, shard_size=2)
+            resaved = TypeAnnotationDataset.load(scratch)
+            assert resaved.summary() == loaded.summary()
+            for name in ("train", "valid", "test"):
+                assert [graph_to_payload(g) for g in resaved.splits[name].graphs] == [
+                    graph_to_payload(g) for g in loaded.splits[name].graphs
+                ]
 
 
 class TestLoadValidation:

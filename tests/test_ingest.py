@@ -1,6 +1,5 @@
 """Parallel ingestion and the content-addressed graph cache."""
 
-import json
 
 import pytest
 
@@ -13,7 +12,7 @@ from repro.corpus import (
     ingest_sources,
     parallel_map,
 )
-from repro.corpus.serialize import graph_from_payload, graph_to_payload
+from repro.corpus.serialize import graph_to_payload
 from repro.corpus.synthesis import CorpusSynthesizer, SynthesisConfig
 from repro.graph.builder import GraphBuildError
 
@@ -126,21 +125,34 @@ class TestGraphCache:
     def test_corrupted_entry_recovers_by_reextraction(self, corpus, tmp_path):
         config = IngestConfig(jobs=1, cache_dir=tmp_path)
         clean, _ = ingest_sources(corpus, config)
-        victim = sorted(tmp_path.glob("*.json"))[0]
-        victim.write_text("{ this is not json", encoding="utf-8")
+        victim = sorted(tmp_path.glob("*.npz"))[0]
+        victim.write_bytes(b"this is not a zip archive")
         recovered, report = ingest_sources(corpus, config)
         assert report.extracted == 1  # only the corrupted entry was rebuilt
         assert report.cache_hits == len(corpus) - 1
         assert _payloads(recovered) == _payloads(clean)
         # The entry was rewritten and is valid again.
-        payload = json.loads(victim.read_text(encoding="utf-8"))
-        assert graph_from_payload(payload["graph"]).num_nodes > 0
+        import numpy as np
 
-    def test_valid_json_non_object_entry_is_a_miss(self, corpus, tmp_path):
+        from repro.corpus.serialize import flat_graphs_from_arrays
+
+        with np.load(victim, allow_pickle=False) as archive:
+            (flat,) = flat_graphs_from_arrays(archive)
+        assert flat.num_nodes > 0
+
+    def test_fingerprint_mismatch_is_a_miss(self, corpus, tmp_path):
+        import numpy as np
+
         config = IngestConfig(jobs=1, cache_dir=tmp_path)
         clean, _ = ingest_sources(corpus, config)
-        victim = sorted(tmp_path.glob("*.json"))[0]
-        victim.write_text("123", encoding="utf-8")  # valid JSON, wrong shape
+        victim = sorted(tmp_path.glob("*.npz"))[0]
+        # Tamper with one content array while keeping the archive well-formed:
+        # the stored fingerprint no longer matches, so the entry must miss.
+        with np.load(victim, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["nodes"] = arrays["nodes"] + 1
+        with open(victim, "wb") as handle:
+            np.savez(handle, **arrays)
         recovered, report = ingest_sources(corpus, config)
         assert report.extracted == 1
         assert _payloads(recovered) == _payloads(clean)
@@ -148,8 +160,8 @@ class TestGraphCache:
     def test_truncated_entry_recovers_too(self, corpus, tmp_path):
         config = IngestConfig(jobs=1, cache_dir=tmp_path)
         clean, _ = ingest_sources(corpus, config)
-        victim = sorted(tmp_path.glob("*.json"))[-1]
-        victim.write_text(victim.read_text(encoding="utf-8")[:50], encoding="utf-8")
+        victim = sorted(tmp_path.glob("*.npz"))[-1]
+        victim.write_bytes(victim.read_bytes()[:50])
         recovered, report = ingest_sources(corpus, config)
         assert report.extracted == 1
         assert _payloads(recovered) == _payloads(clean)

@@ -1,0 +1,100 @@
+"""DOT export: node/edge rendering, stable ordering, FlatGraph input."""
+
+import pytest
+
+from repro.graph import CodeGraph, EdgeKind, NodeKind, build_graph, to_dot, write_dot
+from repro.graph.edges import ALL_EDGE_KINDS
+
+SNIPPET = "def scale(value: int) -> int:\n    result = value * 2\n    return result\n"
+
+
+@pytest.fixture()
+def graph() -> CodeGraph:
+    return build_graph(SNIPPET, "snippet.py")
+
+
+class TestToDot:
+    def test_every_node_rendered_with_kind_style(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("digraph code_graph {") and dot.endswith("}")
+        for node in graph.nodes:
+            assert f"n{node.index} [label=" in dot
+        # each node category maps to its distinctive shape
+        kinds_present = {node.kind for node in graph.nodes}
+        shapes = {
+            NodeKind.TOKEN: "shape=box",
+            NodeKind.NON_TERMINAL: "shape=ellipse",
+            NodeKind.VOCABULARY: "shape=diamond",
+            NodeKind.SYMBOL: "shape=hexagon",
+        }
+        for kind in kinds_present:
+            assert shapes[kind] in dot
+
+    def test_every_edge_rendered_with_kind_label(self, graph):
+        dot = to_dot(graph)
+        for kind in graph.edges:
+            pairs = graph.edges_of(kind)
+            assert f'label="{kind.value}"' in dot
+            source, target = pairs[0]
+            assert f"n{source} -> n{target} [label=\"{kind.value}\"" in dot
+        # edge count in the DOT output matches the graph exactly
+        assert dot.count(" -> ") == graph.num_edges
+
+    def test_edges_emitted_in_stable_enum_order(self, graph):
+        dot = to_dot(graph)
+        first_offsets = []
+        for kind in ALL_EDGE_KINDS:
+            marker = f'label="{kind.value}"'
+            if marker in dot:
+                first_offsets.append(dot.index(marker))
+        assert first_offsets == sorted(first_offsets)
+
+    def test_output_is_deterministic_across_builds(self):
+        first = to_dot(build_graph(SNIPPET, "snippet.py"))
+        second = to_dot(build_graph(SNIPPET, "snippet.py"))
+        assert first == second
+
+    def test_flat_graph_input_renders_identically(self, graph):
+        assert graph.flat is not None
+        assert to_dot(graph.flat) == to_dot(graph)
+
+    def test_materialised_graph_renders_identically(self, graph):
+        materialised = CodeGraph(
+            filename=graph.filename,
+            source=graph.source,
+            nodes=list(graph.nodes),
+            edges={kind: list(pairs) for kind, pairs in graph.edges.items()},
+            symbols=list(graph.symbols),
+        )
+        assert materialised.flat is None
+        assert to_dot(materialised) == to_dot(graph)
+
+    def test_long_labels_truncated_and_quotes_escaped(self):
+        graph = CodeGraph(filename="weird.py")
+        graph.add_node(NodeKind.TOKEN, '"' + "x" * 50)
+        graph.add_node(NodeKind.TOKEN, "ok")
+        graph.add_edge(EdgeKind.NEXT_TOKEN, 0, 1)
+        dot = to_dot(graph, max_label_length=10)
+        assert '\\"' in dot  # escaped quote
+        assert "…" in dot  # truncation marker
+        assert "x" * 50 not in dot
+
+    def test_rendering_never_mutates_the_graph(self, graph):
+        from repro.corpus.serialize import graph_to_payload
+
+        before = graph_to_payload(graph)
+        to_dot(graph)
+        assert graph_to_payload(graph) == before
+
+
+class TestWriteDot:
+    def test_write_dot_round_trip(self, graph, tmp_path):
+        path = tmp_path / "graph.dot"
+        returned = write_dot(graph, str(path))
+        assert returned == str(path)
+        assert path.read_text(encoding="utf-8") == to_dot(graph)
+
+    def test_write_dot_accepts_flat_graphs(self, graph, tmp_path):
+        path = tmp_path / "flat.dot"
+        write_dot(graph.flat, str(path))
+        assert path.read_text(encoding="utf-8") == to_dot(graph)
