@@ -39,9 +39,11 @@ Examples::
     python -m repro.cli corpus --num-files 40 --out /tmp/corpus
     python -m repro.cli ingest --corpus-dir /tmp/corpus --out /tmp/dataset --jobs 4 --cache-dir /tmp/cache
     python -m repro.cli train --dataset /tmp/dataset --epochs 8 --save-model /tmp/model
+    python -m repro.cli train --dataset /tmp/dataset --save-model /tmp/model \\
+        --index ivf --nlist 256 --nprobe 8 --typespace-layout raw
     python -m repro.cli suggest path/to/file.py --confidence 0.5
     python -m repro.cli annotate path/to/project --load-model /tmp/model --jobs 4 --cache-dir /tmp/cache
-    python -m repro.cli serve --load-model /tmp/model --socket /tmp/typilus.sock
+    python -m repro.cli serve --load-model /tmp/model --socket /tmp/typilus.sock --index ivf
     python -m repro.cli annotate path/to/project --server /tmp/typilus.sock
     python -m repro.cli check path/to/file.py --mode strict
 """
@@ -55,7 +57,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.checker import CheckerMode, OptionalTypeChecker
-from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
+from repro.core import INDEX_KINDS, EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
 from repro.corpus import (
     CorpusSynthesizer,
     DatasetConfig,
@@ -103,6 +105,32 @@ def _add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
                         help="content-addressed extraction cache; unchanged files are never re-parsed")
 
 
+def _add_index_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--index", choices=list(INDEX_KINDS), default=None,
+                        help="TypeSpace index: exact (brute-force oracle, default), lsh "
+                             "(random-projection buckets) or ivf (k-means cells + shortlist "
+                             "re-rank, the sub-linear serving tier); with --load-model the "
+                             "loaded pipeline is re-indexed")
+    parser.add_argument("--nlist", type=int, default=None,
+                        help="ivf only: number of k-means cells (default 64)")
+    parser.add_argument("--nprobe", type=int, default=None,
+                        help="ivf only: cells probed per query (default 8)")
+
+
+def _index_settings(args: argparse.Namespace) -> tuple[Optional[str], dict]:
+    """The (index_kind, index_params) selected on the command line."""
+    kind: Optional[str] = getattr(args, "index", None)
+    params: dict = {}
+    for flag, name in [("--nlist", "nlist"), ("--nprobe", "nprobe")]:
+        value = getattr(args, name, None)
+        if value is None:
+            continue
+        if kind != "ivf":
+            raise SystemExit(f"{flag} only applies to the IVF index; add --index ivf")
+        params[name] = value
+    return kind, params
+
+
 def _ingest_config(args: argparse.Namespace) -> IngestConfig:
     jobs: Optional[int] = getattr(args, "jobs", 1)
     if jobs == 0:
@@ -137,9 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(train)
     _add_training_arguments(train)
     _add_ingest_arguments(train)
+    _add_index_arguments(train)
     train.add_argument("--save-typespace", type=Path, default=None, help="write the TypeSpace to this .npz file")
     train.add_argument("--save-model", type=Path, default=None,
                        help="persist the trained pipeline (weights + TypeSpace) to this directory")
+    train.add_argument("--typespace-layout", choices=["npz", "raw"], default="npz",
+                       help="--save-model marker layout: npz archive (default) or raw .npy "
+                            "(memory-mapped on load — the serving layout for large maps)")
     train.add_argument("--save-dataset", type=Path, default=None,
                        help="persist the assembled dataset to this directory for instant reloads")
 
@@ -147,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(suggest)
     _add_training_arguments(suggest)
     _add_ingest_arguments(suggest)
+    _add_index_arguments(suggest)
     suggest.add_argument("files", nargs="+", type=Path, help="Python files to annotate")
     suggest.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
     suggest.add_argument("--no-type-checker", action="store_true", help="skip checker filtering of candidates")
@@ -159,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(annotate)
     _add_training_arguments(annotate)
     _add_ingest_arguments(annotate)
+    _add_index_arguments(annotate)
     annotate.add_argument("directory", type=Path, help="project directory of .py files to annotate")
     annotate.add_argument("--load-model", type=Path, default=None,
                           help="serve a pipeline saved with --save-model instead of training")
@@ -182,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_corpus_arguments(serve)
     _add_training_arguments(serve)
     _add_ingest_arguments(serve)
+    _add_index_arguments(serve)
     serve.add_argument("--socket", type=Path, required=True,
                        help="Unix socket path the daemon listens on")
     serve.add_argument("--load-model", type=Path, default=None,
@@ -231,6 +266,7 @@ def _build_dataset(args: argparse.Namespace) -> TypeAnnotationDataset:
 
 
 def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> TypilusPipeline:
+    index_kind, index_params = _index_settings(args)
     return TypilusPipeline.fit(
         dataset,
         EncoderConfig(family=args.family, hidden_dim=args.hidden_dim, gnn_steps=args.gnn_steps),
@@ -241,6 +277,8 @@ def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> T
             dtype=getattr(args, "dtype", "float32"),
             compile_batches=not getattr(args, "no_compile", False),
         ),
+        index_kind=index_kind,
+        index_params=index_params,
         verbose=True,
     )
 
@@ -270,6 +308,7 @@ def _obtain_pipeline(args: argparse.Namespace) -> TypilusPipeline:
     """Load a saved pipeline when ``--load-model`` was given, else train one."""
     load_model: Optional[Path] = getattr(args, "load_model", None)
     if load_model is not None:
+        index_kind, index_params = _index_settings(args)
         try:
             pipeline = TypilusPipeline.load(load_model)
         except FileNotFoundError as error:
@@ -278,6 +317,9 @@ def _obtain_pipeline(args: argparse.Namespace) -> TypilusPipeline:
                 "create one with --save-model"
             ) from error
         print(f"loaded pipeline from {load_model} ({len(pipeline.type_space)} markers)")
+        if index_kind is not None:
+            pipeline.type_space.reindex(index_kind, **index_params)
+            print(f"re-indexed TypeSpace with the {index_kind} index")
         return pipeline
     dataset = _build_dataset(args)
     return _fit_pipeline(args, dataset)
@@ -306,7 +348,7 @@ def command_train(args: argparse.Namespace) -> int:
         pipeline.type_space.save(str(args.save_typespace))
         print(f"TypeSpace ({len(pipeline.type_space)} markers) saved to {args.save_typespace}")
     if args.save_model is not None:
-        pipeline.save(args.save_model)
+        pipeline.save(args.save_model, typespace_layout=args.typespace_layout)
         print(f"pipeline saved to {args.save_model}")
     return 0
 

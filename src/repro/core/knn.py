@@ -1,14 +1,19 @@
 """Nearest-neighbour indexes over the TypeSpace (L1 distance).
 
 The paper uses Annoy, an approximate nearest-neighbour library, to keep kNN
-queries fast.  Two indexes are provided here with the same interface:
+queries fast.  Three indexes are provided here with the same interface:
 
 * :class:`ExactL1Index` — brute-force search, exact, the default at our
-  corpus scale;
+  corpus scale and the oracle every approximate index is verified against;
 * :class:`RandomProjectionIndex` — an Annoy-style approximate index that
   hashes points into buckets with random hyperplanes and searches only the
   query's bucket neighbourhood.  It trades a little recall for sub-linear
-  query time and is benchmarked against the exact index.
+  query time and is benchmarked against the exact index;
+* :class:`~repro.core.ivf.IVFIndex` — the serving-tier index: a seeded
+  k-means coarse quantizer partitions the points into cells, queries probe
+  the ``nprobe`` nearest cells for a shortlist and the shortlist is exactly
+  re-ranked (optionally after a reduced-precision scan).  Built by
+  :func:`build_index` with ``kind="ivf"``.
 
 Both indexes are batch-first: the primitive operation is
 :meth:`query_batch_arrays`, which answers *all* queries with vectorized
@@ -57,14 +62,41 @@ def resolve_point_dtype(points: np.ndarray, dtype: Optional[np.dtype] = None) ->
     return np.dtype(np.float64)
 
 
-def l1_distance_matrix(queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+#: Cap on the number of elements of the per-block ``(queries × points)``
+#: distance/scratch matrices :func:`l1_distance_matrix` allocates at once
+#: (mirrors :data:`repro.nn.functional.PAIRWISE_CHUNK_ELEMENTS`).
+L1_CHUNK_ELEMENTS = 4_194_304
+
+
+def l1_distance_matrix(
+    queries: np.ndarray, points: np.ndarray, max_elements: int = L1_CHUNK_ELEMENTS
+) -> np.ndarray:
     """All-pairs L1 distances as a ``(num_queries, num_points)`` matrix.
 
     The result dtype follows the operands: float32 inputs produce float32
     distances (scipy's ``cdist`` always returns float64, so the float32 path
     uses the numpy accumulation instead of paying an up-cast copy).
+
+    When the ``(num_queries, num_points)`` block would exceed ``max_elements``
+    the queries are processed in chunks, bounding the peak working set (the
+    per-dimension scratch matrix and scipy's internal block) at one chunk
+    while the chunks fill one preallocated result — the distances are
+    identical with any cap.
     """
+    num_queries, num_points = len(queries), len(points)
     result_dtype = np.result_type(queries.dtype, points.dtype)
+    if num_queries * num_points <= max_elements or num_queries <= 1:
+        return _l1_distance_block(queries, points, result_dtype)
+    distances = np.empty((num_queries, num_points), dtype=result_dtype)
+    chunk_size = max(1, max_elements // max(num_points, 1))
+    for start in range(0, num_queries, chunk_size):
+        stop = start + chunk_size
+        distances[start:stop] = _l1_distance_block(queries[start:stop], points, result_dtype)
+    return distances
+
+
+def _l1_distance_block(queries: np.ndarray, points: np.ndarray, result_dtype: np.dtype) -> np.ndarray:
+    """One unchunked all-pairs L1 block (see :func:`l1_distance_matrix`)."""
     if _cdist is not None and result_dtype == np.float64:
         return _cdist(queries, points, "cityblock")
     # Accumulate per dimension with in-place ops on contiguous columns: this
@@ -354,15 +386,25 @@ class RandomProjectionIndex:
         """Union of the point indices in the probed bucket neighbourhood."""
         cached = self._candidate_cache.get(signature)
         if cached is None:
-            chunks = [
-                self._buckets[probe]
-                for probe in self._probe_signatures(signature)
-                if probe in self._buckets
-            ]
-            if chunks:
-                # Buckets are disjoint and the probe signatures distinct, so a
-                # plain concatenation has no duplicates; sort for determinism.
-                cached = np.sort(np.concatenate(chunks))
+            buckets = []
+            total = 0
+            for probe in self._probe_signatures(signature):
+                bucket = self._buckets.get(probe)
+                if bucket is not None:
+                    buckets.append(bucket)
+                    total += len(bucket)
+            if total:
+                # Copy every probed bucket into one preallocated buffer and
+                # dedupe/sort with a single np.unique pass.  Buckets are
+                # disjoint and the probe signatures distinct, so unique only
+                # sorts — byte-identical to concatenate+sort, without the
+                # intermediate per-bucket concatenation arrays.
+                buffer = np.empty(total, dtype=np.int64)
+                offset = 0
+                for bucket in buckets:
+                    buffer[offset : offset + len(bucket)] = bucket
+                    offset += len(bucket)
+                cached = np.unique(buffer)
             else:
                 cached = np.zeros(0, dtype=np.int64)
             if len(self._candidate_cache) < self._MAX_CANDIDATE_CACHE:
@@ -409,13 +451,52 @@ class RandomProjectionIndex:
         return BatchNeighbourResult(all_indices, all_distances, counts)
 
 
+#: The index kinds :func:`build_index` can construct.
+INDEX_KINDS = ("exact", "lsh", "ivf")
+
+
 def build_index(
     points: np.ndarray,
     approximate: bool = False,
     dtype: Optional[np.dtype] = None,
+    kind: Optional[str] = None,
     **kwargs,
 ) -> NearestNeighbourIndex:
-    """Factory mirroring the paper's use of a spatial index over the TypeSpace."""
-    if approximate:
+    """Factory mirroring the paper's use of a spatial index over the TypeSpace.
+
+    ``kind`` selects the index: ``"exact"`` (brute-force L1 oracle), ``"lsh"``
+    (:class:`RandomProjectionIndex`) or ``"ivf"``
+    (:class:`~repro.core.ivf.IVFIndex`).  The legacy ``approximate`` boolean
+    maps to ``"lsh"``/``"exact"`` and is only consulted when ``kind`` is not
+    given.  Extra keyword arguments are passed to the index constructor, which
+    validates them; an unknown ``kind`` is rejected up front instead of
+    silently falling back to the exact scan.
+    """
+    if kind is None:
+        kind = "lsh" if approximate else "exact"
+    if kind == "exact":
+        if kwargs:
+            raise TypeError(
+                f"the exact index takes no parameters, got {sorted(kwargs)} "
+                "(did you mean kind='lsh' or kind='ivf'?)"
+            )
+        return ExactL1Index(points, dtype=dtype)
+    if kind == "lsh":
         return RandomProjectionIndex(points, dtype=dtype, **kwargs)
-    return ExactL1Index(points, dtype=dtype)
+    if kind == "ivf":
+        from repro.core.ivf import IVFIndex  # deferred: ivf imports this module
+
+        return IVFIndex(points, dtype=dtype, **kwargs)
+    raise ValueError(
+        f"unknown index kind {kind!r}: valid kinds are {', '.join(INDEX_KINDS)}"
+    )
+
+
+def validate_index_params(kind: Optional[str], dim: int, dtype: Optional[np.dtype] = None, **kwargs) -> None:
+    """Validate an index kind + parameter set without building a real index.
+
+    Runs the same constructor-time checks the indexes apply (a dry build over
+    a zero-point set), so a misconfigured ``TypeSpace(index_kind=...)`` fails
+    at construction, not at the first query.
+    """
+    build_index(np.zeros((0, max(dim, 1))), dtype=dtype, kind=kind, **kwargs)

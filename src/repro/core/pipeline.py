@@ -192,13 +192,21 @@ class TypilusPipeline:
         training_config: Optional[TrainingConfig] = None,
         knn_k: int = 10,
         knn_p: float = 1.0,
+        index_kind: Optional[str] = None,
+        index_params: Optional[dict] = None,
         verbose: bool = False,
     ) -> "TypilusPipeline":
-        """Train an encoder and build the TypeSpace in one call."""
+        """Train an encoder and build the TypeSpace in one call.
+
+        ``index_kind``/``index_params`` select the TypeSpace's spatial index
+        (``"exact"``/``"lsh"``/``"ivf"``; validated up front) — e.g.
+        ``index_kind="ivf", index_params={"nlist": 256, "nprobe": 8}`` for the
+        sub-linear serving tier.
+        """
         encoder = build_encoder(dataset, encoder_config)
         trainer = Trainer(encoder, dataset, loss_kind=loss_kind, config=training_config)
         result = trainer.train(verbose=verbose)
-        space = trainer.build_type_space()
+        space = trainer.build_type_space(index_kind=index_kind, index_params=index_params)
         return cls(dataset, encoder, result, space, knn_k=knn_k, knn_p=knn_p)
 
     # -- split-level prediction --------------------------------------------------------------
@@ -417,20 +425,28 @@ class TypilusPipeline:
 
     # -- persistence -----------------------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(self, path: Union[str, Path], typespace_layout: str = "npz") -> Path:
         """Persist the trained pipeline to a directory.
 
         The directory holds ``pipeline.json`` (encoder architecture,
-        vocabularies and kNN settings), ``encoder.npz`` (weights, via
-        :mod:`repro.nn.serialization`) and ``typespace.npz`` (the type map's
-        markers).  :meth:`load` restores a pipeline that reproduces the saved
-        model's predictions exactly, without a dataset or re-training.
+        vocabularies, kNN settings and the index configuration),
+        ``encoder.npz`` (weights, via :mod:`repro.nn.serialization`) and the
+        type map's markers — as ``typespace.npz`` with the default
+        ``typespace_layout="npz"``, or as a raw ``typespace/`` directory with
+        ``typespace_layout="raw"``, whose marker matrix :meth:`load` then
+        memory-maps instead of copying (the serving layout for large maps).
+        :meth:`load` restores a pipeline that reproduces the saved model's
+        predictions exactly, without a dataset or re-training.
 
         (Exception: the "path" encoder family samples paths with a stateful
         RNG at inference, so its predictions vary run to run even without
         persistence; the graph/sequence/names families round-trip
         byte-identically.)
         """
+        if typespace_layout not in ("npz", "raw"):
+            raise ValueError(
+                f"unknown typespace layout {typespace_layout!r}: valid layouts are npz, raw"
+            )
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
         manifest = {
@@ -438,18 +454,32 @@ class TypilusPipeline:
             "encoder": _describe_encoder(self.encoder),
             "knn": {"k": self.predictor.k, "p": self.predictor.p, "epsilon": self.predictor.epsilon},
             "approximate_index": self.type_space.approximate_index,
+            "index": {"kind": self.type_space.index_kind, "params": self.type_space.index_params},
+            "typespace_layout": typespace_layout,
         }
         (path / "pipeline.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
         serialization.save_modules(path / "encoder.npz", encoder=self.encoder)
-        self.type_space.save(str(path / "typespace.npz"))
+        if typespace_layout == "raw":
+            self.type_space.save(str(path / "typespace"), layout="raw")
+        else:
+            self.type_space.save(str(path / "typespace.npz"))
         return path
 
     @classmethod
-    def load(cls, path: Union[str, Path], dataset: Optional[TypeAnnotationDataset] = None) -> "TypilusPipeline":
+    def load(
+        cls,
+        path: Union[str, Path],
+        dataset: Optional[TypeAnnotationDataset] = None,
+        mmap_typespace: Optional[bool] = None,
+    ) -> "TypilusPipeline":
         """Restore a pipeline saved with :meth:`save`.
 
         The optional ``dataset`` re-attaches lattice/registry context for
-        split evaluation; suggestion and annotation work without it.
+        split evaluation; suggestion and annotation work without it.  A
+        pipeline saved with ``typespace_layout="raw"`` memory-maps its marker
+        matrix by default (``mmap_typespace=None`` → mmap when the layout
+        supports it); pass ``mmap_typespace=False`` to force an in-RAM copy.
+        The saved index kind/params are restored with the markers.
         """
         path = Path(path)
         manifest = json.loads((path / "pipeline.json").read_text(encoding="utf-8"))
@@ -459,7 +489,26 @@ class TypilusPipeline:
         encoder = _encoder_from_description(manifest["encoder"])
         serialization.load_modules(path / "encoder.npz", encoder=encoder)
         encoder.eval()
-        space = TypeSpace.load(str(path / "typespace.npz"), approximate_index=manifest.get("approximate_index", False))
+        index = manifest.get("index")
+        index_kind = index["kind"] if index else ("lsh" if manifest.get("approximate_index") else "exact")
+        index_params = dict(index["params"]) if index else {}
+        layout = manifest.get("typespace_layout", "npz")
+        if layout == "raw":
+            space = TypeSpace.load(
+                str(path / "typespace"),
+                index_kind=index_kind,
+                index_params=index_params,
+                mmap=mmap_typespace if mmap_typespace is not None else True,
+            )
+        else:
+            if mmap_typespace:
+                raise ValueError(
+                    "this pipeline was saved with the npz typespace layout, which cannot "
+                    "be memory-mapped; re-save with typespace_layout='raw'"
+                )
+            space = TypeSpace.load(
+                str(path / "typespace.npz"), index_kind=index_kind, index_params=index_params
+            )
         knn = manifest.get("knn", {})
         pipeline = cls(
             dataset,

@@ -525,6 +525,8 @@ class Trainer:
         include_valid: bool = True,
         approximate_index: bool = False,
         dtype=None,
+        index_kind=None,
+        index_params=None,
     ) -> TypeSpace:
         """Populate the type map from the train (and validation) annotations.
 
@@ -532,11 +534,15 @@ class Trainer:
         validation sets".  ``dtype`` selects the marker storage precision
         (default float64, the historical behaviour; ``float32`` keeps a
         float32 encoder's serving path up-cast free at half the memory).
+        ``index_kind``/``index_params`` select the spatial index
+        (``"exact"``/``"lsh"``/``"ivf"``), superseding ``approximate_index``.
         """
         space = TypeSpace(
             self.encoder.output_dim,
             approximate_index=approximate_index,
             dtype=dtype if dtype is not None else np.float64,
+            index_kind=index_kind,
+            index_params=index_params,
         )
         train_embeddings, train_samples = self.embed_split(self.dataset.train)
         space.add_markers([s.annotation for s in train_samples], train_embeddings, source="train")

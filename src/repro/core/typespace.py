@@ -29,11 +29,17 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.knn import BatchNeighbourResult, NearestNeighbourIndex, build_index
+from repro.core.knn import (
+    BatchNeighbourResult,
+    NearestNeighbourIndex,
+    build_index,
+    validate_index_params,
+)
 
 
 @dataclass
@@ -87,12 +93,23 @@ class TypeSpace:
         dim: int,
         approximate_index: bool = False,
         dtype: Union[str, np.dtype] = np.float64,
+        index_kind: Optional[str] = None,
+        index_params: Optional[dict] = None,
     ) -> None:
         self.dim = dim
-        self.approximate_index = approximate_index
         self.dtype = np.dtype(dtype)
         if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
             raise ValueError(f"TypeSpace dtype must be float32 or float64, got {self.dtype}")
+        # ``index_kind`` ("exact" | "lsh" | "ivf") supersedes the legacy
+        # ``approximate_index`` boolean, which maps to "lsh"; both kind and
+        # params are validated now, with the indexes' own constructor checks,
+        # not at the first query.
+        if index_kind is None:
+            index_kind = "lsh" if approximate_index else "exact"
+        self.index_kind = index_kind
+        self.index_params = dict(index_params or {})
+        validate_index_params(self.index_kind, dim, dtype=self.dtype, **self.index_params)
+        self.approximate_index = self.index_kind != "exact"
         self._embeddings = np.empty((0, dim), dtype=self.dtype)  # growable row storage
         self._size = 0
         self._codes = np.empty(0, dtype=np.int64)  # growable, parallel to the rows
@@ -249,9 +266,22 @@ class TypeSpace:
         """The spatial index over the markers (built lazily, then extended)."""
         if self._index is None:
             self._index = build_index(
-                self.marker_matrix(), approximate=self.approximate_index, dtype=self.dtype
+                self.marker_matrix(), kind=self.index_kind, dtype=self.dtype, **self.index_params
             )
         return self._index
+
+    def reindex(self, index_kind: str, **index_params) -> None:
+        """Switch the index kind/params; the new index builds lazily on the next query.
+
+        This is how a loaded serving pipeline swaps its exact scan for an IVF
+        index (``space.reindex("ivf", nlist=256, nprobe=8)``) without touching
+        the markers.  Parameters are validated immediately.
+        """
+        validate_index_params(index_kind, self.dim, dtype=self.dtype, **index_params)
+        self.index_kind = index_kind
+        self.index_params = dict(index_params)
+        self.approximate_index = index_kind != "exact"
+        self._index = None
 
     def nearest(self, embedding: np.ndarray, k: int) -> list[tuple[str, float]]:
         """The ``k`` nearest markers of ``embedding``: ``(type, L1 distance)``."""
@@ -274,31 +304,124 @@ class TypeSpace:
 
     # -- persistence -------------------------------------------------------------------
 
-    def save(self, path: str) -> str:
-        """Persist markers to an ``.npz`` file (embeddings keep their dtype)."""
-        np.savez(
-            path,
-            embeddings=self.marker_matrix(),
-            type_names=np.asarray(self.marker_type_names(), dtype=object),
-            sources=np.asarray(self._sources, dtype=object),
-            dim=np.asarray([self.dim]),
-        )
-        return path
+    def save(self, path: str, layout: str = "npz") -> str:
+        """Persist the markers.
+
+        ``layout="npz"`` (the historical default) writes one ``.npz`` archive
+        with per-marker type-name strings.  ``layout="raw"`` treats ``path``
+        as a directory and writes the serving layout: the marker matrix as a
+        raw ``embeddings.npy`` (loadable with ``mmap_mode="r"``, so a
+        million-marker map opens without copying into every process) next to
+        a columnar ``markers.npz`` (int64 type codes + interned vocabulary +
+        sources).  Embeddings keep their dtype in both layouts.
+        """
+        if layout == "npz":
+            np.savez(
+                path,
+                embeddings=self.marker_matrix(),
+                type_names=np.asarray(self.marker_type_names(), dtype=object),
+                sources=np.asarray(self._sources, dtype=object),
+                dim=np.asarray([self.dim]),
+            )
+            return path
+        if layout == "raw":
+            directory = Path(path)
+            directory.mkdir(parents=True, exist_ok=True)
+            np.save(directory / "embeddings.npy", np.ascontiguousarray(self.marker_matrix()))
+            np.savez(
+                directory / "markers.npz",
+                codes=self.marker_type_codes(),
+                vocabulary=np.asarray(self._vocabulary_list, dtype=object),
+                sources=np.asarray(self._sources, dtype=object),
+                dim=np.asarray([self.dim]),
+            )
+            return path
+        raise ValueError(f"unknown TypeSpace layout {layout!r}: valid layouts are npz, raw")
 
     @classmethod
-    def load(cls, path: str, approximate_index: bool = False) -> "TypeSpace":
+    def load(
+        cls,
+        path: str,
+        approximate_index: bool = False,
+        index_kind: Optional[str] = None,
+        index_params: Optional[dict] = None,
+        mmap: bool = False,
+    ) -> "TypeSpace":
         """Restore a space saved with :meth:`save` in one bulk load.
 
-        All markers are appended with a single :meth:`add_markers` call, so
-        the storage is allocated once and the index is built at most once —
-        never once per marker.  The stored embedding dtype is preserved.
+        An ``.npz`` archive restores with a single :meth:`add_markers` call,
+        so the storage is allocated once and the index is built at most once
+        — never once per marker.  A raw-layout directory adopts its arrays
+        directly; with ``mmap=True`` the marker matrix is memory-mapped
+        read-only (``mmap_mode="r"``) — no full-matrix copy, and concurrent
+        loaders share the same physical pages.  The first
+        :meth:`add_markers` on a mapped space promotes the matrix to private
+        writable storage (one copy, the on-disk file is never touched).  The
+        stored embedding dtype is preserved either way.
         """
+        source = Path(path)
+        if source.is_dir():
+            return cls._load_raw(source, approximate_index, index_kind, index_params, mmap)
+        if mmap:
+            raise ValueError(
+                "mmap=True needs the raw directory layout (save(path, layout='raw')); "
+                "zip-compressed .npz archives cannot be memory-mapped"
+            )
         with np.load(path, allow_pickle=True) as archive:
             dim = int(archive["dim"][0])
             embeddings = archive["embeddings"]
             dtype = np.float32 if embeddings.dtype == np.float32 else np.float64
-            space = cls(dim, approximate_index=approximate_index, dtype=dtype)
+            space = cls(
+                dim,
+                approximate_index=approximate_index,
+                dtype=dtype,
+                index_kind=index_kind,
+                index_params=index_params,
+            )
             type_names = [str(name) for name in archive["type_names"]]
             sources = [str(source) for source in archive["sources"]]
             space.add_markers(type_names, embeddings.reshape(len(type_names), dim), source=sources)
+        return space
+
+    @classmethod
+    def _load_raw(
+        cls,
+        directory: Path,
+        approximate_index: bool,
+        index_kind: Optional[str],
+        index_params: Optional[dict],
+        mmap: bool,
+    ) -> "TypeSpace":
+        """Adopt a raw-layout directory's arrays (optionally memory-mapped)."""
+        embeddings = np.load(directory / "embeddings.npy", mmap_mode="r" if mmap else None)
+        with np.load(directory / "markers.npz", allow_pickle=True) as archive:
+            dim = int(archive["dim"][0])
+            codes = np.ascontiguousarray(archive["codes"], dtype=np.int64)
+            vocabulary = [str(name) for name in archive["vocabulary"]]
+            sources = [str(source) for source in archive["sources"]]
+        if embeddings.ndim != 2 or embeddings.shape != (len(codes), dim):
+            raise ValueError(
+                f"raw TypeSpace at {directory} is inconsistent: embeddings shape "
+                f"{embeddings.shape} does not match {len(codes)} markers of dim {dim}"
+            )
+        if len(codes) and codes.max(initial=-1) >= len(vocabulary):
+            raise ValueError(f"raw TypeSpace at {directory} has codes outside its vocabulary")
+        dtype = np.float32 if embeddings.dtype == np.float32 else np.float64
+        space = cls(
+            dim,
+            approximate_index=approximate_index,
+            dtype=dtype,
+            index_kind=index_kind,
+            index_params=index_params,
+        )
+        for name in vocabulary:
+            space._intern(name)
+        # Adopt the arrays as-is: the (possibly memory-mapped, read-only)
+        # matrix becomes the row storage with zero copies.  Growth reallocates
+        # (len == size, so any extension exceeds capacity), which is exactly
+        # the copy-on-extend promotion a mapped space needs.
+        space._embeddings = embeddings
+        space._codes = codes
+        space._sources = sources
+        space._size = len(codes)
         return space

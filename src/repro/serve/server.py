@@ -258,6 +258,7 @@ class AnnotationServer:
                 "markers": len(space),
                 "dim": space.dim,
                 "approximate_index": space.approximate_index,
+                "index_kind": space.index_kind,
                 "dtype": str(space.dtype),
             }
         if op == "stats":

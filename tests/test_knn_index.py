@@ -3,13 +3,18 @@
 import numpy as np
 import pytest
 
+import repro.core.knn as knn_module
 from repro.core import (
     ExactL1Index,
+    IVFIndex,
     KNNTypePredictor,
     RandomProjectionIndex,
     TypeSpace,
     adapt_space_with_new_type,
+    build_index,
+    validate_index_params,
 )
+from repro.core.knn import l1_distance_matrix
 
 
 class TestBatchQueries:
@@ -375,3 +380,114 @@ class TestBulkBuildRegression:
             space.add_marker(f"t{position % 3}", np.full(2, float(position)))
             space.nearest(np.zeros(2), k=1)  # query between every add
         assert calls["builds"] == 1  # built once, then extended 11 times
+
+
+class TestDistanceMatrixChunking:
+    """The query-chunked l1_distance_matrix must equal the unchunked path."""
+
+    def test_chunked_distances_equal_unchunked(self):
+        rng = np.random.default_rng(11)
+        queries = rng.normal(size=(37, 9))
+        points = rng.normal(size=(23, 9))
+        full = l1_distance_matrix(queries, points, max_elements=10**9)
+        for cap in (1, 7, 50, 300, 36 * 23):
+            chunked = l1_distance_matrix(queries, points, max_elements=cap)
+            np.testing.assert_array_equal(chunked, full)
+
+    def test_chunked_distances_equal_unchunked_float32(self):
+        rng = np.random.default_rng(12)
+        queries = rng.normal(size=(21, 5)).astype(np.float32)
+        points = rng.normal(size=(40, 5)).astype(np.float32)
+        full = l1_distance_matrix(queries, points, max_elements=10**9)
+        chunked = l1_distance_matrix(queries, points, max_elements=64)
+        assert chunked.dtype == np.float32
+        np.testing.assert_array_equal(chunked, full)
+
+    def test_single_query_never_chunks_below_one_row(self):
+        rng = np.random.default_rng(13)
+        queries = rng.normal(size=(1, 4))
+        points = rng.normal(size=(1000, 4))
+        np.testing.assert_array_equal(
+            l1_distance_matrix(queries, points, max_elements=10),
+            l1_distance_matrix(queries, points, max_elements=10**9),
+        )
+
+    def test_exact_index_results_independent_of_cap(self, monkeypatch):
+        rng = np.random.default_rng(14)
+        points = rng.normal(size=(150, 6))
+        queries = rng.normal(size=(30, 6))
+        baseline = ExactL1Index(points).query_batch_arrays(queries, k=8)
+        monkeypatch.setattr(knn_module, "L1_CHUNK_ELEMENTS", 256)
+        capped = ExactL1Index(points).query_batch_arrays(queries, k=8)
+        np.testing.assert_array_equal(baseline.indices, capped.indices)
+        np.testing.assert_array_equal(baseline.distances, capped.distances)
+
+
+class TestCandidateBuffer:
+    """The preallocated-buffer candidate dedupe must be byte-identical."""
+
+    def _reference_candidates(self, index, signature):
+        buckets = [
+            index._buckets[probe]
+            for probe in index._probe_signatures(signature)
+            if probe in index._buckets
+        ]
+        if not buckets:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(buckets))
+
+    def test_candidates_match_concatenate_unique(self):
+        rng = np.random.default_rng(21)
+        points = rng.normal(size=(300, 7))
+        index = RandomProjectionIndex(points, num_bits=6, probe_radius=2, seed=3)
+        signatures = {int(s) for s in index._signatures_for(points)}
+        assert signatures
+        for signature in signatures:
+            produced = index._candidates_for(signature)
+            expected = self._reference_candidates(index, signature)
+            assert produced.dtype == expected.dtype
+            np.testing.assert_array_equal(produced, expected)
+            assert produced.tobytes() == expected.tobytes()
+
+    def test_queries_byte_identical_to_reference_dedupe(self, monkeypatch):
+        rng = np.random.default_rng(22)
+        points = rng.normal(size=(250, 6))
+        queries = rng.normal(size=(60, 6))
+        index = RandomProjectionIndex(points, num_bits=5, probe_radius=1, seed=9)
+        fast = index.query_batch_arrays(queries, k=5)
+        reference = self._reference_candidates
+        monkeypatch.setattr(
+            RandomProjectionIndex,
+            "_candidates_for",
+            lambda self, signature: reference(self, signature),
+        )
+        slow_index = RandomProjectionIndex(points, num_bits=5, probe_radius=1, seed=9)
+        slow = slow_index.query_batch_arrays(queries, k=5)
+        assert fast.indices.tobytes() == slow.indices.tobytes()
+        assert fast.distances.tobytes() == slow.distances.tobytes()
+
+
+class TestBuildIndexKinds:
+    def test_unknown_kind_rejected_with_valid_kinds_listed(self):
+        points = np.zeros((4, 3))
+        with pytest.raises(ValueError, match=r"unknown index kind 'annoy'.*exact, lsh, ivf"):
+            build_index(points, kind="annoy")
+
+    def test_exact_kind_rejects_stray_parameters(self):
+        with pytest.raises(TypeError, match="exact index takes no parameters"):
+            build_index(np.zeros((4, 3)), kind="exact", nlist=8)
+
+    def test_kind_dispatch(self):
+        points = np.random.default_rng(1).normal(size=(30, 4))
+        assert isinstance(build_index(points, kind="exact"), ExactL1Index)
+        assert isinstance(build_index(points, kind="lsh", num_bits=4), RandomProjectionIndex)
+        assert isinstance(build_index(points, kind="ivf", nlist=4, nprobe=2), IVFIndex)
+        # the legacy boolean still maps onto the kinds
+        assert isinstance(build_index(points, approximate=True), RandomProjectionIndex)
+        assert isinstance(build_index(points), ExactL1Index)
+
+    def test_validate_index_params_catches_bad_params_without_points(self):
+        with pytest.raises(ValueError, match="nprobe .* cannot exceed nlist"):
+            validate_index_params("ivf", dim=8, nlist=4, nprobe=9)
+        with pytest.raises(ValueError, match="unknown index kind"):
+            validate_index_params("faiss", dim=8)

@@ -1,0 +1,165 @@
+"""Memory-mapped TypeSpace serving: raw layout, shared read-only pages, promotion."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import TypeSpace, TypilusPipeline
+
+
+def populated_space(n=300, dim=8, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    space = TypeSpace(dim, **kwargs)
+    space.add_markers(
+        [f"T{position % 12}" for position in range(n)],
+        rng.normal(size=(n, dim)),
+        source=[f"file{position % 5}.py" for position in range(n)],
+    )
+    return space
+
+
+class TestRawLayout:
+    def test_raw_round_trip_preserves_everything(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        restored = TypeSpace.load(str(tmp_path / "ts"))
+        assert restored.marker_type_names() == space.marker_type_names()
+        assert restored.marker_sources() == space.marker_sources()
+        assert restored.dtype == space.dtype
+        np.testing.assert_array_equal(restored.marker_matrix(), space.marker_matrix())
+
+    def test_raw_round_trip_preserves_float32(self, tmp_path):
+        space = populated_space(dtype=np.float32)
+        space.save(str(tmp_path / "ts"), layout="raw")
+        restored = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        assert restored.dtype == np.float32
+        assert restored.marker_matrix().dtype == np.float32
+
+    def test_unknown_layout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown TypeSpace layout 'parquet'"):
+            populated_space().save(str(tmp_path / "ts"), layout="parquet")
+
+    def test_mmap_of_npz_archive_rejected(self, tmp_path):
+        space = populated_space()
+        path = str(tmp_path / "space.npz")
+        space.save(path)
+        with pytest.raises(ValueError, match="cannot be memory-mapped"):
+            TypeSpace.load(path, mmap=True)
+
+    def test_inconsistent_raw_directory_rejected(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        np.save(tmp_path / "ts" / "embeddings.npy", np.zeros((2, 8)))
+        with pytest.raises(ValueError, match="is inconsistent"):
+            TypeSpace.load(str(tmp_path / "ts"))
+
+
+class TestMmapSemantics:
+    def test_mmap_load_performs_no_copy_and_is_read_only(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        mapped = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        matrix = mapped.marker_matrix()
+        assert isinstance(matrix, np.memmap)  # backed by the file, not a RAM copy
+        assert matrix.base is not None
+        assert not matrix.flags.writeable
+
+    def test_mmap_nearest_batch_byte_identical(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        mapped = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        queries = np.random.default_rng(7).normal(size=(40, 8))
+        expected = space.nearest_batch(queries, 6)
+        answered = mapped.nearest_batch(queries, 6)
+        assert expected.type_codes.tobytes() == answered.type_codes.tobytes()
+        assert expected.distances.tobytes() == answered.distances.tobytes()
+
+    def test_two_loads_are_both_read_only_views_of_the_file(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        first = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        second = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        for loaded in (first, second):
+            matrix = loaded.marker_matrix()
+            assert isinstance(matrix, np.memmap)
+            assert not matrix.flags.writeable
+            assert str(matrix.base.filename) == str(tmp_path / "ts" / "embeddings.npy")
+        queries = np.random.default_rng(8).normal(size=(5, 8))
+        assert (
+            first.nearest_batch(queries, 3).distances.tobytes()
+            == second.nearest_batch(queries, 3).distances.tobytes()
+        )
+
+    def test_add_markers_promotes_without_corrupting_the_file(self, tmp_path):
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        on_disk = np.array(np.load(tmp_path / "ts" / "embeddings.npy"))
+        mapped = TypeSpace.load(str(tmp_path / "ts"), mmap=True)
+        mapped.nearest_batch(np.zeros((1, 8)), 2)  # build the index over the mapping
+        new_rows = np.random.default_rng(9).normal(size=(10, 8))
+        mapped.add_markers(["Fresh"] * 10, new_rows, source="adapt")
+        matrix = mapped.marker_matrix()
+        assert not isinstance(matrix, np.memmap)  # promoted to private RAM storage
+        assert matrix.flags.writeable
+        assert len(mapped) == len(on_disk) + 10
+        np.testing.assert_array_equal(matrix[: len(on_disk)], on_disk)
+        np.testing.assert_array_equal(matrix[len(on_disk) :], new_rows)
+        # the on-disk file is untouched: a fresh load still sees the original rows
+        np.testing.assert_array_equal(
+            np.array(np.load(tmp_path / "ts" / "embeddings.npy")), on_disk
+        )
+        # and the promoted space serves the new markers
+        answer = mapped.nearest(new_rows[0], 1)
+        assert answer[0][0] == "Fresh"
+
+
+class TestPipelineRawLayout:
+    @pytest.fixture(scope="class")
+    def raw_dir(self, trained_pipeline, tmp_path_factory):
+        path = tmp_path_factory.mktemp("model") / "pipeline"
+        trained_pipeline.save(path, typespace_layout="raw")
+        return path
+
+    def test_raw_save_writes_directory_layout(self, raw_dir):
+        assert (raw_dir / "typespace" / "embeddings.npy").exists()
+        assert (raw_dir / "typespace" / "markers.npz").exists()
+        assert not (raw_dir / "typespace.npz").exists()
+        manifest = json.loads((raw_dir / "pipeline.json").read_text(encoding="utf-8"))
+        assert manifest["typespace_layout"] == "raw"
+        assert manifest["index"] == {"kind": "exact", "params": {}}
+
+    def test_raw_load_memory_maps_by_default(self, raw_dir):
+        loaded = TypilusPipeline.load(raw_dir)
+        assert isinstance(loaded.type_space.marker_matrix(), np.memmap)
+        in_ram = TypilusPipeline.load(raw_dir, mmap_typespace=False)
+        assert not isinstance(in_ram.type_space.marker_matrix(), np.memmap)
+
+    def test_raw_reload_keeps_byte_identical_fingerprint(self, trained_pipeline, raw_dir):
+        loaded = TypilusPipeline.load(raw_dir)
+        assert loaded.fingerprint() == trained_pipeline.fingerprint()
+
+    def test_npz_layout_cannot_be_mmapped(self, trained_pipeline, tmp_path):
+        path = tmp_path / "npz-model"
+        trained_pipeline.save(path)
+        with pytest.raises(ValueError, match="cannot\\s+be memory-mapped"):
+            TypilusPipeline.load(path, mmap_typespace=True)
+
+    def test_unknown_layout_rejected(self, trained_pipeline, tmp_path):
+        with pytest.raises(ValueError, match="unknown typespace layout"):
+            trained_pipeline.save(tmp_path / "model", typespace_layout="hdf5")
+
+    def test_index_kind_round_trips_through_manifest(self, trained_pipeline, tmp_path):
+        trained_pipeline.type_space.reindex("ivf", nlist=4, nprobe=2)
+        try:
+            path = tmp_path / "ivf-model"
+            trained_pipeline.save(path, typespace_layout="raw")
+            manifest = json.loads((path / "pipeline.json").read_text(encoding="utf-8"))
+            assert manifest["index"] == {"kind": "ivf", "params": {"nlist": 4, "nprobe": 2}}
+            loaded = TypilusPipeline.load(path)
+            assert loaded.type_space.index_kind == "ivf"
+            assert loaded.type_space.index_params == {"nlist": 4, "nprobe": 2}
+            assert loaded.type_space.approximate_index
+        finally:
+            # trained_pipeline is session-scoped: restore the default index
+            trained_pipeline.type_space.reindex("exact")
