@@ -22,6 +22,8 @@ merged) go through ``bench_check`` like every hardware-dependent claim.
 import os
 import shutil
 import tempfile
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -30,10 +32,13 @@ from _bench_utils import run_once
 from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
 from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
 from repro.engine import AnnotatorConfig, ProjectAnnotator
-from repro.serve import AnnotationClient, AnnotationServer, ServeConfig
+from repro.serve import AnnotationClient, AnnotationServer, FaultInjector, RetryPolicy, ServeConfig, ServeError
 from repro.utils.timing import Stopwatch
 
 NUM_REQUESTS = 6
+
+#: Admission capacity for the overload axis; the flood sends twice this.
+OVERLOAD_CAPACITY = 4
 
 
 @pytest.fixture(scope="module")
@@ -137,4 +142,118 @@ def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_chec
     bench_check(
         result["speedup_concurrent"] >= 1.0,
         "micro-batched concurrent serving must not be slower than serial round trips",
+    )
+
+
+def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, bench_check, bench_record):
+    """Behaviour at 2x admission capacity: sheds are immediate and definitive,
+    admitted requests all complete (goodput), nothing hangs.
+
+    A fault-injection gate pins the batcher so the flood deterministically
+    overfills admission; the drain is then timed from gate release.
+    """
+    workdir = tempfile.mkdtemp(prefix="typilus-bench-overload-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    gate = threading.Event()
+    injector = FaultInjector().arm("slow_batch", times=None, gate=gate)
+    server = AnnotationServer(
+        serving_pipeline,
+        socket_path,
+        annotator_config=AnnotatorConfig(use_type_checker=False),
+        serve_config=ServeConfig(
+            batch_window_seconds=0.01,
+            max_batch_requests=2,
+            max_queue_depth=OVERLOAD_CAPACITY,
+        ),
+        fault_injector=injector,
+    ).start()
+    client = AnnotationClient(socket_path)
+    flood_size = 2 * OVERLOAD_CAPACITY
+    payloads = [request_payloads[i % len(request_payloads)] for i in range(flood_size)]
+    try:
+        client.wait_until_ready(timeout=10.0)
+
+        def attempt(payload):
+            try:
+                return ("ok", AnnotationClient(socket_path).annotate_sources(payload))
+            except ServeError as error:
+                return (error.kind, error)
+
+        def measure():
+            # pin the batcher on a sacrificial request, then flood past capacity
+            pool = ThreadPoolExecutor(max_workers=flood_size + 1)
+            sacrificial = pool.submit(client.annotate_sources, request_payloads[0])
+            assert injector.wait_for("slow_batch"), "batcher never reached the gate"
+            futures = [pool.submit(attempt, payload) for payload in payloads]
+            # sheds return immediately; wait until every flood request is
+            # either shed or admitted before timing the drain
+            deadline_probe = AnnotationClient(socket_path)
+
+            def settled() -> bool:
+                shed = deadline_probe.stats()["shed_requests"]
+                admitted = deadline_probe.ping()["queue_depth"] - 1  # minus the pinned request
+                return shed + admitted >= flood_size
+
+            settle_deadline = time.monotonic() + 60.0
+            while not settled():
+                assert time.monotonic() < settle_deadline, "flood never settled"
+                time.sleep(0.005)
+            drain_seconds = _time(lambda: (gate.set(), [f.result(timeout=120) for f in futures]))
+            outcomes = [future.result() for future in futures]
+            assert sacrificial.result(timeout=120).num_files >= 1
+            pool.shutdown()
+            oks = sum(1 for kind, _ in outcomes if kind == "ok")
+            sheds = sum(1 for kind, _ in outcomes if kind == "overloaded")
+            hints = [
+                error.retry_after_seconds for kind, error in outcomes if kind == "overloaded"
+            ]
+            # a client that backs off and retries wins through once load clears
+            retrying = AnnotationClient(
+                socket_path, retry_policy=RetryPolicy(max_attempts=6, base_delay_seconds=0.02)
+            )
+            assert retrying.annotate_sources(request_payloads[0]).num_files >= 1
+            stats = client.stats()
+            return {
+                "overload_requests": flood_size,
+                "overload_capacity": OVERLOAD_CAPACITY,
+                "completed": oks,
+                "shed": sheds,
+                "shed_ratio": sheds / flood_size,
+                "goodput_rps": oks / drain_seconds if drain_seconds > 0 else 0.0,
+                "drain_seconds": drain_seconds,
+                "retry_hints": hints,
+                "stats_shed_requests": stats["shed_requests"],
+                "outcome_kinds": sorted({kind for kind, _ in outcomes}),
+            }
+
+        result = run_once(benchmark, measure)
+    finally:
+        gate.set()
+        server.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+    print(
+        f"\noverload: {result['overload_requests']} requests at capacity "
+        f"{result['overload_capacity']}: {result['completed']} completed, {result['shed']} shed "
+        f"(ratio {result['shed_ratio']:.2f}), goodput {result['goodput_rps']:.1f} req/s"
+    )
+    bench_record(
+        overload_requests=result["overload_requests"],
+        overload_capacity=result["overload_capacity"],
+        overload_completed=result["completed"],
+        overload_shed=result["shed"],
+        overload_shed_ratio=result["shed_ratio"],
+        overload_goodput_rps=result["goodput_rps"],
+    )
+    bench_check(result["shed"] >= 1, "a 2x-capacity flood must shed at least one request")
+    bench_check(
+        result["completed"] + result["shed"] == result["overload_requests"],
+        "every flood request must get a definitive outcome (completed or shed), never a hang",
+    )
+    bench_check(
+        set(result["outcome_kinds"]) <= {"ok", "overloaded"},
+        "flood outcomes must be success or an overloaded shed, nothing else",
+    )
+    bench_check(
+        all(hint > 0 for hint in result["retry_hints"]),
+        "every shed must carry a positive retry_after_seconds hint",
     )

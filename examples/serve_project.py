@@ -16,7 +16,12 @@ whole story in one process:
    with examples of a new type extends the columnar TypeSpace and its
    index in place — no rebuild, no restart, no retraining (Sec. 4.2's
    open vocabulary, now at serving time);
-5. shut the daemon down cleanly over the same protocol.
+5. overload a capacity-2 daemon on purpose: sheds come back as
+   ``overloaded`` errors with a retry hint, and clients armed with a
+   :class:`repro.serve.RetryPolicy` back off and win through;
+6. hot-reload the daemon onto the originally saved model directory,
+   undoing the adaptation without dropping a single request;
+7. shut the daemon down cleanly over the same protocol.
 """
 
 import tempfile
@@ -26,7 +31,7 @@ from pathlib import Path
 from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
 from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
 from repro.engine import AnnotatorConfig
-from repro.serve import AnnotationClient, AnnotationServer, ServeConfig
+from repro.serve import AnnotationClient, AnnotationServer, RetryPolicy, ServeConfig, ServeError
 
 #: Annotated examples of a project-specific type the model never saw in
 #: training; the running daemon learns it from these via one ``adapt`` call.
@@ -109,8 +114,63 @@ def main() -> None:
                 f"({before} -> {adapted['markers']}) without a restart"
             )
 
+            # Hot reload: swap back to the pipeline as originally saved on
+            # disk — the adaptation above is undone, no request is dropped.
+            print(f"state before reload: {client.ping()['state']}")
+            reloaded = client.reload(model_dir)
+            print(
+                f"hot-reloaded from {model_dir}: {reloaded['previous_markers']} -> "
+                f"{reloaded['markers']} markers (state {client.ping()['state']})"
+            )
+
             client.shutdown()
             print("daemon stopped")
+        finally:
+            server.close()
+
+        # -- overload on purpose -------------------------------------------------------
+        # A capacity-2 daemon floods immediately: sheds are explicit errors
+        # with a retry hint, and a RetryPolicy client backs off and recovers.
+        overload_socket = Path(workdir) / "overload.sock"
+        server = AnnotationServer(
+            TypilusPipeline.load(model_dir),
+            overload_socket,
+            annotator_config=AnnotatorConfig(use_type_checker=False),
+            serve_config=ServeConfig(
+                batch_window_seconds=0.3, max_batch_requests=1, max_queue_depth=2
+            ),
+        ).start()
+        try:
+            AnnotationClient(overload_socket).wait_until_ready()
+            outcomes: list[str] = []
+
+            def flood(position: int) -> None:
+                try:
+                    AnnotationClient(overload_socket).annotate_sources(projects[position % len(projects)])
+                    outcomes.append("ok")
+                except ServeError as error:
+                    outcomes.append(error.kind)
+                    if error.kind == "overloaded":
+                        print(f"  shed with hint: retry in {error.retry_after_seconds}s")
+
+            flooders = [threading.Thread(target=flood, args=(position,)) for position in range(8)]
+            for thread in flooders:
+                thread.start()
+            for thread in flooders:
+                thread.join()
+            stats = AnnotationClient(overload_socket).stats()
+            print(
+                f"flooded 8 requests at capacity 2: {outcomes.count('ok')} completed, "
+                f"{stats['shed_requests']} shed"
+            )
+
+            patient = AnnotationClient(
+                overload_socket,
+                retry_policy=RetryPolicy(max_attempts=8, base_delay_seconds=0.05),
+            )
+            patient.annotate_sources(projects[0])
+            print("a RetryPolicy client backed off and got its answer")
+            AnnotationClient(overload_socket).shutdown()
         finally:
             server.close()
 

@@ -29,8 +29,12 @@ Seven subcommands cover the library's main workflows without writing Python:
 ``serve``
     Run the long-lived annotation daemon: load (or train) a pipeline once,
     listen on a Unix socket and micro-batch concurrent annotation requests
-    through the batched engine.  ``serve --socket S --ping`` waits until a
-    daemon answers; ``serve --socket S --shutdown`` stops it.
+    through the batched engine, with bounded admission (``--max-queue``),
+    optional default deadlines (``--request-timeout``) and a per-frame wire
+    cap (``--max-frame-bytes``).  ``serve --socket S --ping`` waits until a
+    daemon answers and prints its lifecycle state; ``serve --socket S
+    --reload DIR`` hot-swaps it onto a newly saved pipeline without
+    dropping clients; ``serve --socket S --shutdown`` stops it.
 ``check``
     Run the optional type checker over Python files and print diagnostics.
 
@@ -209,6 +213,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "instead of loading a model locally")
     annotate.add_argument("--report-json", type=Path, default=None,
                           help="write the full annotation report (suggestions + summary) to this JSON file")
+    annotate.add_argument("--deadline", type=float, default=None,
+                          help="with --server: per-request deadline in seconds, propagated on the "
+                               "wire so the daemon drops the request instead of answering late")
+    annotate.add_argument("--retries", type=int, default=0,
+                          help="with --server: retry attempts on connect failure or overload shed "
+                               "(exponential backoff with deterministic jitter; annotation errors "
+                               "are never retried)")
 
     serve = subparsers.add_parser(
         "serve", help="run the long-lived annotation daemon (micro-batched serving)"
@@ -227,10 +238,22 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how long the daemon waits to coalesce concurrent requests")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="maximum requests merged into one micro-batch")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission bound: requests queued or in flight beyond this are shed "
+                            "immediately with an 'overloaded' error and a retry_after_seconds hint")
+    serve.add_argument("--max-frame-bytes", type=int, default=None,
+                       help="per-frame wire cap; larger (or garbage-length) frames are rejected "
+                            "with a protocol error before any buffer is allocated")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="default per-request deadline in seconds for clients that send none; "
+                            "expired requests are dropped before the embedding pass")
     serve.add_argument("--ping", action="store_true",
                        help="wait until a daemon answers on --socket, print its status and exit")
     serve.add_argument("--ping-timeout", type=float, default=30.0,
                        help="seconds --ping waits for the daemon to come up")
+    serve.add_argument("--reload", type=Path, default=None, metavar="MODEL_DIR",
+                       help="ask the daemon on --socket to hot-swap onto the pipeline saved at "
+                            "MODEL_DIR (in-flight requests finish on the old pipeline) and exit")
     serve.add_argument("--shutdown", action="store_true",
                        help="ask the daemon on --socket to stop and exit")
 
@@ -417,8 +440,13 @@ def command_annotate(args: argparse.Namespace) -> int:
                 f"{', '.join(fixed_by_daemon)} cannot be combined with --server: these are "
                 "fixed by the daemon's configuration (set them on 'repro serve' instead)"
             )
-        client = AnnotationClient(args.server, disagreement_threshold=args.disagreement_threshold)
-        report = client.annotate_directory(args.directory)
+        from repro.serve import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=args.retries + 1) if args.retries > 0 else None
+        client = AnnotationClient(
+            args.server, disagreement_threshold=args.disagreement_threshold, retry_policy=policy
+        )
+        report = client.annotate_directory(args.directory, timeout_seconds=args.deadline)
     else:
         pipeline = _obtain_pipeline(args)
         if args.save_model is not None:
@@ -464,12 +492,30 @@ def command_serve(args: argparse.Namespace) -> int:
         AnnotationClient(args.socket).shutdown()
         print(f"daemon on {args.socket} is stopping")
         return 0
+    if args.reload is not None:
+        response = AnnotationClient(args.socket).reload(args.reload)
+        print(
+            f"daemon on {args.socket} reloaded from {args.reload}: "
+            f"{response['previous_markers']} -> {response['markers']} markers"
+        )
+        return 0
     if args.ping:
         info = AnnotationClient(args.socket).wait_until_ready(timeout=args.ping_timeout)
-        print(f"daemon ready on {args.socket} ({info['markers']} markers, dim {info['dim']})")
+        print(
+            f"daemon ready on {args.socket} ({info['markers']} markers, dim {info['dim']}, "
+            f"state {info['state']})"
+        )
         return 0
     pipeline = _obtain_pipeline(args)
     ingest = _ingest_config(args)
+    serve_config_kwargs = dict(
+        batch_window_seconds=args.batch_window_ms / 1000.0,
+        max_batch_requests=args.max_batch,
+        max_queue_depth=args.max_queue,
+        default_timeout_seconds=args.request_timeout,
+    )
+    if args.max_frame_bytes is not None:
+        serve_config_kwargs["max_frame_bytes"] = args.max_frame_bytes
     server = AnnotationServer(
         pipeline,
         args.socket,
@@ -479,10 +525,7 @@ def command_serve(args: argparse.Namespace) -> int:
             jobs=ingest.jobs,
             cache_dir=args.cache_dir,
         ),
-        serve_config=ServeConfig(
-            batch_window_seconds=args.batch_window_ms / 1000.0,
-            max_batch_requests=args.max_batch,
-        ),
+        serve_config=ServeConfig(**serve_config_kwargs),
     )
     server.start()
     print(

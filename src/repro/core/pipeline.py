@@ -19,6 +19,7 @@ kNN predictor, and exposes the workflow of Fig. 1:
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 from dataclasses import dataclass
@@ -438,6 +439,13 @@ class TypilusPipeline:
         :meth:`load` restores a pipeline that reproduces the saved model's
         predictions exactly, without a dataset or re-training.
 
+        ``pipeline.json`` is written **last**, as a commit marker: weights
+        and markers land on disk before the manifest does, so a reader that
+        finds the manifest (e.g. the serving daemon's hot ``reload``) never
+        observes a torn directory — a crash mid-save leaves a directory
+        without a manifest, which :meth:`load` rejects with a clean error
+        instead of loading half a model.
+
         (Exception: the "path" encoder family samples paths with a stateful
         RNG at inference, so its predictions vary run to run even without
         persistence; the graph/sequence/names families round-trip
@@ -449,6 +457,11 @@ class TypilusPipeline:
             )
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
+        serialization.save_modules(path / "encoder.npz", encoder=self.encoder)
+        if typespace_layout == "raw":
+            self.type_space.save(str(path / "typespace"), layout="raw")
+        else:
+            self.type_space.save(str(path / "typespace.npz"))
         manifest = {
             "format_version": PIPELINE_FORMAT_VERSION,
             "encoder": _describe_encoder(self.encoder),
@@ -458,11 +471,6 @@ class TypilusPipeline:
             "typespace_layout": typespace_layout,
         }
         (path / "pipeline.json").write_text(json.dumps(manifest, indent=2), encoding="utf-8")
-        serialization.save_modules(path / "encoder.npz", encoder=self.encoder)
-        if typespace_layout == "raw":
-            self.type_space.save(str(path / "typespace"), layout="raw")
-        else:
-            self.type_space.save(str(path / "typespace.npz"))
         return path
 
     @classmethod
@@ -482,7 +490,18 @@ class TypilusPipeline:
         The saved index kind/params are restored with the markers.
         """
         path = Path(path)
-        manifest = json.loads((path / "pipeline.json").read_text(encoding="utf-8"))
+        manifest_path = path / "pipeline.json"
+        if not manifest_path.exists():
+            # save() writes the manifest last, so a missing manifest means an
+            # unfinished (or foreign) directory — name the invariant instead
+            # of failing on whichever artifact happens to be absent.
+            raise FileNotFoundError(
+                errno.ENOENT,
+                f"no complete pipeline at {path}: pipeline.json is missing "
+                "(save() writes it last, so this directory was never fully written)",
+                str(manifest_path),
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         version = manifest.get("format_version")
         if version != PIPELINE_FORMAT_VERSION:
             raise ValueError(f"unsupported pipeline format version {version!r}")

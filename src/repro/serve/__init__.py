@@ -1,4 +1,4 @@
-"""Long-lived annotation serving: daemon, client and wire protocol.
+"""Long-lived annotation serving: daemon, client, wire protocol and faults.
 
 Where :mod:`repro.engine` annotates one project per process,
 :mod:`repro.serve` keeps a trained pipeline resident:
@@ -7,19 +7,33 @@ coalesces concurrent annotation requests into micro-batches through the
 engine's batched suggestion path (identical answers, shared embedding
 passes), while the incrementally-extendable TypeSpace lets ``adapt``
 requests grow the open type vocabulary between batches without a rebuild.
-:class:`AnnotationClient` is the matching client; it returns the same
-report objects as the in-process engine.
+
+The failure modes are engineered, not accidental: bounded admission with
+``overloaded`` sheds and ``retry_after_seconds`` hints, per-request
+deadlines propagated on the wire, poison-request isolation by batch
+bisection, a self-restarting batcher, and hot pipeline reload that swaps
+atomically between micro-batches.  :class:`AnnotationClient` is the
+matching client (same report objects as the in-process engine) with an
+optional :class:`RetryPolicy`; :class:`FaultInjector` provides the named
+failure points the chaos suite uses to prove every degradation path
+deterministically.
 """
 
-from repro.serve.client import AnnotationClient, ServeError
+from repro.serve.client import AnnotationClient, RetryPolicy, ServeError
+from repro.serve.faults import FAULT_POINTS, FaultInjector, InjectedFault
 from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
-from repro.serve.server import AnnotationServer, ServeConfig, ServeStats
+from repro.serve.server import LIFECYCLE_STATES, AnnotationServer, ServeConfig, ServeStats
 
 __all__ = [
     "AnnotationClient",
     "AnnotationServer",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "InjectedFault",
+    "LIFECYCLE_STATES",
     "MAX_FRAME_BYTES",
     "ProtocolError",
+    "RetryPolicy",
     "ServeConfig",
     "ServeError",
     "ServeStats",

@@ -3,10 +3,13 @@
 The daemon and its clients exchange single JSON documents over a local
 stream socket.  Each frame is a 4-byte big-endian payload length followed by
 that many bytes of UTF-8 JSON — trivial to parse incrementally, impossible
-to mis-split on newlines inside source code, and safe against a client that
-sends garbage (a frame that is not valid JSON, or longer than
-:data:`MAX_FRAME_BYTES`, raises :class:`ProtocolError` instead of wedging
-the connection).
+to mis-split on newlines inside source code, and safe against a hostile or
+corrupt peer: the length prefix is validated *before* any payload buffer is
+allocated, so a frame that claims to be larger than ``max_frame_bytes``
+(or whose header is garbage — e.g. negative when read as a signed 32-bit
+integer) raises :class:`ProtocolError` instead of allocating an
+attacker-controlled amount of memory, and a truncated payload raises
+instead of wedging the connection.
 """
 
 from __future__ import annotations
@@ -16,22 +19,29 @@ import socket
 import struct
 from typing import Optional
 
-#: Upper bound on a single frame; a whole project's sources fit comfortably,
-#: a corrupted length prefix does not allocate gigabytes.
+#: Default upper bound on a single frame; a whole project's sources fit
+#: comfortably, a corrupted length prefix does not allocate gigabytes.
+#: Callers (e.g. the daemon via ``ServeConfig.max_frame_bytes``) can pass a
+#: tighter ``max_frame_bytes`` to :func:`recv_frame` / :func:`send_frame`.
 MAX_FRAME_BYTES = 256 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
+
+#: Lengths with the sign bit set are negative when read as an int32 — no
+#: well-behaved peer sends them, so they are rejected as garbage outright
+#: (independently of the configured cap).
+_SIGN_BIT = 1 << 31
 
 
 class ProtocolError(RuntimeError):
     """A malformed frame (bad length, truncated payload or invalid JSON)."""
 
 
-def send_frame(sock: socket.socket, payload: dict) -> None:
+def send_frame(sock: socket.socket, payload: dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
     """Serialise ``payload`` and write one length-prefixed frame."""
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {len(data)} bytes exceeds the {MAX_FRAME_BYTES} byte cap")
+    if len(data) > max_frame_bytes:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds the {max_frame_bytes} byte cap")
     sock.sendall(_LENGTH.pack(len(data)) + data)
 
 
@@ -50,14 +60,24 @@ def _recv_exactly(sock: socket.socket, num_bytes: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[dict]:
-    """Read one frame; ``None`` when the peer closed the connection cleanly."""
+def recv_frame(sock: socket.socket, max_frame_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame; ``None`` when the peer closed the connection cleanly.
+
+    The length prefix is validated before the payload buffer is read: frames
+    above ``max_frame_bytes`` and garbage headers (negative as an int32) are
+    rejected with :class:`ProtocolError` without allocating their claimed
+    size.
+    """
     header = _recv_exactly(sock, _LENGTH.size)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} byte cap")
+    if length >= _SIGN_BIT:
+        raise ProtocolError(
+            f"garbage frame length {length:#010x} (negative as a signed 32-bit integer)"
+        )
+    if length > max_frame_bytes:
+        raise ProtocolError(f"frame length {length} exceeds the {max_frame_bytes} byte cap")
     body = _recv_exactly(sock, length)
     if body is None:
         raise ProtocolError("connection closed between frame header and payload")

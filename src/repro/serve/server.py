@@ -1,9 +1,9 @@
-"""A long-lived annotation daemon with request micro-batching.
+"""A fault-tolerant annotation daemon with request micro-batching.
 
 :class:`AnnotationServer` loads a trained pipeline **once** and answers
 annotation requests over a local Unix stream socket, which is what turns the
 batch-first engine into a service: clients pay per request, never per model
-load.  Three design points:
+load.  Design points:
 
 * **Micro-batching.**  Every ``annotate`` request lands on one queue; a
   single batcher thread drains whatever arrived within a small window (or up
@@ -13,18 +13,40 @@ load.  Three design points:
   Concurrent clients therefore share one embedding pass and one vectorized
   kNN query, and because the merged batch runs the exact same code path as a
   one-shot annotation, coalescing cannot change any answer.
+* **Engineered failure modes.**  Admission is bounded: past
+  ``max_queue_depth`` pending requests the daemon sheds load immediately
+  with an ``overloaded`` error carrying a ``retry_after_seconds`` hint,
+  instead of letting latency grow without bound.  Requests carry optional
+  deadlines on the wire (``timeout_seconds``); the batcher drops
+  already-expired requests *before* spending an embedding pass on them.
+  When a merged micro-batch fails, the batcher bisects it and re-runs the
+  halves, so one poison request fails alone instead of failing its
+  neighbors.  If the batcher thread itself dies, a restart guard fails every
+  pending request fast (``batcher crashed``) and starts a fresh batcher —
+  a crash costs one batch, never the daemon.
+* **Hot reload.**  A ``reload`` request loads a new pipeline from disk on a
+  background thread and atomically swaps it in *between* micro-batches:
+  in-flight batches finish on the old pipeline, the next batch sees the new
+  one, and no request ever fails because of a swap.  ``ping`` reports a
+  lifecycle state (``ready`` / ``reloading`` / ``draining`` /
+  ``overloaded``).
 * **Serialized mutation.**  ``adapt`` requests (open-vocabulary type-map
-  extension, Sec. 4.2) flow through the same queue, so the pipeline is only
-  ever touched by the batcher thread; an adaptation is a cheap columnar
-  index *extension*, not a rebuild, and the next micro-batch simply sees the
-  grown TypeSpace.
+  extension, Sec. 4.2) and the reload swap flow through the same queue, so
+  the pipeline is only ever touched by the batcher thread.
+* **Deterministic chaos.**  Every degradation path above is guarded by a
+  named :class:`~repro.serve.faults.FaultInjector` point the server
+  consults at the exact moment the organic failure would occur, so the
+  chaos suite proves each path without sleeps or real crashes.
 * **Plain protocol.**  Length-prefixed JSON frames
-  (:mod:`repro.serve.protocol`); one response per request; ``shutdown`` is
-  an ordinary request, acknowledged before the listener closes.
+  (:mod:`repro.serve.protocol`), with a configurable per-frame byte cap
+  validated before any buffer is allocated; one response per request;
+  ``shutdown`` is an ordinary request, acknowledged before the listener
+  closes.
 """
 
 from __future__ import annotations
 
+import math
 import queue
 import socket
 import threading
@@ -35,26 +57,54 @@ from typing import Optional, Union
 
 from repro.core.pipeline import TypilusPipeline
 from repro.engine.annotator import AnnotatorConfig, ProjectAnnotator, suggestion_to_payload
-from repro.serve.protocol import ProtocolError, recv_frame, send_frame
+from repro.serve.faults import FaultInjector, InjectedFault
+from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
 
 #: Separates the request ordinal from the filename in a merged micro-batch;
 #: NUL cannot appear in a path, so the namespacing is collision-free.
 _NAMESPACE = "\x00"
 
+#: Lifecycle states reported by the ``ping`` op.
+LIFECYCLE_STATES = ("ready", "reloading", "draining", "overloaded")
+
 
 @dataclass
 class ServeConfig:
-    """Micro-batching knobs of the daemon."""
+    """Micro-batching and admission-control knobs of the daemon."""
 
     #: How long the batcher waits for more requests after the first one.
     batch_window_seconds: float = 0.01
     #: Hard cap on requests coalesced into one annotation pass.
     max_batch_requests: int = 32
+    #: Admission bound: annotate/adapt requests queued or in flight beyond
+    #: this are shed immediately with an ``overloaded`` error instead of
+    #: growing an unbounded queue.
+    max_queue_depth: int = 64
+    #: Per-frame byte cap enforced on both receive and send.
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Deadline applied to requests that do not carry their own
+    #: ``timeout_seconds`` (``None`` = no server-side default deadline).
+    default_timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be at least 1")
+        if self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1")
+        if self.max_frame_bytes < 1:
+            raise ValueError("max_frame_bytes must be positive")
 
 
 @dataclass
 class ServeStats:
-    """Counters the daemon exposes through the ``stats`` op."""
+    """Counters the daemon exposes through the ``stats`` op.
+
+    ``errors`` counts failed *requests* (a failing micro-batch of five
+    requests is five errors, not one); ``shed_requests`` and
+    ``expired_requests`` have dedicated counters and are *not* double
+    counted as errors, since shedding and deadline expiry are engineered
+    degradation, not processing failure.
+    """
 
     requests: int = 0
     annotate_requests: int = 0
@@ -63,6 +113,12 @@ class ServeStats:
     largest_batch: int = 0
     coalesced_requests: int = 0  # annotate requests that shared their batch
     errors: int = 0
+    shed_requests: int = 0  # rejected at admission (queue full)
+    expired_requests: int = 0  # deadline passed before the batch ran
+    poison_requests: int = 0  # isolated by bisection; failed alone
+    reloads: int = 0
+    failed_reloads: int = 0
+    batcher_restarts: int = 0
 
     def summary(self) -> dict[str, int]:
         return {
@@ -73,38 +129,57 @@ class ServeStats:
             "largest_batch": self.largest_batch,
             "coalesced_requests": self.coalesced_requests,
             "errors": self.errors,
+            "shed_requests": self.shed_requests,
+            "expired_requests": self.expired_requests,
+            "poison_requests": self.poison_requests,
+            "reloads": self.reloads,
+            "failed_reloads": self.failed_reloads,
+            "batcher_restarts": self.batcher_restarts,
         }
 
 
 class _Pending:
     """One queued request: the batcher fills ``result`` and sets ``done``."""
 
-    def __init__(self) -> None:
+    def __init__(self, deadline: Optional[float] = None) -> None:
         self.done = threading.Event()
         self.result: Optional[dict] = None
+        self.deadline = deadline  # absolute time.monotonic(), or None
 
-    def fail(self, message: str) -> None:
-        self.result = {"ok": False, "error": message}
+    def fail(self, message: str, kind: str = "error", **extra) -> None:
+        self.result = {"ok": False, "error": message, "error_kind": kind, **extra}
         self.done.set()
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
 
 
 class _PendingAnnotate(_Pending):
-    def __init__(self, sources: dict[str, str]) -> None:
-        super().__init__()
+    def __init__(self, sources: dict[str, str], deadline: Optional[float] = None) -> None:
+        super().__init__(deadline)
         self.sources = sources
 
 
 class _PendingAdapt(_Pending):
-    def __init__(self, type_name: str, sources: dict[str, str]) -> None:
-        super().__init__()
+    def __init__(self, type_name: str, sources: dict[str, str], deadline: Optional[float] = None) -> None:
+        super().__init__(deadline)
         self.type_name = type_name
         self.sources = sources
+
+
+class _PendingReload(_Pending):
+    """A reload in flight: the loader fills ``pipeline``, the batcher swaps it."""
+
+    def __init__(self, model_dir: str) -> None:
+        super().__init__()
+        self.model_dir = model_dir
+        self.pipeline: Optional[TypilusPipeline] = None
 
 
 @dataclass
 class _BatchPlanState:
     batch: list[_PendingAnnotate] = field(default_factory=list)
-    carry: Optional[_PendingAdapt] = None
+    carry: Optional[_Pending] = None  # an adapt or reload swap that ended the drain
     stopping: bool = False
 
 
@@ -117,21 +192,46 @@ class AnnotationServer:
         socket_path: Union[str, Path],
         annotator_config: Optional[AnnotatorConfig] = None,
         serve_config: Optional[ServeConfig] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
             raise RuntimeError("the annotation daemon requires AF_UNIX sockets")
         self.pipeline = pipeline
         self.socket_path = Path(socket_path)
-        self.annotator = ProjectAnnotator(pipeline, annotator_config or AnnotatorConfig())
+        self.annotator_config = annotator_config or AnnotatorConfig()
+        self.annotator = ProjectAnnotator(pipeline, self.annotator_config)
         self.config = serve_config or ServeConfig()
         self.stats = ServeStats()
+        self.faults = fault_injector or FaultInjector()
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None
         self._threads: list[threading.Thread] = []
         self._stats_lock = threading.Lock()
+        # Admission control: requests admitted (queued or in flight) right now.
+        self._admission_lock = threading.Lock()
+        self._admitted = 0
+        # EWMA of micro-batch wall time, feeding the retry_after_seconds hint.
+        self._batch_seconds: Optional[float] = None
+        # Reload lifecycle: set from dispatch, cleared when the swap lands/fails.
+        self._reload_lock = threading.Lock()
+        self._reloading = threading.Event()
+        # What the batcher currently holds, so the restart guard can fail it.
+        self._current: list[_Pending] = []
 
     # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """The daemon's lifecycle state, as reported by ``ping``."""
+        if self._stop.is_set():
+            return "draining"
+        if self._reloading.is_set():
+            return "reloading"
+        with self._admission_lock:
+            if self._admitted >= self.config.max_queue_depth:
+                return "overloaded"
+        return "ready"
 
     def start(self) -> "AnnotationServer":
         """Bind the socket and start the acceptor and batcher threads."""
@@ -145,7 +245,7 @@ class AnnotationServer:
         # Linux; a short timeout lets the acceptor poll the stop flag instead.
         listener.settimeout(0.25)
         self._listener = listener
-        for name, target in (("serve-batcher", self._batch_loop), ("serve-acceptor", self._accept_loop)):
+        for name, target in (("serve-batcher", self._batcher_main), ("serve-acceptor", self._accept_loop)):
             thread = threading.Thread(target=target, name=name, daemon=True)
             thread.start()
             self._threads.append(thread)
@@ -179,6 +279,13 @@ class AnnotationServer:
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        # A wire-initiated shutdown runs on a connection-handler thread that
+        # is not joined above; finish its cleanup so the socket file is
+        # guaranteed gone once close() returns.
+        try:
+            self.socket_path.unlink()
+        except OSError:
+            pass
 
     def _reclaim_stale_socket(self) -> None:
         """Unlink a leftover socket file, but refuse to evict a live daemon."""
@@ -216,10 +323,10 @@ class AnnotationServer:
         with connection:
             while not self._stop.is_set():
                 try:
-                    request = recv_frame(connection)
+                    request = recv_frame(connection, max_frame_bytes=self.config.max_frame_bytes)
                 except ProtocolError as error:
                     self._count(errors=1)
-                    self._try_send(connection, {"ok": False, "error": str(error)})
+                    self._try_send(connection, {"ok": False, "error": str(error), "error_kind": "protocol"})
                     return
                 if request is None:
                     return
@@ -230,12 +337,19 @@ class AnnotationServer:
                     self.shutdown()
                     return
 
-    @staticmethod
-    def _try_send(connection: socket.socket, payload: dict) -> bool:
+    def _try_send(self, connection: socket.socket, payload: dict) -> bool:
         try:
-            send_frame(connection, payload)
+            try:
+                self.faults.fire("torn_frame", {"payload": payload})
+            except InjectedFault:
+                # Emulate a torn write: part of the length header, then drop
+                # the connection — what a crash mid-sendall looks like to the
+                # peer.  The client must surface a clean ProtocolError.
+                connection.sendall(b"\x00\x00")
+                return False
+            send_frame(connection, payload, max_frame_bytes=self.config.max_frame_bytes)
             return True
-        except OSError:
+        except (OSError, ProtocolError):
             return False
 
     def _count(self, **deltas: int) -> None:
@@ -253,18 +367,23 @@ class AnnotationServer:
         op = request.get("op")
         if op == "ping":
             space = self.pipeline.type_space
+            with self._admission_lock:
+                depth = self._admitted
             return {
                 "ok": True,
+                "state": self.state,
                 "markers": len(space),
                 "dim": space.dim,
                 "approximate_index": space.approximate_index,
                 "index_kind": space.index_kind,
                 "dtype": str(space.dtype),
+                "queue_depth": depth,
+                "queue_capacity": self.config.max_queue_depth,
             }
         if op == "stats":
             with self._stats_lock:
                 summary = self.stats.summary()
-            summary.update(ok=True, markers=len(self.pipeline.type_space))
+            summary.update(ok=True, state=self.state, markers=len(self.pipeline.type_space))
             return summary
         if op == "shutdown":
             return {"ok": True, "stopping": True}
@@ -272,32 +391,87 @@ class AnnotationServer:
             sources = self._validated_sources(request)
             if sources is None:
                 self._count(errors=1)
-                return {"ok": False, "error": "'sources' must map filenames to source text"}
+                return self._bad_request("'sources' must map filenames to source text")
+            deadline, problem = self._deadline_from(request)
+            if problem is not None:
+                self._count(errors=1)
+                return self._bad_request(problem)
             self._count(annotate_requests=1)
-            return self._enqueue_and_wait(_PendingAnnotate(sources))
+            return self._admit_and_wait(_PendingAnnotate(sources, deadline))
         if op == "adapt":
             sources = self._validated_sources(request)
             type_name = request.get("type_name")
             if sources is None or not isinstance(type_name, str) or not type_name:
                 self._count(errors=1)
-                return {"ok": False, "error": "'adapt' needs a 'type_name' string and a 'sources' map"}
+                return self._bad_request("'adapt' needs a 'type_name' string and a 'sources' map")
+            deadline, problem = self._deadline_from(request)
+            if problem is not None:
+                self._count(errors=1)
+                return self._bad_request(problem)
             self._count(adapt_requests=1)
-            return self._enqueue_and_wait(_PendingAdapt(type_name, sources))
+            return self._admit_and_wait(_PendingAdapt(type_name, sources, deadline))
+        if op == "reload":
+            return self._dispatch_reload(request)
         self._count(errors=1)
-        return {"ok": False, "error": f"unknown op {op!r}"}
+        return self._bad_request(f"unknown op {op!r}")
 
-    def _enqueue_and_wait(self, pending: _Pending) -> dict:
+    @staticmethod
+    def _bad_request(message: str) -> dict:
+        return {"ok": False, "error": message, "error_kind": "bad_request"}
+
+    def _deadline_from(self, request: dict) -> tuple[Optional[float], Optional[str]]:
+        """Absolute deadline for a request, from its wire ``timeout_seconds``."""
+        timeout = request.get("timeout_seconds", self.config.default_timeout_seconds)
+        if timeout is None:
+            return None, None
+        if isinstance(timeout, bool) or not isinstance(timeout, (int, float)):
+            return None, "'timeout_seconds' must be a number"
+        return time.monotonic() + max(0.0, float(timeout)), None
+
+    def _retry_after_hint(self, depth: int) -> float:
+        """How long a shed client should wait before retrying.
+
+        Estimates the time to drain the current queue: batches ahead of a
+        fresh request times the observed per-batch wall time (EWMA), floored
+        by the batching window so a cold daemon still hints something useful.
+        """
+        with self._stats_lock:
+            per_batch = self._batch_seconds
+        if per_batch is None:
+            per_batch = max(self.config.batch_window_seconds, 0.05)
+        batches_ahead = max(1, math.ceil(depth / self.config.max_batch_requests))
+        return round(min(30.0, max(0.05, batches_ahead * per_batch)), 3)
+
+    def _admit_and_wait(self, pending: _Pending) -> dict:
         if self._stop.is_set():
-            return {"ok": False, "error": "daemon is stopping"}
-        self._queue.put(pending)
-        # A shutdown can race past the check above and beat this request into
-        # the queue: the batcher may consume its sentinel and exit without
-        # ever seeing the item.  Poll the stop flag instead of blocking
-        # forever; on shutdown, grant the batcher a grace period to finish a
-        # batch that may already include this request, then give up.
+            return {"ok": False, "error": "daemon is stopping", "error_kind": "stopping"}
+        with self._admission_lock:
+            if self._admitted >= self.config.max_queue_depth:
+                depth = self._admitted
+                self._count(shed_requests=1)
+                return {
+                    "ok": False,
+                    "error": f"overloaded: {depth} requests already admitted "
+                             f"(capacity {self.config.max_queue_depth}); retry later",
+                    "error_kind": "overloaded",
+                    "retry_after_seconds": self._retry_after_hint(depth),
+                }
+            self._admitted += 1
+        try:
+            self._queue.put(pending)
+            return self._await(pending)
+        finally:
+            with self._admission_lock:
+                self._admitted -= 1
+
+    def _await(self, pending: _Pending) -> dict:
+        # A shutdown can race past the admission check and beat this request
+        # into the queue: the batcher may consume its sentinel and exit
+        # without ever seeing the item.  The batcher guard drains and fails
+        # leftovers, so this poll is a backstop, not the primary mechanism.
         while not pending.done.wait(timeout=0.5):
             if self._stop.is_set() and not pending.done.wait(timeout=5.0):
-                pending.fail("daemon is stopping")
+                pending.fail("daemon is stopping", kind="stopping")
                 break
         assert pending.result is not None
         return pending.result
@@ -311,37 +485,139 @@ class AnnotationServer:
             return None
         return sources
 
+    # -- hot reload --------------------------------------------------------------------
+
+    def _dispatch_reload(self, request: dict) -> dict:
+        model_dir = request.get("model_dir")
+        if not isinstance(model_dir, str) or not model_dir:
+            self._count(errors=1)
+            return self._bad_request("'reload' needs a 'model_dir' string")
+        with self._reload_lock:
+            if self._reloading.is_set():
+                self._count(errors=1)
+                return {"ok": False, "error": "a reload is already in progress", "error_kind": "reload"}
+            self._reloading.set()
+        pending = _PendingReload(model_dir)
+        threading.Thread(
+            target=self._load_for_reload, args=(pending,), name="serve-reloader", daemon=True
+        ).start()
+        return self._await(pending)
+
+    def _load_for_reload(self, pending: _PendingReload) -> None:
+        """Load the new pipeline off the batcher thread, then queue the swap.
+
+        In-flight micro-batches keep running on the old pipeline while the
+        load happens here; only the *swap* rides the queue, so it lands
+        atomically between batches.
+        """
+        try:
+            self.faults.fire("reload", {"model_dir": pending.model_dir})
+            pending.pipeline = TypilusPipeline.load(pending.model_dir)
+        except Exception as error:  # noqa: BLE001 - a bad model dir must not kill the daemon
+            self._count(errors=1, failed_reloads=1)
+            self._reloading.clear()
+            pending.fail(f"reload failed: {error}", kind="reload")
+            return
+        self._queue.put(pending)
+
+    def _run_reload_swap(self, pending: _PendingReload) -> None:
+        """Atomically swap the pipeline between micro-batches (batcher thread)."""
+        assert pending.pipeline is not None
+        previous_markers = len(self.pipeline.type_space)
+        self.pipeline = pending.pipeline
+        self.annotator = ProjectAnnotator(pending.pipeline, self.annotator_config)
+        self._reloading.clear()
+        self._count(reloads=1)
+        pending.result = {
+            "ok": True,
+            "markers": len(pending.pipeline.type_space),
+            "previous_markers": previous_markers,
+            "state": self.state,
+        }
+        pending.done.set()
+
     # -- the batcher -------------------------------------------------------------------
+
+    def _batcher_main(self) -> None:
+        """Run the batch loop, restarting it if it ever dies.
+
+        A batcher crash used to hang every waiting client; now the guard
+        fails the crashed batch and everything queued behind it fast, bumps
+        ``batcher_restarts`` and enters a fresh loop — the daemon keeps
+        serving.
+        """
+        while True:
+            try:
+                self._batch_loop()
+            except BaseException as error:  # noqa: BLE001 - the guard must survive anything
+                if not self._stop.is_set():
+                    self._count(batcher_restarts=1)
+                    reason = f"annotation batcher crashed ({error}); request aborted"
+                    self._fail_current(reason, kind="crashed")
+                    self._drain_queue_failing(reason, kind="crashed")
+                    continue  # restart the batcher
+                self._fail_current("daemon is stopping", kind="stopping")
+            self._drain_queue_failing("daemon is stopping", kind="stopping")
+            return
+
+    def _fail_current(self, message: str, kind: str) -> None:
+        for item in self._current:
+            self._fail_item(item, message, kind)
+        self._current = []
+
+    def _drain_queue_failing(self, message: str, kind: str) -> None:
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None:
+                self._fail_item(item, message, kind)
+
+    def _fail_item(self, item: _Pending, message: str, kind: str) -> None:
+        if item.done.is_set():
+            return
+        if isinstance(item, _PendingReload):
+            # A reload whose swap never landed must release the lifecycle
+            # flag, or the daemon would report "reloading" forever.
+            self._reloading.clear()
+        item.fail(message, kind=kind)
 
     def _batch_loop(self) -> None:
         while True:
             item = self._queue.get()
             if item is None:
-                break
-            if isinstance(item, _PendingAdapt):
-                self._run_adapt(item)
-                continue
-            state = self._collect_batch(item)
-            self._run_annotate_batch(state.batch)
-            if state.carry is not None:
-                self._run_adapt(state.carry)
-            if state.stopping:
-                break
-        # Fail whatever raced past the shutdown sentinel so no client hangs.
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is not None:
-                item.fail("daemon is stopping")
+                return
+            self._current = [item]
+            self.faults.fire("batcher", {"op": type(item).__name__})
+            if isinstance(item, _PendingAnnotate):
+                state = self._collect_batch(item)
+                self._current = list(state.batch) + ([state.carry] if state.carry else [])
+                self._run_annotate_batch(state.batch)
+                if state.carry is not None:
+                    self._run_exclusive(state.carry)
+                self._current = []
+                if state.stopping:
+                    return
+            else:
+                self._run_exclusive(item)
+                self._current = []
+
+    def _run_exclusive(self, item: _Pending) -> None:
+        """Run a queue item that must not share a batch (adapt / reload swap)."""
+        if isinstance(item, _PendingAdapt):
+            self._run_adapt(item)
+        elif isinstance(item, _PendingReload):
+            self._run_reload_swap(item)
+        else:  # pragma: no cover - defensive: unknown items fail, never hang
+            self._fail_item(item, f"unhandled queue item {type(item).__name__}", kind="internal")
 
     def _collect_batch(self, first: _PendingAnnotate) -> _BatchPlanState:
         """Drain compatible requests for one micro-batch.
 
-        An ``adapt`` request ends the drain (it must observe the queue order:
-        annotations enqueued before it run first, ones after it see the grown
-        type map), as does the shutdown sentinel.
+        An ``adapt`` or reload swap ends the drain (it must observe the
+        queue order: annotations enqueued before it run first, ones after it
+        see the new state), as does the shutdown sentinel.
         """
         state = _BatchPlanState(batch=[first])
         deadline = time.monotonic() + self.config.batch_window_seconds
@@ -356,23 +632,73 @@ class AnnotationServer:
             if item is None:
                 state.stopping = True
                 break
-            if isinstance(item, _PendingAdapt):
+            if not isinstance(item, _PendingAnnotate):
                 state.carry = item
                 break
             state.batch.append(item)
         return state
 
+    def _drop_expired(self, batch: list[_PendingAnnotate]) -> list[_PendingAnnotate]:
+        """Fail already-expired requests before spending an embedding pass."""
+        now = time.monotonic()
+        live: list[_PendingAnnotate] = []
+        for pending in batch:
+            if pending.expired(now):
+                self._count(expired_requests=1)
+                pending.fail(
+                    "deadline expired before the batch ran; the request was dropped unprocessed",
+                    kind="expired",
+                )
+            else:
+                live.append(pending)
+        return live
+
     def _run_annotate_batch(self, batch: list[_PendingAnnotate]) -> None:
+        self.faults.fire("slow_batch", {"batch_size": len(batch)})
+        live = self._drop_expired(batch)
+        if not live:
+            return
+        self._count(
+            micro_batches=1,
+            largest_batch=len(live),
+            coalesced_requests=len(live) if len(live) > 1 else 0,
+        )
+        started = time.monotonic()
+        self._annotate_isolating(live)
+        elapsed = time.monotonic() - started
+        with self._stats_lock:
+            self._batch_seconds = (
+                elapsed if self._batch_seconds is None else 0.8 * self._batch_seconds + 0.2 * elapsed
+            )
+
+    def _annotate_isolating(self, batch: list[_PendingAnnotate]) -> None:
+        """Annotate a batch; on failure, bisect so poison fails alone.
+
+        A single bad request used to fail every neighbor that happened to
+        share its micro-batch.  Now a failing merged call is split in half
+        and each half re-run; the recursion bottoms out with the poison
+        request(s) failing individually while every healthy neighbor gets
+        the same answer an un-coalesced run would have produced (each re-run
+        half goes through the identical engine path).
+        """
         merged: dict[str, str] = {}
         for ordinal, pending in enumerate(batch):
             for filename, source in pending.sources.items():
                 merged[f"{ordinal}{_NAMESPACE}{filename}"] = source
         try:
+            self.faults.fire(
+                "annotator",
+                {"filenames": [name for pending in batch for name in pending.sources]},
+            )
             report = self.annotator.annotate_sources(merged)
         except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
-            self._count(errors=1)
-            for pending in batch:
-                pending.fail(f"annotation failed: {error}")
+            if len(batch) == 1:
+                self._count(errors=1, poison_requests=1)
+                batch[0].fail(f"annotation failed: {error}", kind="annotation")
+                return
+            mid = len(batch) // 2
+            self._annotate_isolating(batch[:mid])
+            self._annotate_isolating(batch[mid:])
             return
         files_by_request: list[list] = [[] for _ in batch]
         for file_report in report.files:
@@ -384,11 +710,6 @@ class AnnotationServer:
         for namespaced in report.skipped_files:
             ordinal, _, filename = namespaced.partition(_NAMESPACE)
             skipped_by_request[int(ordinal)].append(filename)
-        self._count(
-            micro_batches=1,
-            largest_batch=len(batch),
-            coalesced_requests=len(batch) if len(batch) > 1 else 0,
-        )
         for ordinal, pending in enumerate(batch):
             pending.result = {
                 "ok": True,
@@ -400,13 +721,20 @@ class AnnotationServer:
             pending.done.set()
 
     def _run_adapt(self, pending: _PendingAdapt) -> None:
+        if pending.expired(time.monotonic()):
+            self._count(expired_requests=1)
+            pending.fail(
+                "deadline expired before the adaptation ran; the request was dropped unprocessed",
+                kind="expired",
+            )
+            return
         try:
             added = self.pipeline.adapt_with_sources(
                 pending.type_name, pending.sources, provenance="serve:adapt"
             )
         except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
             self._count(errors=1)
-            pending.fail(f"adaptation failed: {error}")
+            pending.fail(f"adaptation failed: {error}", kind="adaptation")
             return
         pending.result = {
             "ok": True,

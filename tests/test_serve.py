@@ -241,7 +241,7 @@ class TestLifecycleAndProtocol:
             connection.connect(served.socket_path)
             send_frame(connection, {"op": "frobnicate"})
             response = recv_frame(connection)
-        assert response == {"ok": False, "error": "unknown op 'frobnicate'"}
+        assert response == {"ok": False, "error": "unknown op 'frobnicate'", "error_kind": "bad_request"}
         assert served.client.ping()["ok"]  # daemon still alive
 
     def test_malformed_frame_gets_error_response(self, served):
@@ -270,12 +270,193 @@ class TestLifecycleAndProtocol:
     def test_oversized_frame_header_rejected(self):
         left, right = socket.socketpair()
         try:
-            left.sendall(struct.pack(">I", 1 << 31))
+            left.sendall(struct.pack(">I", (1 << 31) - 1))
             with pytest.raises(ProtocolError, match="cap"):
                 recv_frame(right)
         finally:
             left.close()
             right.close()
+
+    def test_garbage_negative_length_rejected(self):
+        """A header whose length is negative as an int32 is garbage, not a big frame."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 0xFFFFFFFF))
+            with pytest.raises(ProtocolError, match="garbage"):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_configurable_frame_cap_rejects_before_allocating(self):
+        """recv_frame honours a caller-supplied cap on the *claimed* length."""
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 4097))  # header only: no payload ever sent
+            with pytest.raises(ProtocolError, match="4096"):
+                recv_frame(right, max_frame_bytes=4096)
+        finally:
+            left.close()
+            right.close()
+
+    def test_send_frame_honours_configurable_cap(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="cap"):
+                send_frame(left, {"blob": "x" * 512}, max_frame_bytes=64)
+        finally:
+            left.close()
+            right.close()
+
+    def test_truncated_payload_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 100) + b"only ten b")
+            left.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_truncation_between_header_and_payload_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", 100))
+            left.close()
+            with pytest.raises(ProtocolError, match="between frame header and payload"):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_server_enforces_its_frame_cap_and_stays_alive(self, model_dir):
+        config = ServeConfig(max_frame_bytes=2048)
+        with _running_server(model_dir, serve_config=config) as served:
+            with pytest.raises(ServeError, match="cap") as excinfo:
+                served.client.annotate_sources({"big.py": "x = 1\n" * 4096})
+            assert excinfo.value.kind == "protocol"
+            assert served.client.ping()["ok"]  # daemon still alive
+
+
+class TestStatsAndState:
+    def test_stats_surface_degradation_counters(self, served):
+        stats = served.client.stats()
+        for key in (
+            "shed_requests",
+            "expired_requests",
+            "poison_requests",
+            "reloads",
+            "failed_reloads",
+            "batcher_restarts",
+            "errors",
+        ):
+            assert key in stats, f"stats op must surface {key}"
+        assert stats["state"] == "ready"
+
+    def test_ping_reports_lifecycle_state_and_queue(self, served):
+        info = served.client.ping()
+        assert info["state"] == "ready"
+        assert info["queue_capacity"] >= 1
+        assert info["queue_depth"] >= 0
+
+    def test_client_side_zero_deadline_never_reaches_the_wire(self, served):
+        before = served.client.stats()
+        with pytest.raises(ServeError, match="before the request was sent") as excinfo:
+            served.client.annotate_sources({"a.py": FILE_A}, timeout_seconds=0.0)
+        assert excinfo.value.kind == "expired"
+        after = served.client.stats()
+        # the request never reached the daemon: no server-side expiry, no annotate
+        assert after["expired_requests"] == before["expired_requests"]
+        assert after["annotate_requests"] == before["annotate_requests"]
+
+    def test_expired_deadline_is_dropped_before_the_batch_runs(self, served):
+        """A wire ``timeout_seconds: 0`` always expires before dispatch — dropped, not annotated."""
+        before = served.client.stats()
+        with pytest.raises(ServeError, match="dropped unprocessed") as excinfo:
+            served.client._request({"op": "annotate", "sources": {"a.py": FILE_A}, "timeout_seconds": 0})
+        assert excinfo.value.kind == "expired"
+        after = served.client.stats()
+        assert after["expired_requests"] == before["expired_requests"] + 1
+        assert after["micro_batches"] == before["micro_batches"]  # no embedding pass spent
+        # non-expiring deadlines still answer normally
+        report = served.client.annotate_sources({"a.py": FILE_A}, timeout_seconds=60.0)
+        assert report.num_files == 1
+
+    def test_invalid_timeout_rejected(self, served):
+        with pytest.raises(ServeError, match="timeout_seconds"):
+            served.client._request({"op": "annotate", "sources": {"a.py": FILE_A}, "timeout_seconds": "soon"})
+
+
+class TestWaitUntilReady:
+    def test_socket_absent_named_in_timeout(self, tmp_path):
+        client = AnnotationClient(tmp_path / "nobody-home.sock")
+        with pytest.raises(TimeoutError, match="no daemon listening"):
+            client.wait_until_ready(timeout=0.2)
+
+    def test_poll_intervals_back_off_exponentially(self, tmp_path, monkeypatch):
+        import time as time_module
+
+        sleeps: list[float] = []
+        real_sleep = time_module.sleep
+        monkeypatch.setattr(time_module, "sleep", lambda s: (sleeps.append(s), real_sleep(min(s, 0.01)))[1])
+        client = AnnotationClient(tmp_path / "nobody-home.sock")
+        with pytest.raises(TimeoutError):
+            client.wait_until_ready(timeout=0.5, poll_interval=0.01, max_poll_interval=0.08)
+        growing = [s for s in sleeps if s > 0]
+        assert len(growing) >= 3
+        assert growing[1] > growing[0]  # backoff actually doubles
+        assert max(growing) <= 0.08 + 1e-9  # and is capped
+
+
+class TestShutdownRaces:
+    def test_requests_racing_shutdown_get_definitive_answers(self, model_dir):
+        """Every request concurrent with shutdown() either succeeds or fails
+        with a definitive 'stopping'-style error — no client ever hangs."""
+        with _running_server(model_dir) as served:
+            outcomes: list = [None] * 8
+
+            def annotate(position: int) -> None:
+                try:
+                    outcomes[position] = served.client.annotate_sources({f"f{position}.py": FILE_A})
+                except Exception as error:  # noqa: BLE001 - recording every outcome
+                    outcomes[position] = error
+
+            threads = [threading.Thread(target=annotate, args=(i,)) for i in range(8)]
+            for thread in threads[:4]:
+                thread.start()
+            served.server.shutdown()
+            for thread in threads[4:]:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "a request hung across shutdown"
+            for outcome in outcomes:
+                assert outcome is not None
+                if isinstance(outcome, Exception):
+                    assert isinstance(outcome, (ServeError, ProtocolError, OSError)), outcome
+                    if isinstance(outcome, ServeError):
+                        assert "stopping" in str(outcome) or "crashed" in str(outcome)
+
+    def test_stale_socket_then_live_refusal_on_same_path(self, model_dir):
+        """One socket path, both stories: a stale file is reclaimed by the
+        first daemon, then a second daemon on the same path is refused."""
+        workdir = tempfile.mkdtemp(prefix="typilus-serve-")
+        socket_path = os.path.join(workdir, "daemon.sock")
+        try:
+            leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            leftover.bind(socket_path)
+            leftover.close()  # bound but never listening: a crash leftover
+            first = AnnotationServer(TypilusPipeline.load(model_dir), socket_path).start()
+            try:
+                assert AnnotationClient(socket_path).wait_until_ready(timeout=10.0)["ok"]
+                second = AnnotationServer(TypilusPipeline.load(model_dir), socket_path)
+                with pytest.raises(RuntimeError, match="already serving"):
+                    second.start()
+                # the refusal must not have evicted the live daemon
+                assert AnnotationClient(socket_path).ping()["ok"]
+            finally:
+                first.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
 
 
 class TestServeCLI:
