@@ -43,6 +43,8 @@ Examples::
     python -m repro.cli corpus --num-files 40 --out /tmp/corpus
     python -m repro.cli ingest --corpus-dir /tmp/corpus --out /tmp/dataset --jobs 4 --cache-dir /tmp/cache
     python -m repro.cli train --dataset /tmp/dataset --epochs 8 --save-model /tmp/model
+    python -m repro.cli ingest --corpus-dir /tmp/corpus --out /tmp/raw --shard-format raw
+    python -m repro.cli train --dataset /tmp/raw --mmap --workers 2 --prefetch-batches 4
     python -m repro.cli train --dataset /tmp/dataset --save-model /tmp/model \\
         --index ivf --nlist 256 --nprobe 8 --typespace-layout raw
     python -m repro.cli suggest path/to/file.py --confidence 0.5
@@ -100,6 +102,20 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
                         help="train on .py files from this directory instead of a synthetic corpus")
     parser.add_argument("--dataset", type=Path, default=None,
                         help="load a dataset directory saved by 'ingest --out' / 'train --save-dataset'")
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map the --dataset graph shards instead of decoding them "
+                             "into RAM (requires raw shards: ingest --shard-format raw or "
+                             "train --save-dataset --shard-layout raw)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="data-parallel training processes; each forked worker encodes a "
+                             "disjoint slice of every batch and the parent reduces per-graph "
+                             "gradients in graph order, so workers=N replays workers=1 "
+                             "bit-for-bit (graph family only; falls back to serial where "
+                             "fork is unavailable)")
+    parser.add_argument("--prefetch-batches", type=int, default=None,
+                        help="stream compiled batches through a bounded prefetch window of "
+                             "this many batches instead of keeping the whole plan resident; "
+                             "peak memory becomes O(window) with an identical loss trajectory")
 
 
 def _add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
@@ -161,9 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--out", type=Path, required=True,
                         help="directory to write the sharded dataset to (reload with 'train --dataset')")
     ingest.add_argument("--shard-size", type=int, default=64, help="graphs per dataset shard file")
-    ingest.add_argument("--shard-format", choices=["binary", "json"], default="binary",
+    ingest.add_argument("--shard-format", choices=["binary", "json", "raw"], default="binary",
                         help="graph shard layout: fingerprint-validated FlatGraph .npz arrays "
-                             "(default) or the legacy JSON payloads")
+                             "(default), the legacy JSON payloads, or raw .npy column "
+                             "directories that 'train --dataset D --mmap' maps without "
+                             "decoding (the out-of-core layout)")
 
     train = subparsers.add_parser("train", help="train a model and report test metrics")
     _add_corpus_arguments(train)
@@ -178,6 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(memory-mapped on load — the serving layout for large maps)")
     train.add_argument("--save-dataset", type=Path, default=None,
                        help="persist the assembled dataset to this directory for instant reloads")
+    train.add_argument("--shard-layout", choices=["binary", "json", "raw"], default="binary",
+                       help="--save-dataset graph shard layout: .npz arrays (default), legacy "
+                            "JSON, or raw .npy columns for memory-mapped reloads (--mmap)")
 
     suggest = subparsers.add_parser("suggest", help="suggest types for Python files")
     _add_corpus_arguments(suggest)
@@ -271,8 +292,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_dataset(args: argparse.Namespace) -> TypeAnnotationDataset:
     dataset_path: Optional[Path] = getattr(args, "dataset", None)
     if dataset_path is not None:
-        dataset = TypeAnnotationDataset.load(dataset_path)
-        print(f"loaded dataset from {dataset_path} ({dataset.summary()['files']} files)")
+        mmap = bool(getattr(args, "mmap", False))
+        dataset = TypeAnnotationDataset.load(dataset_path, mmap=mmap)
+        mode = " (memory-mapped)" if mmap else ""
+        print(f"loaded dataset from {dataset_path}{mode} ({dataset.summary()['files']} files)")
         return dataset
     dataset_config = DatasetConfig(rarity_threshold=args.rarity_threshold)
     ingest = _ingest_config(args)
@@ -299,6 +322,8 @@ def _fit_pipeline(args: argparse.Namespace, dataset: TypeAnnotationDataset) -> T
             learning_rate=args.learning_rate,
             dtype=getattr(args, "dtype", "float32"),
             compile_batches=not getattr(args, "no_compile", False),
+            workers=getattr(args, "workers", 1) or 1,
+            prefetch_batches=getattr(args, "prefetch_batches", None),
         ),
         index_kind=index_kind,
         index_params=index_params,
@@ -362,8 +387,8 @@ def command_ingest(args: argparse.Namespace) -> int:
 def command_train(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     if args.save_dataset is not None:
-        dataset.save(args.save_dataset)
-        print(f"dataset saved to {args.save_dataset}")
+        dataset.save(args.save_dataset, shard_format=args.shard_layout)
+        print(f"dataset saved to {args.save_dataset} ({args.shard_layout} shards)")
     pipeline = _fit_pipeline(args, dataset)
     summary, _ = pipeline.evaluate_split(dataset.test)
     print(render_table(["metric", "value"], [[key, str(value)] for key, value in summary.as_row().items()]))

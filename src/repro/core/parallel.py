@@ -1,0 +1,318 @@
+"""Data-parallel epoch execution over forked worker processes.
+
+``TrainingConfig.workers`` splits every batch's graph groups across N forked
+workers.  Each worker assembles and forward-encodes a disjoint slice of the
+batch and, after the parent has run the loss, backpropagates its graphs in
+isolation — exactly the per-graph gradient decomposition the serial trainer
+uses (see :func:`repro.nn.optim.capture_gradients`).  The parent then sums
+the per-graph contributions *in graph order*, which is the same association
+the serial path applies, so ``workers=N`` replays ``workers=1`` bit-for-bit
+in any dtype.
+
+Data flows through shared memory wherever it is dense:
+
+* model parameters are re-homed into ``RawArray``-backed buffers before the
+  fork, so the parent's in-place Adam updates are visible to every worker
+  without any per-step broadcast;
+* forward embeddings, the loss gradient w.r.t. them, and per-graph dense
+  parameter contributions travel through preallocated shared buffers sized
+  by ``max_symbols_per_batch`` / ``graphs_per_batch``.
+
+Only the sparse row-wise embedding gradients (small, variable-shaped) and
+control messages go over the pipes.  The protocol is lock-step per batch —
+encode, ack, backward, gradients — so no locks are needed: pipe ordering is
+the synchronisation.
+
+Worker processes require ``fork`` (POSIX); where fork is unavailable or
+denied the team refuses to start and the trainer falls back to the serial
+path, which computes identical numbers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.optim import accumulate_gradients, capture_gradients, restore_gradients
+from repro.nn.tensor import Tensor
+
+
+def _shared_view(context, shape: tuple, dtype) -> np.ndarray:
+    """A numpy array backed by anonymous shared memory (inherited over fork)."""
+    count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    nbytes = count * np.dtype(dtype).itemsize
+    buffer = context.RawArray("b", max(1, nbytes))
+    return np.frombuffer(buffer, dtype=dtype, count=count).reshape(shape)
+
+
+def _rehome_parameters(context, parameters: Sequence[Tensor]) -> None:
+    """Move every parameter's storage into shared memory, preserving values.
+
+    Must run before the fork; afterwards the parent's in-place optimiser
+    updates (`data -= ...`, `data[rows] -= ...`) are immediately visible in
+    every worker.  Gradients stay process-local — only ``data`` is shared.
+    """
+    for parameter in parameters:
+        data = np.ascontiguousarray(parameter.data)
+        view = _shared_view(context, data.shape, data.dtype)
+        view[...] = data
+        parameter.data = view
+
+
+class _PieceCache:
+    """Per-worker cache of assembled single-graph batches.
+
+    Batch memberships are fixed for the run and each graph belongs to exactly
+    one batch, so the key ``(graph_index, count)`` is hit once per epoch.
+    Unbounded (resident) by default; when the trainer streams with a bounded
+    prefetch window the cache becomes an LRU so worker RSS stays O(window)
+    instead of O(corpus / workers).
+    """
+
+    def __init__(self, plan, samples_by_graph, capacity: Optional[int]) -> None:
+        self.plan = plan
+        self.samples_by_graph = samples_by_graph
+        self.capacity = capacity
+        self._pieces: OrderedDict = OrderedDict()
+
+    def piece(self, graph_index: int, count: int):
+        key = (graph_index, count)
+        cached = self._pieces.get(key)
+        if cached is not None:
+            self._pieces.move_to_end(key)
+            return cached
+        group = self.samples_by_graph[graph_index][:count]
+        piece = self.plan.graph_pieces([graph_index], [group])[0][3]
+        self._pieces[key] = piece
+        if self.capacity is not None:
+            while len(self._pieces) > self.capacity:
+                self._pieces.popitem(last=False)
+        return piece
+
+
+@dataclass
+class _WorkerState:
+    """Everything a forked worker needs; inherited by fork, never pickled."""
+
+    connection: object
+    encoder: object
+    parameters: list
+    cache: _PieceCache
+    embeddings: np.ndarray  # (max_symbols_per_batch, dim) shared, worker-written
+    gradients: np.ndarray  # (max_symbols_per_batch, dim) shared, parent-written
+    slots: np.ndarray  # (graphs_per_batch, total_dense) shared, worker-written
+    offsets: np.ndarray  # flattened start offset of each parameter in a slot row
+
+
+def _worker_main(state: _WorkerState) -> None:
+    connection = state.connection
+    tapes: list = []
+    try:
+        while True:
+            message = connection.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "encode":
+                tapes = []
+                for position, graph_index, count, row in message[1]:
+                    batch = state.cache.piece(graph_index, count)
+                    output = state.encoder(batch)
+                    rows = output.data.shape[0]
+                    state.embeddings[row : row + rows] = output.data
+                    tapes.append((position, output, row, rows))
+                connection.send(("encoded", None))
+            elif kind == "backward":
+                payload = []
+                for position, output, row, rows in tapes:
+                    stash = capture_gradients(state.parameters)
+                    output.backward(state.gradients[row : row + rows])
+                    contribution = capture_gradients(state.parameters)
+                    restore_gradients(state.parameters, stash)
+                    dense_slots: list[int] = []
+                    sparse: list[tuple] = []
+                    for slot, (grad, grad_rows) in enumerate(contribution):
+                        if grad is not None:
+                            start = int(state.offsets[slot])
+                            state.slots[position, start : start + grad.size] = np.ravel(grad)
+                            dense_slots.append(slot)
+                        if grad_rows:
+                            sparse.append((slot, grad_rows))
+                    payload.append((position, dense_slots, sparse))
+                tapes = []
+                connection.send(("grads", payload))
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown worker message {kind!r}")
+    except (EOFError, KeyboardInterrupt):  # parent went away
+        return
+    except BaseException:
+        try:
+            connection.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+class WorkerTeam:
+    """Parent-side handle on the forked data-parallel workers."""
+
+    def __init__(self, processes, connections, embeddings, gradients, slots, offsets, sizes) -> None:
+        self._processes = processes
+        self._connections = connections
+        self.embeddings = embeddings
+        self.gradients = gradients
+        self.slots = slots
+        self.offsets = offsets
+        self.sizes = sizes
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._processes)
+
+    @classmethod
+    def start(cls, trainer, plan, split) -> Optional["WorkerTeam"]:
+        """Fork the team, or return ``None`` where that is impossible.
+
+        Mirrors the ingest pool's graceful degradation: sandboxes that deny
+        ``fork`` (or non-POSIX hosts without it) get the serial path, which
+        produces bit-identical results anyway.
+        """
+        config = trainer.config
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            return None
+        parameters = trainer.optimizer.parameters
+        dtype = trainer.dtype
+        dim = trainer.encoder.output_dim
+        try:
+            _rehome_parameters(context, parameters)
+            embeddings = _shared_view(context, (config.max_symbols_per_batch, dim), dtype)
+            gradients = _shared_view(context, (config.max_symbols_per_batch, dim), dtype)
+            sizes = np.asarray([int(parameter.data.size) for parameter in parameters], dtype=np.int64)
+            offsets = np.zeros(len(parameters) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            slots = _shared_view(context, (config.graphs_per_batch, int(offsets[-1])), dtype)
+        except (OSError, PermissionError):
+            return None
+        samples_by_graph = split.samples_by_graph()
+        capacity = None
+        if config.prefetch_batches is not None:
+            capacity = max(1, config.prefetch_batches * config.graphs_per_batch)
+        processes = []
+        connections = []
+        try:
+            for _ in range(config.workers):
+                parent_end, child_end = context.Pipe()
+                state = _WorkerState(
+                    connection=child_end,
+                    encoder=trainer.encoder,
+                    parameters=parameters,
+                    cache=_PieceCache(plan, samples_by_graph, capacity),
+                    embeddings=embeddings,
+                    gradients=gradients,
+                    slots=slots,
+                    offsets=offsets,
+                )
+                process = context.Process(target=_worker_main, args=(state,), daemon=True)
+                process.start()
+                child_end.close()
+                processes.append(process)
+                connections.append(parent_end)
+        except (OSError, PermissionError):
+            for connection in connections:
+                connection.close()
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(timeout=5)
+            return None
+        return cls(processes, connections, embeddings, gradients, slots, offsets, sizes)
+
+    # -- per-batch protocol ------------------------------------------------------------
+
+    def _expect(self, worker: int, kind: str):
+        message = self._connections[worker].recv()
+        if message[0] == "error":
+            raise RuntimeError(f"training worker {worker} failed:\n{message[1]}")
+        if message[0] != kind:  # pragma: no cover - defensive
+            raise RuntimeError(f"worker {worker} sent {message[0]!r}, expected {kind!r}")
+        return message[1]
+
+    def run_batch(self, trainer, graph_indices, samples_per_graph) -> float:
+        """One training step with forward/backward fanned out over the team.
+
+        The parent still owns the loss, gradient clipping and the Adam step,
+        so the optimiser trajectory is byte-for-byte the serial one — the
+        workers only supply the per-graph forward activations and isolated
+        gradient contributions, reduced here in graph order.
+        """
+        nonempty = [
+            (position, graph_indices[position], group)
+            for position, group in enumerate(samples_per_graph)
+            if group
+        ]
+        assignments: list[list] = [[] for _ in self._connections]
+        order: list[tuple[int, int, int]] = []  # (position, row, count) in graph order
+        row = 0
+        for index, (position, graph_index, group) in enumerate(nonempty):
+            count = len(group)
+            assignments[index % len(assignments)].append((position, graph_index, count, row))
+            order.append((position, row, count))
+            row += count
+        total = row
+        active = [worker for worker, assigned in enumerate(assignments) if assigned]
+        for worker in active:
+            self._connections[worker].send(("encode", assignments[worker]))
+        for worker in active:
+            self._expect(worker, "encoded")
+
+        embeddings = Tensor(np.array(self.embeddings[:total]), requires_grad=True)
+        loss = trainer._loss_for_batch(embeddings, trainer._ordered_types(samples_per_graph))
+        trainer.optimizer.zero_grad()
+        loss.backward()
+
+        if embeddings._grad is not None and total:
+            self.gradients[:total] = embeddings._grad
+            for worker in active:
+                self._connections[worker].send(("backward", None))
+            contributions: dict[int, tuple] = {}
+            for worker in active:
+                for position, dense_slots, sparse in self._expect(worker, "grads"):
+                    contributions[position] = (dense_slots, sparse)
+            parameters = trainer.optimizer.parameters
+            for position, _, _ in order:
+                dense_slots, sparse = contributions[position]
+                merged: list[list] = [[None, None] for _ in parameters]
+                for slot in dense_slots:
+                    start = int(self.offsets[slot])
+                    size = int(self.sizes[slot])
+                    flat = np.array(self.slots[position, start : start + size])
+                    merged[slot][0] = flat.reshape(parameters[slot].data.shape)
+                for slot, grad_rows in sparse:
+                    merged[slot][1] = grad_rows
+                accumulate_gradients(parameters, [tuple(entry) for entry in merged])
+        trainer.optimizer.clip_gradients(trainer.config.gradient_clip)
+        trainer.optimizer.step()
+        return float(loss.data)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for process, connection in zip(self._processes, self._connections):
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+            connection.close()
+        self._processes = []
+        self._connections = []

@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core.dataloader import stream_batches
 from repro.core.embedder import SymbolEmbedder
 from repro.core.losses import (
     ClassificationHead,
@@ -36,9 +37,11 @@ from repro.models.base import SymbolEncoder
 from repro.models.batching import GraphBatch, SequenceBatch, token_view
 from repro.models.featurize import TextFeatures
 from repro.models.ggnn import GGNNEncoder, build_message_plan
+from repro.core.parallel import WorkerTeam
 from repro.nn.dtype import resolve_dtype
-from repro.nn.optim import Adam
+from repro.nn.optim import Adam, accumulate_gradients, capture_gradients, restore_gradients
 from repro.nn.tensor import Tensor
+from repro.utils.memory import peak_rss_bytes
 from repro.utils.rng import SeededRNG
 from repro.utils.timing import Stopwatch
 
@@ -74,16 +77,35 @@ class TrainingConfig:
     #: ``False`` rebuilds every batch from node texts each epoch — the
     #: eager baseline path the throughput benchmark compares against.
     compile_batches: bool = True
+    #: Out-of-core streaming: when set, compiled batches are assembled by a
+    #: prefetch thread into a window of at most this many in-flight batches
+    #: and dropped after use, so peak RSS is O(window) instead of O(corpus).
+    #: ``None`` (the default) keeps the historical resident plan.  Assembly
+    #: is pure, so any window size replays the resident float64 trajectory
+    #: bit-for-bit.
+    prefetch_batches: Optional[int] = None
+    #: Data-parallel epochs: fork this many worker processes, each encoding
+    #: and backpropagating a disjoint slice of every batch's graphs, with the
+    #: per-graph gradient contributions reduced by the parent in graph order
+    #: — the same association the serial path uses, so ``workers=N`` replays
+    #: ``workers=1`` bit-for-bit.  Only the compiled graph family
+    #: parallelises; other configurations silently run serially, as do hosts
+    #: where ``fork`` is unavailable.
+    workers: int = 1
 
 
 @dataclass
 class EpochStats:
-    """Loss and timing of one epoch."""
+    """Loss, timing and memory telemetry of one epoch."""
 
     epoch: int
     mean_loss: float
     num_batches: int
     seconds: float
+    #: Peak resident set size of the process at the end of the epoch (a
+    #: lifetime high-water mark, see :func:`repro.utils.memory.peak_rss_bytes`);
+    #: ``None`` where the platform cannot report it.
+    peak_rss_bytes: Optional[int] = None
 
 
 @dataclass
@@ -143,36 +165,69 @@ class BatchPlan:
     be precompiled; compiling a plan for it instead turns on the encoder's
     per-text feature memo (``supports_assembly`` stays ``False`` and the
     trainer keeps using the eager path, minus the repeated tokenization).
+
+    ``lazy=True`` is the out-of-core mode: nothing is precompiled and
+    nothing is retained — entries and assembled batches are built on demand
+    and owned by the caller (the streaming prefetcher or a worker-side LRU),
+    so plan memory no longer scales with the corpus.  Compilation itself is
+    pure, so lazy and resident plans produce identical arrays.
     """
 
-    def __init__(self, encoder: SymbolEncoder, split: DatasetSplit) -> None:
+    def __init__(self, encoder: SymbolEncoder, split: DatasetSplit, lazy: bool = False) -> None:
         self.encoder = encoder
         self.split = split
+        self.lazy = lazy
         self._graph_entries: dict[int, _CompiledGraph] = {}
         self._sequence_entries: dict[int, _CompiledSequence] = {}
         self._assembled: dict[int, object] = {}
+        self._training: dict[int, object] = {}
         self._pad_features: Optional[TextFeatures] = None
+        self._persisted: Optional[list[TextFeatures]] = None
+        self._max_tokens = getattr(encoder, "max_tokens", 192)
         initializer = getattr(encoder, "initializer", None)
         self.supports_assembly = initializer is not None and encoder.family in ("graph", "sequence")
         if not self.supports_assembly:
             encoder.enable_feature_memo()
             return
-        persisted = self._persisted_features(initializer)
-        samples_by_graph = split.samples_by_graph()
-        if encoder.family == "graph":
-            for graph_index, samples in samples_by_graph.items():
-                self._graph_entries[graph_index] = self._compile_graph(
-                    split.graphs[graph_index], samples, persisted, graph_index
-                )
-        else:
-            max_tokens = getattr(encoder, "max_tokens", 192)
+        self._persisted = self._persisted_features(initializer)
+        self._samples_by_graph = split.samples_by_graph()
+        if encoder.family == "sequence":
             self._pad_features = initializer.featurize([""])
-            for graph_index, samples in samples_by_graph.items():
-                self._sequence_entries[graph_index] = self._compile_sequence(
-                    split.graphs[graph_index], samples, max_tokens
-                )
+        if lazy:
+            return
+        for graph_index in self._samples_by_graph:
+            if encoder.family == "graph":
+                self.graph_entry(graph_index)
+            else:
+                self.sequence_entry(graph_index)
 
     # -- compilation -----------------------------------------------------------------
+
+    def graph_entry(self, graph_index: int) -> _CompiledGraph:
+        """The compiled arrays for one graph (cached unless the plan is lazy)."""
+        entry = self._graph_entries.get(graph_index)
+        if entry is None:
+            entry = self._compile_graph(
+                self.split.graphs[graph_index],
+                self._samples_by_graph[graph_index],
+                self._persisted,
+                graph_index,
+            )
+            if not self.lazy:
+                self._graph_entries[graph_index] = entry
+        return entry
+
+    def sequence_entry(self, graph_index: int) -> _CompiledSequence:
+        entry = self._sequence_entries.get(graph_index)
+        if entry is None:
+            entry = self._compile_sequence(
+                self.split.graphs[graph_index],
+                self._samples_by_graph[graph_index],
+                self._max_tokens,
+            )
+            if not self.lazy:
+                self._sequence_entries[graph_index] = entry
+        return entry
 
     def _persisted_features(self, initializer) -> Optional[list[TextFeatures]]:
         """Features saved next to the dataset shards, if they match the vocabulary."""
@@ -255,7 +310,51 @@ class BatchPlan:
         cached = self._assembled.get(batch_id)
         if cached is None:
             cached = self.assemble(graph_indices, samples_per_graph)
-            self._assembled[batch_id] = cached
+            if not self.lazy:
+                self._assembled[batch_id] = cached
+        return cached
+
+    def graph_pieces(
+        self,
+        graph_indices: Sequence[int],
+        samples_per_graph: Sequence[Sequence[AnnotatedSymbol]],
+    ) -> list[tuple[int, int, int, GraphBatch]]:
+        """One single-graph batch per non-empty group, in graph order.
+
+        Returns ``(position, graph_index, sample_count, batch)`` tuples —
+        the unit the decomposed training step forwards and backpropagates in
+        isolation, and the unit the streaming window and the worker caches
+        evict.  A single-graph assembly is the ordinary union assembly with
+        one member, so each piece is element-for-element what the group
+        contributes to the full union batch.
+        """
+        pieces: list[tuple[int, int, int, GraphBatch]] = []
+        for position, (graph_index, group) in enumerate(zip(graph_indices, samples_per_graph)):
+            if not group:
+                continue
+            pieces.append((position, graph_index, len(group), self._assemble_graph([graph_index], [group])))
+        return pieces
+
+    def training_batch(
+        self,
+        batch_id: int,
+        graph_indices: Sequence[int],
+        samples_per_graph: Sequence[Sequence[AnnotatedSymbol]],
+    ):
+        """What the trainer consumes for one batch, cached when resident.
+
+        Graph family: the list of per-graph pieces (see :meth:`graph_pieces`).
+        Sequence family: the padded union batch (padding couples the graphs,
+        so the sequence family cannot decompose per graph).
+        """
+        cached = self._training.get(batch_id)
+        if cached is None:
+            if self.encoder.family == "graph":
+                cached = self.graph_pieces(graph_indices, samples_per_graph)
+            else:
+                cached = self._assemble_sequence(graph_indices, samples_per_graph)
+            if not self.lazy:
+                self._training[batch_id] = cached
         return cached
 
     def assemble(self, graph_indices: Sequence[int], samples_per_graph: Sequence[Sequence[AnnotatedSymbol]]):
@@ -272,7 +371,7 @@ class BatchPlan:
     def _assemble_graph(
         self, graph_indices: Sequence[int], samples_per_graph: Sequence[Sequence[AnnotatedSymbol]]
     ) -> GraphBatch:
-        entries = [self._graph_entries[index] for index in graph_indices]
+        entries = [self.graph_entry(index) for index in graph_indices]
         counts = [len(group) for group in samples_per_graph]
         num_nodes = np.asarray([entry.num_nodes for entry in entries], dtype=np.int64)
         offsets = np.zeros(len(entries) + 1, dtype=np.int64)
@@ -313,7 +412,7 @@ class BatchPlan:
     def _assemble_sequence(
         self, graph_indices: Sequence[int], samples_per_graph: Sequence[Sequence[AnnotatedSymbol]]
     ) -> SequenceBatch:
-        entries = [self._sequence_entries[index] for index in graph_indices]
+        entries = [self.sequence_entry(index) for index in graph_indices]
         longest = max([1] + [len(entry.token_texts) for entry in entries])
 
         padded_texts: list[list[str]] = []
@@ -354,6 +453,12 @@ class Trainer:
         self.dtype = resolve_dtype(self.config.dtype)
         self._plan: Optional[BatchPlan] = None
         self._batch_groups: Optional[tuple] = None
+        if self.config.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.config.workers}")
+        if self.config.prefetch_batches is not None and self.config.prefetch_batches < 1:
+            raise ValueError(
+                f"prefetch_batches must be >= 1 (or None for resident), got {self.config.prefetch_batches}"
+            )
 
         vocabulary = dataset.registry.classification_vocabulary(self.config.max_classification_types)
         self.classification_head: Optional[ClassificationHead] = None
@@ -441,11 +546,18 @@ class Trainer:
         return self.encoder.encode(graphs, targets_per_graph)
 
     def _training_plan(self, split: DatasetSplit) -> Optional[BatchPlan]:
-        """The compiled plan for the training split (built once, before epoch 0)."""
+        """The compiled plan for the training split (built once, before epoch 0).
+
+        Streaming and data-parallel runs get a *lazy* plan: compiled arrays
+        are produced on demand (by the prefetch thread or inside the
+        workers) instead of being precompiled and retained, so nothing
+        corpus-sized accumulates in the parent.
+        """
         if not self.config.compile_batches:
             return None
-        if self._plan is None or self._plan.split is not split:
-            self._plan = BatchPlan(self.encoder, split)
+        lazy = self.config.prefetch_batches is not None or self.config.workers > 1
+        if self._plan is None or self._plan.split is not split or self._plan.lazy != lazy:
+            self._plan = BatchPlan(self.encoder, split, lazy=lazy)
         return self._plan
 
     def _encode_batch(
@@ -475,6 +587,84 @@ class Trainer:
         assert self.typilus_loss is not None
         return self.typilus_loss(embeddings, type_names)
 
+    def _union_step(self, embeddings: Tensor, samples_per_graph: list[list[AnnotatedSymbol]]) -> float:
+        """One optimiser step on a jointly-encoded batch (non-graph families)."""
+        loss = self._loss_for_batch(embeddings, self._ordered_types(samples_per_graph))
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.clip_gradients(self.config.gradient_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def _graph_step(self, outputs: list[Tensor], samples_per_graph: list[list[AnnotatedSymbol]]) -> float:
+        """One optimiser step with per-graph gradient decomposition.
+
+        ``outputs`` holds each non-empty group's embeddings, encoded one
+        graph at a time (graph forwards are independent, so the concatenated
+        activations match a union encode bit-for-bit).  The loss sees the
+        whole batch at once through a detached leaf; its gradient is then
+        sliced back to the graphs, each graph backpropagates in isolation,
+        and the parameter contributions are summed in graph order.  That
+        fixed association is what data-parallel workers reproduce exactly —
+        the decomposition is the trainer's *definition* of a gradient step,
+        not an approximation of the union backward.
+        """
+        emb = Tensor(np.concatenate([output.data for output in outputs], axis=0), requires_grad=True)
+        loss = self._loss_for_batch(emb, self._ordered_types(samples_per_graph))
+        self.optimizer.zero_grad()
+        loss.backward()
+        parameters = self.optimizer.parameters
+        seed = emb._grad
+        if seed is not None:
+            offset = 0
+            for output in outputs:
+                rows = output.data.shape[0]
+                stash = capture_gradients(parameters)
+                output.backward(seed[offset : offset + rows])
+                contribution = capture_gradients(parameters)
+                restore_gradients(parameters, stash)
+                accumulate_gradients(parameters, contribution)
+                offset += rows
+        self.optimizer.clip_gradients(self.config.gradient_clip)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def _graph_outputs_eager(
+        self, split: DatasetSplit, graph_indices: list[int], samples_per_graph: list[list[AnnotatedSymbol]]
+    ) -> list[Tensor]:
+        outputs: list[Tensor] = []
+        for graph_index, group in zip(graph_indices, samples_per_graph):
+            if not group:
+                continue
+            targets = [sample.node_index for sample in group]
+            outputs.append(self.encoder.encode([split.graphs[graph_index]], [targets]))
+        return outputs
+
+    def _step_with_payload(self, payload, samples_per_graph: list[list[AnnotatedSymbol]]) -> float:
+        """Step on an assembled payload from :meth:`BatchPlan.training_batch`."""
+        if self.encoder.family == "graph":
+            outputs = [self.encoder(piece) for _, _, _, piece in payload]
+            return self._graph_step(outputs, samples_per_graph)
+        return self._union_step(self.encoder(payload), samples_per_graph)
+
+    def _train_step(
+        self,
+        split: DatasetSplit,
+        plan: Optional[BatchPlan],
+        batch_id: int,
+        graph_indices: list[int],
+        samples_per_graph: list[list[AnnotatedSymbol]],
+    ) -> float:
+        if plan is not None and plan.supports_assembly:
+            payload = plan.training_batch(batch_id, graph_indices, samples_per_graph)
+            return self._step_with_payload(payload, samples_per_graph)
+        if self.encoder.family == "graph":
+            outputs = self._graph_outputs_eager(split, graph_indices, samples_per_graph)
+            return self._graph_step(outputs, samples_per_graph)
+        return self._union_step(
+            self._encode_samples(split, graph_indices, samples_per_graph), samples_per_graph
+        )
+
     def train(self, verbose: bool = False) -> TrainingResult:
         """Run the configured number of epochs over the training split."""
         result = TrainingResult(
@@ -484,33 +674,71 @@ class Trainer:
             typilus_loss=self.typilus_loss,
         )
         self.encoder.train()
-        plan = self._training_plan(self.dataset.train)
-        for epoch in range(self.config.epochs):
-            losses: list[float] = []
-            elapsed_before = result.stopwatch.total("train_epoch")
-            with result.stopwatch.measure("train_epoch"):
-                for batch_id, graph_indices, samples_per_graph in self._batches(self.dataset.train):
-                    embeddings = self._encode_batch(
-                        self.dataset.train, plan, batch_id, graph_indices, samples_per_graph
+        split = self.dataset.train
+        plan = self._training_plan(split)
+        team = None
+        if (
+            self.config.workers > 1
+            and self.encoder.family == "graph"
+            and plan is not None
+            and plan.supports_assembly
+        ):
+            team = WorkerTeam.start(self, plan, split)
+            if team is None and verbose:
+                print(f"workers={self.config.workers} unavailable on this host; training serially")
+        if team is None and plan is not None and plan.lazy and self.config.prefetch_batches is None:
+            # The lazy plan existed for the worker path; without a team (and
+            # without a streaming window) resident compilation is faster.
+            plan = self._plan = BatchPlan(self.encoder, split, lazy=False)
+        streaming = (
+            team is None
+            and self.config.prefetch_batches is not None
+            and plan is not None
+            and plan.supports_assembly
+        )
+        try:
+            for epoch in range(self.config.epochs):
+                losses: list[float] = []
+                elapsed_before = result.stopwatch.total("train_epoch")
+                with result.stopwatch.measure("train_epoch"):
+                    epoch_batches = self._batches(split)
+                    if team is not None:
+                        for batch_id, graph_indices, samples_per_graph in epoch_batches:
+                            losses.append(team.run_batch(self, graph_indices, samples_per_graph))
+                    elif streaming:
+                        payloads = stream_batches(
+                            epoch_batches,
+                            lambda batch: plan.training_batch(batch[0], batch[1], batch[2]),
+                            self.config.prefetch_batches,
+                        )
+                        for batch, payload in zip(epoch_batches, payloads):
+                            losses.append(self._step_with_payload(payload, batch[2]))
+                    else:
+                        for batch_id, graph_indices, samples_per_graph in epoch_batches:
+                            losses.append(
+                                self._train_step(split, plan, batch_id, graph_indices, samples_per_graph)
+                            )
+                stats = EpochStats(
+                    epoch=epoch,
+                    mean_loss=float(np.mean(losses)) if losses else float("nan"),
+                    num_batches=len(losses),
+                    # The stopwatch section is cumulative across epochs; report
+                    # this epoch's share, not the running total.
+                    seconds=result.stopwatch.total("train_epoch") - elapsed_before,
+                    peak_rss_bytes=peak_rss_bytes(),
+                )
+                result.history.append(stats)
+                if verbose:
+                    peak = ""
+                    if stats.peak_rss_bytes is not None:
+                        peak = f" peak_rss={stats.peak_rss_bytes / (1024 * 1024):.1f}MiB"
+                    print(
+                        f"epoch {epoch}: loss={stats.mean_loss:.4f} "
+                        f"over {stats.num_batches} batches{peak}"
                     )
-                    type_names = self._ordered_types(samples_per_graph)
-                    loss = self._loss_for_batch(embeddings, type_names)
-                    self.optimizer.zero_grad()
-                    loss.backward()
-                    self.optimizer.clip_gradients(self.config.gradient_clip)
-                    self.optimizer.step()
-                    losses.append(float(loss.data))
-            stats = EpochStats(
-                epoch=epoch,
-                mean_loss=float(np.mean(losses)) if losses else float("nan"),
-                num_batches=len(losses),
-                # The stopwatch section is cumulative across epochs; report
-                # this epoch's share, not the running total.
-                seconds=result.stopwatch.total("train_epoch") - elapsed_before,
-            )
-            result.history.append(stats)
-            if verbose:
-                print(f"epoch {epoch}: loss={stats.mean_loss:.4f} over {stats.num_batches} batches")
+        finally:
+            if team is not None:
+                team.close()
         self.encoder.eval()
         return result
 

@@ -57,7 +57,14 @@ class AnnotatedSymbol:
 
 @dataclass
 class DatasetSplit:
-    """One of the train/validation/test partitions."""
+    """One of the train/validation/test partitions.
+
+    ``graphs`` is list-like rather than necessarily a list: a dataset loaded
+    with ``mmap=True`` hands out a :class:`~repro.corpus.serialize.LazyView`
+    that materialises :class:`CodeGraph` objects on demand from the mapped
+    shard columns, so indexing, iteration and slicing all work but nothing
+    corpus-sized is resident.
+    """
 
     name: str
     graphs: list[CodeGraph] = field(default_factory=list)
@@ -280,8 +287,13 @@ class TypeAnnotationDataset:
         sample order, registry ids and vocabulary are identical to the
         original — so a corpus is ingested (and featurized) once and
         reloaded instantly by the trainer, the benchmarks and the engine.
+
+        ``shard_format="raw"`` writes each shard as a ``graphs-NNNNN.raw``
+        *directory* of plain ``.npy`` columns (and the features as a
+        ``features.raw`` directory) — the zero-copy layout
+        ``load(..., mmap=True)`` memory-maps for out-of-core training.
         """
-        if shard_format not in ("binary", "json"):
+        if shard_format not in ("binary", "json", "raw"):
             raise ValueError(f"unknown shard format {shard_format!r}")
         path = Path(path)
         path.mkdir(parents=True, exist_ok=True)
@@ -309,7 +321,7 @@ class TypeAnnotationDataset:
             all_graphs.extend(split.graphs)
 
         num_shards = max(1, math.ceil(len(all_graphs) / shard_size))
-        extension = "npz" if shard_format == "binary" else "json"
+        extension = {"binary": "npz", "json": "json", "raw": "raw"}[shard_format]
         shard_names: list[str] = []
         for shard_index in range(num_shards):
             shard_name = f"graphs-{shard_index:05d}.{extension}"
@@ -317,6 +329,8 @@ class TypeAnnotationDataset:
             chunk = all_graphs[shard_index * shard_size : (shard_index + 1) * shard_size]
             if shard_format == "binary":
                 serialize.write_graph_shard(path / shard_name, chunk)
+            elif shard_format == "raw":
+                serialize.write_graph_shard_raw(path / shard_name, chunk)
             else:
                 payloads = [serialize.graph_to_payload(graph) for graph in chunk]
                 (path / shard_name).write_text(
@@ -346,19 +360,30 @@ class TypeAnnotationDataset:
                 for split in self.splits.values()
                 for feature in (split.node_features or [])
             ]
-            np.savez_compressed(
-                path / "features.npz", **serialize.features_to_arrays(flat_features, fingerprint)
-            )
+            if shard_format == "raw":
+                serialize.write_features_raw(path / "features.raw", flat_features, fingerprint)
+            else:
+                np.savez_compressed(
+                    path / "features.npz", **serialize.features_to_arrays(flat_features, fingerprint)
+                )
         return path
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "TypeAnnotationDataset":
+    def load(cls, path: Union[str, Path], mmap: bool = False) -> "TypeAnnotationDataset":
         """Restore a dataset saved with :meth:`save`.
 
         Binary ``.npz`` shards load as columnar graphs (validated against
         their stored fingerprint); legacy ``.json`` shards load through the
         original payload decoder — directories written by older versions
-        keep working unchanged.
+        keep working unchanged.  ``.raw`` shard directories load eagerly by
+        default (same fingerprint validation as ``.npz``).
+
+        ``mmap=True`` requires every shard to be ``.raw`` and memory-maps
+        the columns read-only instead of materialising graphs: splits hand
+        out on-demand :class:`CodeGraph` views, persisted features stay
+        mapped, and multiple processes share the page cache.  Content
+        fingerprints are *not* verified in this mode (verification would
+        page in the whole corpus); structural shape checks still run.
         """
         path = Path(path)
         manifest = json.loads((path / "dataset.json").read_text(encoding="utf-8"))
@@ -366,15 +391,29 @@ class TypeAnnotationDataset:
         if version != DATASET_FORMAT_VERSION:
             raise ValueError(f"unsupported dataset format version {version!r}")
 
-        all_graphs: list[CodeGraph] = []
-        for shard_name in manifest["graph_shards"]:
-            if shard_name.endswith(".npz"):
-                all_graphs.extend(serialize.read_graph_shard(path / shard_name))
-            else:
-                shard = json.loads((path / shard_name).read_text(encoding="utf-8"))
-                all_graphs.extend(
-                    serialize.graph_from_payload(payload) for payload in shard["graphs"]
+        if mmap:
+            not_raw = [name for name in manifest["graph_shards"] if not name.endswith(".raw")]
+            if not_raw:
+                raise ValueError(
+                    "mmap=True requires raw shard directories; "
+                    f"{not_raw[0]!r} is not (re-save with shard_format='raw')"
                 )
+            store = serialize.LazyGraphStore(
+                [serialize.RawGraphShard(path / name) for name in manifest["graph_shards"]]
+            )
+            all_graphs = serialize.LazyView(store.graph, 0, len(store))
+        else:
+            all_graphs: list[CodeGraph] = []
+            for shard_name in manifest["graph_shards"]:
+                if shard_name.endswith(".npz"):
+                    all_graphs.extend(serialize.read_graph_shard(path / shard_name))
+                elif shard_name.endswith(".raw"):
+                    all_graphs.extend(serialize.read_graph_shard_raw(path / shard_name))
+                else:
+                    shard = json.loads((path / shard_name).read_text(encoding="utf-8"))
+                    all_graphs.extend(
+                        serialize.graph_from_payload(payload) for payload in shard["graphs"]
+                    )
 
         splits: dict[str, DatasetSplit] = {}
         cursor = 0
@@ -419,29 +458,57 @@ class TypeAnnotationDataset:
             DatasetConfig(**config_payload),
             sources=sources,
         )
-        dataset._attach_features(path)
+        dataset._attach_features(path, mmap=mmap)
         return dataset
 
-    def _attach_features(self, path: Path) -> None:
-        """Restore persisted per-graph features; silently skip stale/missing files."""
+    def _attach_features(self, path: Path, mmap: bool = False) -> None:
+        """Restore persisted per-graph features; silently skip stale/missing files.
+
+        The vocabulary fingerprint is validated *before* any id arrays are
+        decoded: ``np.load`` reads ``.npz`` members lazily per key, so a
+        stale-vocabulary directory costs two tiny reads instead of inflating
+        the whole archive just to throw it away.
+        """
+        from repro.models.featurize import SUBTOKEN, vocabulary_fingerprint
+
+        expected_fingerprint = vocabulary_fingerprint(SUBTOKEN, self.subtokens.tokens)
+        expected_graphs = sum(split.num_graphs for split in self.splits.values())
+
+        raw_path = path / "features.raw"
+        if raw_path.is_dir():
+            restored = serialize.read_features_raw(raw_path, mmap=mmap)
+            if restored is None:
+                return
+            features, fingerprint = restored
+            if fingerprint != expected_fingerprint or len(features) != expected_graphs:
+                return
+            self._adopt_features(features, fingerprint)
+            return
+
         features_path = path / "features.npz"
         if not features_path.exists():
             return
         import numpy as np
 
-        from repro.models.featurize import SUBTOKEN, vocabulary_fingerprint
-
         with np.load(features_path, allow_pickle=False) as archive:
+            # Features index the embedding rows of this vocabulary; a
+            # mismatch (e.g. a hand-edited directory) means they must be
+            # recomputed — decide that from the header entries alone.
+            try:
+                if int(archive["version"][0]) != serialize.FEATURES_FORMAT_VERSION:
+                    return
+                if str(archive["fingerprint"][0]) != expected_fingerprint:
+                    return
+                if int(archive["num_graphs"][0]) != expected_graphs:
+                    return
+            except (KeyError, ValueError, IndexError):
+                return
             restored = serialize.features_from_arrays(archive)
         if restored is None:
             return
-        features, fingerprint = restored
-        # Features index the embedding rows of this vocabulary; a mismatch
-        # (e.g. a hand-edited directory) means they must be recomputed.
-        if fingerprint != vocabulary_fingerprint(SUBTOKEN, self.subtokens.tokens):
-            return
-        if len(features) != sum(split.num_graphs for split in self.splits.values()):
-            return
+        self._adopt_features(*restored)
+
+    def _adopt_features(self, features, fingerprint: str) -> None:
         cursor = 0
         for split in self.splits.values():
             split.node_features = features[cursor : cursor + split.num_graphs]

@@ -32,7 +32,10 @@ load unchanged.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Optional, Sequence
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -391,6 +394,269 @@ def read_graph_shard(path) -> list[CodeGraph]:
 
 
 # ---------------------------------------------------------------------------
+# Raw graph shards (zero-copy, memory-mappable)
+# ---------------------------------------------------------------------------
+
+#: Commit marker and index of a raw shard/feature directory; written last, so
+#: a directory without it is an aborted write, not a corrupt dataset.
+RAW_META_NAME = "meta.json"
+
+#: Keys every raw graph shard must provide (edge columns vary per shard).
+_RAW_REQUIRED_COLUMNS = (
+    "strbytes",
+    "strsplits",
+    "strgraph",
+    "metabytes",
+    "metasplits",
+    "nodes",
+    "nodesplits",
+    "symbols",
+    "symsplits",
+    "occ",
+    "occcounts",
+)
+
+
+def _read_raw_meta(path: Path, expected_version: int, what: str) -> dict[str, Any]:
+    try:
+        meta = json.loads((path / RAW_META_NAME).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise PayloadError(f"cannot read raw {what} metadata at {path}: {error}") from error
+    version = int(meta.get("format", -1))
+    if version != expected_version:
+        raise PayloadError(f"unsupported raw {what} version {version!r} at {path}")
+    return meta
+
+
+def write_graph_shard_raw(path, graphs: Sequence[CodeGraph]) -> None:
+    """Write graphs as a raw shard *directory*: one ``.npy`` file per column.
+
+    Same columnar arrays as the ``.npz`` shard (see
+    :func:`flat_graphs_to_arrays`), but each stored as a plain ``.npy`` so
+    loaders can ``np.load(..., mmap_mode="r")`` them — pages stream in on
+    access instead of the whole archive inflating into every process.
+    ``meta.json`` (version, graph count, fingerprint, column index) is
+    written last as the commit marker.
+    """
+    arrays = flat_graphs_to_arrays([graph.to_flat() for graph in graphs])
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    names: dict[str, str] = {}
+    for key, value in arrays.items():
+        if key in ("format", "num_graphs", "fingerprint"):
+            continue
+        name = key.replace(":", "__") + ".npy"
+        np.save(directory / name, np.ascontiguousarray(value))
+        names[key] = name
+    meta = {
+        "format": int(arrays["format"][0]),
+        "num_graphs": int(arrays["num_graphs"][0]),
+        "fingerprint": str(arrays["fingerprint"][0]),
+        "arrays": names,
+    }
+    (directory / RAW_META_NAME).write_text(json.dumps(meta, indent=1), encoding="utf-8")
+
+
+def read_graph_shard_raw(path) -> list[CodeGraph]:
+    """Eagerly read a raw shard directory, validating its fingerprint.
+
+    The resident counterpart of :class:`RawGraphShard`: all columns are
+    loaded into memory and pass through the same fingerprint check and
+    decode as an ``.npz`` shard.
+    """
+    directory = Path(path)
+    meta = _read_raw_meta(directory, GRAPH_SHARD_FORMAT_VERSION, "graph shard")
+    try:
+        arrays = {
+            key: np.load(directory / name, allow_pickle=False)
+            for key, name in meta["arrays"].items()
+        }
+    except (OSError, ValueError, KeyError) as error:
+        raise PayloadError(f"malformed raw graph shard at {path}: {error}") from error
+    arrays["format"] = np.asarray([int(meta["format"])], dtype=np.int64)
+    arrays["num_graphs"] = np.asarray([int(meta["num_graphs"])], dtype=np.int64)
+    arrays["fingerprint"] = _string_array([str(meta["fingerprint"])])
+    flats = flat_graphs_from_arrays(arrays)
+    return [CodeGraph.from_flat(flat) for flat in flats]
+
+
+class RawGraphShard:
+    """Zero-copy view over a raw shard directory.
+
+    The big content columns (strings blob, node/symbol/edge blocks,
+    occurrences) stay memory-mapped read-only; only the O(graphs) split
+    arrays are materialised up front.  :meth:`flat_graph` slices one graph's
+    columns without touching any other graph's pages, and decodes only that
+    graph's strings.
+
+    Content fingerprints are *not* verified on open — doing so would page in
+    the entire shard, defeating the layout.  Structural shape checks still
+    reject mismatched columns; callers wanting full verification use
+    :func:`read_graph_shard_raw`.
+    """
+
+    def __init__(self, path, mmap: bool = True) -> None:
+        directory = Path(path)
+        meta = _read_raw_meta(directory, GRAPH_SHARD_FORMAT_VERSION, "graph shard")
+        self.path = directory
+        self.num_graphs = int(meta["num_graphs"])
+        self.fingerprint = str(meta.get("fingerprint", ""))
+        mode = "r" if mmap else None
+        try:
+            self._arrays = {
+                key: np.load(directory / name, mmap_mode=mode, allow_pickle=False)
+                for key, name in meta["arrays"].items()
+            }
+        except (OSError, ValueError, KeyError) as error:
+            raise PayloadError(f"malformed raw graph shard at {path}: {error}") from error
+        missing = [key for key in _RAW_REQUIRED_COLUMNS if key not in self._arrays]
+        if missing:
+            raise PayloadError(f"raw graph shard at {path} is missing columns {missing}")
+        arrays = self._arrays
+        self._strsplits = np.array(arrays["strsplits"], dtype=np.int64)
+        self._strgraph = np.array(arrays["strgraph"], dtype=np.int64)
+        self._metasplits = np.array(arrays["metasplits"], dtype=np.int64)
+        self._nodesplits = np.array(arrays["nodesplits"], dtype=np.int64)
+        self._symsplits = np.array(arrays["symsplits"], dtype=np.int64)
+        occcounts = arrays["occcounts"]
+        self._occ_prefix = np.zeros(occcounts.shape[0] + 1, dtype=np.int64)
+        np.cumsum(occcounts, out=self._occ_prefix[1:])
+        self._edge_columns = [
+            (kind, arrays[f"edges:{kind.value}"], np.array(arrays[f"edgesplits:{kind.value}"], dtype=np.int64))
+            for kind in ALL_EDGE_KINDS
+            if f"edges:{kind.value}" in arrays
+        ]
+        expected = self.num_graphs + 1
+        for name, splits in (
+            ("strgraph", self._strgraph),
+            ("nodesplits", self._nodesplits),
+            ("symsplits", self._symsplits),
+        ):
+            if splits.shape[0] != expected:
+                raise PayloadError(
+                    f"raw graph shard at {path}: column {name!r} has {splits.shape[0]} splits, "
+                    f"expected {expected}"
+                )
+
+    def _strings(self, index: int) -> tuple[str, ...]:
+        lo, hi = int(self._strgraph[index]), int(self._strgraph[index + 1])
+        byte_lo = int(self._strsplits[lo])
+        blob = np.asarray(self._arrays["strbytes"][byte_lo : int(self._strsplits[hi])])
+        return tuple(_unpack_strings(blob, self._strsplits[lo : hi + 1] - byte_lo))
+
+    def _meta_strings(self, index: int) -> list[str]:
+        lo = int(self._metasplits[2 * index])
+        hi = int(self._metasplits[2 * index + 2])
+        blob = np.asarray(self._arrays["metabytes"][lo:hi])
+        return _unpack_strings(blob, self._metasplits[2 * index : 2 * index + 3] - lo)
+
+    def flat_graph(self, index: int) -> FlatGraph:
+        """One graph's columnar view; array fields are slices of the maps."""
+        if not 0 <= index < self.num_graphs:
+            raise IndexError(f"graph index {index} out of range for shard of {self.num_graphs}")
+        arrays = self._arrays
+        filename, source = self._meta_strings(index)
+        node_lo, node_hi = int(self._nodesplits[index]), int(self._nodesplits[index + 1])
+        sym_lo, sym_hi = int(self._symsplits[index]), int(self._symsplits[index + 1])
+        edges: dict[EdgeKind, np.ndarray] = {}
+        for kind, column, splits in self._edge_columns:
+            lo, hi = int(splits[index]), int(splits[index + 1])
+            if hi > lo:
+                edges[kind] = column[:, lo:hi]
+        counts = np.asarray(arrays["occcounts"][sym_lo:sym_hi])
+        occurrence_splits = np.zeros(counts.shape[0] + 1, dtype=np.int32)
+        np.cumsum(counts, out=occurrence_splits[1:])
+        nodes = arrays["nodes"]
+        symbols = arrays["symbols"]
+        return FlatGraph(
+            filename=filename,
+            source=source,
+            strings=self._strings(index),
+            node_kind=nodes[0, node_lo:node_hi],
+            node_text=nodes[1, node_lo:node_hi],
+            node_line=nodes[2, node_lo:node_hi],
+            node_col=nodes[3, node_lo:node_hi],
+            edges=edges,
+            symbol_node=symbols[0, sym_lo:sym_hi],
+            symbol_name=symbols[1, sym_lo:sym_hi],
+            symbol_kind=symbols[2, sym_lo:sym_hi],
+            symbol_scope=symbols[3, sym_lo:sym_hi],
+            symbol_annotation=symbols[4, sym_lo:sym_hi],
+            symbol_line=symbols[5, sym_lo:sym_hi],
+            occurrence_ids=arrays["occ"][int(self._occ_prefix[sym_lo]) : int(self._occ_prefix[sym_hi])],
+            occurrence_splits=occurrence_splits,
+        )
+
+    def graph(self, index: int) -> CodeGraph:
+        return CodeGraph.from_flat(self.flat_graph(index))
+
+
+class LazyGraphStore:
+    """Materialises :class:`CodeGraph` objects on demand across raw shards.
+
+    A small LRU keeps recently used graphs (one training batch touches each
+    graph once, so the working set is the batch, not the corpus); everything
+    else lives only as mapped pages until asked for again.
+    """
+
+    def __init__(self, shards: Sequence[RawGraphShard], cache_size: int = 128) -> None:
+        self._shards = list(shards)
+        self._starts = _counts_splits([shard.num_graphs for shard in self._shards])
+        self._cache: OrderedDict[int, CodeGraph] = OrderedDict()
+        self._cache_size = cache_size
+
+    def __len__(self) -> int:
+        return int(self._starts[-1]) if len(self._starts) else 0
+
+    def graph(self, index: int) -> CodeGraph:
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        shard_index = int(np.searchsorted(self._starts, index, side="right")) - 1
+        local = index - int(self._starts[shard_index])
+        graph = self._shards[shard_index].graph(local)
+        self._cache[index] = graph
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return graph
+
+
+class LazyView:
+    """A list-like window over an item provider.
+
+    Stands in for the eager ``list`` a :class:`DatasetSplit` historically
+    held: supports ``len``, integer indexing (negative included), iteration
+    and step-1 slicing (which returns another window, not a copy) — the full
+    API surface the trainer, embedder and evaluation code use.
+    """
+
+    def __init__(self, provider: Callable[[int], Any], start: int, stop: int) -> None:
+        self._provider = provider
+        self._start = start
+        self._stop = max(start, stop)
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                return [self[i] for i in range(start, stop, step)]
+            return LazyView(self._provider, self._start + start, self._start + stop)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for view of {len(self)}")
+        return self._provider(self._start + index)
+
+    def __iter__(self):
+        for index in range(self._start, self._stop):
+            yield self._provider(index)
+
+
+# ---------------------------------------------------------------------------
 # Precomputed node features (the compile-once featurization layer)
 # ---------------------------------------------------------------------------
 
@@ -437,6 +703,95 @@ def features_from_arrays(archive) -> Optional[tuple[list[TextFeatures], str]]:
     except (KeyError, ValueError, IndexError):
         return None
     return features, fingerprint
+
+
+def write_features_raw(path, features: list[TextFeatures], fingerprint: str) -> None:
+    """Write per-graph subtoken features as a raw ``.npy``-column directory.
+
+    All graphs' CSR ids and (graph-relative) row splits are concatenated
+    into two flat columns with per-graph boundary arrays, so a mapped loader
+    can hand out one graph's features as pure slices.
+    """
+    for feature in features:
+        if feature.kind != SUBTOKEN:
+            raise ValueError(f"only subtoken features persist with the dataset, got {feature.kind!r}")
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    columns = {
+        "ids": np.concatenate([np.asarray(f.ids, dtype=np.int64) for f in features])
+        if features
+        else np.zeros(0, dtype=np.int64),
+        "idsplits": _counts_splits([np.asarray(f.ids).shape[0] for f in features]),
+        "rowsplits": np.concatenate([np.asarray(f.row_splits, dtype=np.int64) for f in features])
+        if features
+        else np.zeros(0, dtype=np.int64),
+        "rowgraph": _counts_splits([np.asarray(f.row_splits).shape[0] for f in features]),
+    }
+    names = {}
+    for key, value in columns.items():
+        name = key + ".npy"
+        np.save(directory / name, np.ascontiguousarray(value))
+        names[key] = name
+    meta = {
+        "format": FEATURES_FORMAT_VERSION,
+        "num_graphs": len(features),
+        "fingerprint": fingerprint,
+        "arrays": names,
+    }
+    (directory / RAW_META_NAME).write_text(json.dumps(meta, indent=1), encoding="utf-8")
+
+
+class RawFeatureStore:
+    """Per-graph :class:`TextFeatures` views over a raw features directory."""
+
+    def __init__(self, path, mmap: bool = True) -> None:
+        directory = Path(path)
+        meta = _read_raw_meta(directory, FEATURES_FORMAT_VERSION, "features")
+        self.num_graphs = int(meta["num_graphs"])
+        self.fingerprint = str(meta.get("fingerprint", ""))
+        mode = "r" if mmap else None
+        try:
+            arrays = {
+                key: np.load(directory / name, mmap_mode=mode, allow_pickle=False)
+                for key, name in meta["arrays"].items()
+            }
+            self._ids = arrays["ids"]
+            self._rowsplits = arrays["rowsplits"]
+            self._idsplits = np.array(arrays["idsplits"], dtype=np.int64)
+            self._rowgraph = np.array(arrays["rowgraph"], dtype=np.int64)
+        except (OSError, ValueError, KeyError) as error:
+            raise PayloadError(f"malformed raw features at {path}: {error}") from error
+        if self._idsplits.shape[0] != self.num_graphs + 1 or self._rowgraph.shape[0] != self.num_graphs + 1:
+            raise PayloadError(f"raw features at {path} have inconsistent split columns")
+
+    def __len__(self) -> int:
+        return self.num_graphs
+
+    def feature(self, index: int) -> TextFeatures:
+        if not 0 <= index < self.num_graphs:
+            raise IndexError(f"feature index {index} out of range for {self.num_graphs}")
+        id_lo, id_hi = int(self._idsplits[index]), int(self._idsplits[index + 1])
+        row_lo, row_hi = int(self._rowgraph[index]), int(self._rowgraph[index + 1])
+        row_splits = np.asarray(self._rowsplits[row_lo:row_hi])
+        return TextFeatures(
+            kind=SUBTOKEN,
+            num_texts=row_splits.shape[0] - 1,
+            ids=np.asarray(self._ids[id_lo:id_hi]),
+            row_splits=row_splits,
+        )
+
+
+def read_features_raw(path, mmap: bool = True) -> Optional[tuple[LazyView, str]]:
+    """Open a raw features directory as a lazy per-graph view.
+
+    Mirrors :func:`features_from_arrays`' contract: ``None`` on anything
+    unreadable or version-mismatched, so callers recompute instead of fail.
+    """
+    try:
+        store = RawFeatureStore(path, mmap=mmap)
+    except PayloadError:
+        return None
+    return LazyView(store.feature, 0, len(store)), store.fingerprint
 
 
 # ---------------------------------------------------------------------------

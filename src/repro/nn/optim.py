@@ -12,11 +12,62 @@ float64 trajectories are bit-identical to the historical dense behaviour.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.tensor import Tensor
+
+#: One parameter's gradient state: ``(dense_grad, sparse_row_contributions)``.
+#: Either half may be ``None``; see :func:`capture_gradients`.
+GradientState = tuple[Optional[np.ndarray], Optional[list]]
+
+
+def capture_gradients(parameters: Sequence[Tensor]) -> list[GradientState]:
+    """Detach and return every parameter's accumulated gradient state.
+
+    After the call all parameters hold no gradient, so a subsequent backward
+    pass accumulates into fresh buffers.  This is the primitive behind the
+    trainer's per-graph gradient decomposition: each graph's backward runs in
+    isolation, its contribution is captured, and the contributions are summed
+    in a fixed graph order — an ordering that is independent of how the
+    graphs are distributed over worker processes, which is what makes
+    ``workers=N`` replay ``workers=1`` bit-for-bit.
+    """
+    captured: list[GradientState] = []
+    for parameter in parameters:
+        captured.append((parameter._grad, parameter.grad_rows))
+        parameter._grad = None
+        parameter.grad_rows = None
+    return captured
+
+
+def restore_gradients(parameters: Sequence[Tensor], state: Sequence[GradientState]) -> None:
+    """Reinstate gradient state previously taken by :func:`capture_gradients`."""
+    for parameter, (grad, rows) in zip(parameters, state):
+        parameter._grad = grad
+        parameter.grad_rows = rows
+
+
+def accumulate_gradients(parameters: Sequence[Tensor], contribution: Sequence[GradientState]) -> None:
+    """Add one captured contribution onto the parameters' gradients.
+
+    Dense parts are summed element-wise (the first contribution is adopted,
+    later ones added in call order — the associativity that defines the
+    decomposed numerics); sparse row contributions are appended in order, so
+    :meth:`~repro.nn.tensor.Tensor.coalesce_grad_rows` later reduces them in
+    the same sequence a serial accumulation would have recorded.
+    """
+    for parameter, (grad, rows) in zip(parameters, contribution):
+        if grad is not None:
+            if parameter._grad is None:
+                parameter._grad = grad
+            else:
+                parameter._grad += grad
+        if rows:
+            if parameter.grad_rows is None:
+                parameter.grad_rows = []
+            parameter.grad_rows.extend(rows)
 
 
 class Optimizer:

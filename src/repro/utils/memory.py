@@ -1,0 +1,33 @@
+"""Process memory introspection used for training telemetry."""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:  # POSIX only; Windows and exotic builds fall back to None.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """The process's peak resident set size in bytes, if the OS exposes it.
+
+    ``ru_maxrss`` is a lifetime high-water mark: it only ever grows, so
+    comparing values *across* phases of one process tells you which phase
+    raised the peak, not how much each phase used.  Linux reports kibibytes,
+    macOS reports bytes; both are normalised to bytes here.  Returns ``None``
+    where ``getrusage`` is unavailable or reports nothing.
+    """
+    if resource is None:
+        return None
+    try:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ValueError, OSError):  # pragma: no cover - defensive
+        return None
+    if peak <= 0:
+        return None
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024

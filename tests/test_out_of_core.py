@@ -1,0 +1,226 @@
+"""Out-of-core training: raw shards, mmap loading, streaming and workers.
+
+The contract under test is bit-replay: every execution mode — resident,
+bounded-window streaming, data-parallel workers, memory-mapped shards, and
+their combinations — must reproduce the serial in-memory float64 loss
+trajectory and final parameters byte-for-byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EncoderConfig, LossKind, Trainer, TrainingConfig, build_encoder
+from repro.corpus import DatasetConfig, SynthesisConfig, TypeAnnotationDataset
+from repro.corpus.serialize import PayloadError, graph_to_payload
+from repro.utils.memory import peak_rss_bytes
+
+
+@pytest.fixture(scope="module")
+def dataset() -> TypeAnnotationDataset:
+    return TypeAnnotationDataset.synthetic(
+        SynthesisConfig(num_files=12, seed=33, num_user_classes=8),
+        DatasetConfig(rarity_threshold=8, seed=5),
+    )
+
+
+@pytest.fixture(scope="module")
+def raw_dir(dataset, tmp_path_factory):
+    path = tmp_path_factory.mktemp("raw_dataset")
+    dataset.save(path, shard_size=4, shard_format="raw")
+    return path
+
+
+def _train(dataset, *, epochs=3, workers=1, prefetch=None, dtype="float64"):
+    encoder = build_encoder(dataset, EncoderConfig(family="graph", hidden_dim=16, gnn_steps=2, seed=9))
+    trainer = Trainer(
+        encoder,
+        dataset,
+        loss_kind=LossKind.TYPILUS,
+        config=TrainingConfig(
+            epochs=epochs,
+            graphs_per_batch=4,
+            seed=9,
+            dtype=dtype,
+            workers=workers,
+            prefetch_batches=prefetch,
+        ),
+    )
+    result = trainer.train()
+    return [stats.mean_loss for stats in result.history], trainer
+
+
+def _parameters(trainer):
+    return [np.array(parameter.data) for parameter in trainer.encoder.parameters()]
+
+
+class TestStreaming:
+    def test_bounded_windows_replay_resident_losses_exactly(self, dataset):
+        resident_losses, resident = _train(dataset)
+        for window in (1, 2, 10**9):
+            losses, trainer = _train(dataset, prefetch=window)
+            assert losses == resident_losses, f"window={window} diverged"
+            for streamed, baseline in zip(_parameters(trainer), _parameters(resident)):
+                assert np.array_equal(streamed, baseline)
+
+    def test_streaming_plan_is_lazy(self, dataset):
+        _, trainer = _train(dataset, epochs=1, prefetch=1)
+        assert trainer._plan is not None and trainer._plan.lazy
+        _, resident = _train(dataset, epochs=1)
+        assert not resident._plan.lazy
+
+    def test_invalid_prefetch_rejected(self, dataset):
+        encoder = build_encoder(dataset, EncoderConfig(family="graph", hidden_dim=16, seed=9))
+        with pytest.raises(ValueError, match="prefetch_batches"):
+            Trainer(encoder, dataset, config=TrainingConfig(prefetch_batches=0))
+
+
+class TestWorkers:
+    def test_workers_replay_serial_losses_and_parameters_exactly(self, dataset):
+        serial_losses, serial = _train(dataset)
+        losses, trainer = _train(dataset, workers=2)
+        assert losses == serial_losses
+        for parallel, baseline in zip(_parameters(trainer), _parameters(serial)):
+            assert np.array_equal(parallel, baseline)
+
+    def test_workers_with_streaming_window_replay_serial(self, dataset):
+        serial_losses, _ = _train(dataset)
+        losses, _ = _train(dataset, workers=2, prefetch=1)
+        assert losses == serial_losses
+
+    def test_invalid_workers_rejected(self, dataset):
+        encoder = build_encoder(dataset, EncoderConfig(family="graph", hidden_dim=16, seed=9))
+        with pytest.raises(ValueError, match="workers"):
+            Trainer(encoder, dataset, config=TrainingConfig(workers=0))
+
+
+class TestRawShards:
+    def test_eager_raw_round_trip_matches_original(self, dataset, raw_dir):
+        loaded = TypeAnnotationDataset.load(raw_dir)
+        assert loaded.summary() == dataset.summary()
+        for name in ("train", "valid", "test"):
+            original, restored = dataset.splits[name], loaded.splits[name]
+            assert restored.samples == original.samples
+            assert [graph_to_payload(g) for g in restored.graphs] == [
+                graph_to_payload(g) for g in original.graphs
+            ]
+
+    def test_mmap_load_matches_eager_load(self, dataset, raw_dir):
+        mapped = TypeAnnotationDataset.load(raw_dir, mmap=True)
+        assert mapped.summary() == dataset.summary()
+        for name in ("train", "valid", "test"):
+            original, restored = dataset.splits[name], mapped.splits[name]
+            assert len(restored.graphs) == len(original.graphs)
+            assert [graph_to_payload(g) for g in restored.graphs] == [
+                graph_to_payload(g) for g in original.graphs
+            ]
+
+    def test_mmap_split_graphs_are_lazy_views(self, raw_dir):
+        from repro.corpus.serialize import LazyView
+
+        mapped = TypeAnnotationDataset.load(raw_dir, mmap=True)
+        graphs = mapped.train.graphs
+        assert isinstance(graphs, LazyView)
+        window = graphs[1:3]
+        assert isinstance(window, LazyView) and len(window) == 2
+        assert graphs[-1].filename == graphs[len(graphs) - 1].filename
+        with pytest.raises(IndexError):
+            graphs[len(graphs)]
+
+    def test_mmap_features_attached_with_matching_fingerprint(self, dataset, raw_dir):
+        dataset.featurize_nodes()
+        mapped = TypeAnnotationDataset.load(raw_dir, mmap=True)
+        assert mapped.train.node_features is not None
+        assert mapped.train.features_fingerprint == dataset.train.features_fingerprint
+        original = dataset.train.node_features[0]
+        restored = mapped.train.node_features[0]
+        assert np.array_equal(np.asarray(restored.ids), np.asarray(original.ids))
+        assert np.array_equal(np.asarray(restored.row_splits), np.asarray(original.row_splits))
+
+    def test_training_from_mmap_replays_in_memory_exactly(self, dataset, raw_dir):
+        baseline_losses, _ = _train(dataset)
+        mapped = TypeAnnotationDataset.load(raw_dir, mmap=True)
+        for kwargs in ({}, {"prefetch": 1}, {"workers": 2, "prefetch": 1}):
+            losses, _ = _train(mapped, **kwargs)
+            assert losses == baseline_losses, f"mmap run {kwargs} diverged"
+
+    def test_mmap_requires_raw_shards(self, dataset, tmp_path):
+        dataset.save(tmp_path / "npz")
+        with pytest.raises(ValueError, match="raw shard"):
+            TypeAnnotationDataset.load(tmp_path / "npz", mmap=True)
+
+    def test_tampered_raw_column_rejected_on_eager_load(self, dataset, tmp_path):
+        target = tmp_path / "tampered"
+        dataset.save(target, shard_size=1000, shard_format="raw")
+        (shard,) = sorted(target.glob("graphs-*.raw"))
+        nodes_path = shard / "nodes.npy"
+        nodes = np.load(nodes_path)
+        np.save(nodes_path, nodes + 1)
+        with pytest.raises(PayloadError, match="fingerprint"):
+            TypeAnnotationDataset.load(target)
+
+    def test_missing_raw_meta_rejected(self, dataset, tmp_path):
+        target = tmp_path / "no_meta"
+        dataset.save(target, shard_size=1000, shard_format="raw")
+        (shard,) = sorted(target.glob("graphs-*.raw"))
+        (shard / "meta.json").unlink()
+        with pytest.raises(PayloadError):
+            TypeAnnotationDataset.load(target)
+
+
+class TestFeatureFingerprintValidation:
+    def test_stale_fingerprint_skips_decoding_entirely(self, dataset, tmp_path, monkeypatch):
+        """The vocabulary fingerprint gates decoding: with a stale header the
+        id arrays must never be inflated (features_from_arrays not called)."""
+        from repro.corpus import serialize
+
+        target = tmp_path / "stale"
+        dataset.save(target)
+        features_path = target / "features.npz"
+        with np.load(features_path, allow_pickle=False) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        arrays["fingerprint"] = np.array(["not-the-vocabulary"])
+        np.savez(features_path, **arrays)
+
+        def explode(archive):  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError("features_from_arrays called despite stale fingerprint")
+
+        monkeypatch.setattr(serialize, "features_from_arrays", explode)
+        loaded = TypeAnnotationDataset.load(target)
+        assert loaded.train.node_features is None
+
+    def test_matching_fingerprint_still_adopts_features(self, dataset, tmp_path):
+        target = tmp_path / "fresh"
+        dataset.save(target)
+        loaded = TypeAnnotationDataset.load(target)
+        assert loaded.train.node_features is not None
+        assert loaded.train.features_fingerprint == dataset.train.features_fingerprint
+
+    def test_stale_raw_features_skipped(self, dataset, tmp_path):
+        import json
+
+        target = tmp_path / "stale_raw"
+        dataset.save(target, shard_format="raw")
+        meta_path = target / "features.raw" / "meta.json"
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        meta["fingerprint"] = "not-the-vocabulary"
+        meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        loaded = TypeAnnotationDataset.load(target, mmap=True)
+        assert loaded.train.node_features is None
+
+
+class TestPeakRss:
+    def test_peak_rss_helper_reports_bytes(self):
+        peak = peak_rss_bytes()
+        if peak is None:
+            pytest.skip("getrusage unavailable on this platform")
+        assert peak > 1024 * 1024  # a running interpreter holds megabytes
+
+    def test_epoch_stats_carry_peak_rss(self, dataset):
+        encoder = build_encoder(dataset, EncoderConfig(family="graph", hidden_dim=16, seed=9))
+        trainer = Trainer(encoder, dataset, config=TrainingConfig(epochs=1, graphs_per_batch=4, seed=9))
+        result = trainer.train()
+        recorded = result.history[-1].peak_rss_bytes
+        if peak_rss_bytes() is None:
+            assert recorded is None
+        else:
+            assert recorded and recorded > 0
