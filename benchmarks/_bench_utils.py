@@ -1,5 +1,24 @@
 """Helpers shared by the benchmark modules."""
 
+import numpy as np
+
+
+def latency_percentiles(seconds, prefix=""):
+    """p50/p95/p99 of a latency sample, in milliseconds, as bench-record keys.
+
+    Every serving benchmark reports the same three percentiles so the bench
+    JSON carries tail latency (p99), not just means — the quick CI sweep
+    asserts these keys exist.
+    """
+    if not seconds:
+        return {f"{prefix}p50_ms": None, f"{prefix}p95_ms": None, f"{prefix}p99_ms": None}
+    p50, p95, p99 = np.percentile(np.asarray(seconds, dtype=np.float64), [50.0, 95.0, 99.0])
+    return {
+        f"{prefix}p50_ms": 1000.0 * float(p50),
+        f"{prefix}p95_ms": 1000.0 * float(p95),
+        f"{prefix}p99_ms": 1000.0 * float(p99),
+    }
+
 
 def run_once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing.

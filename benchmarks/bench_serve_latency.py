@@ -26,19 +26,34 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+import numpy as np
 import pytest
 
-from _bench_utils import run_once
+from _bench_utils import latency_percentiles, run_once
 from repro.core import EncoderConfig, LossKind, TrainingConfig, TypilusPipeline
 from repro.corpus import CorpusSynthesizer, DatasetConfig, SynthesisConfig, TypeAnnotationDataset
 from repro.engine import AnnotatorConfig, ProjectAnnotator
-from repro.serve import AnnotationClient, AnnotationServer, FaultInjector, RetryPolicy, ServeConfig, ServeError
+from repro.serve import (
+    AnnotationClient,
+    AnnotationServer,
+    FaultInjector,
+    RetryPolicy,
+    ServeConfig,
+    ServeError,
+    WorkerPool,
+)
 from repro.utils.timing import Stopwatch
 
 NUM_REQUESTS = 6
 
 #: Admission capacity for the overload axis; the flood sends twice this.
 OVERLOAD_CAPACITY = 4
+
+#: Requests per cell of the fleet worker-count x client-concurrency grid.
+FLEET_REQUESTS = 16
+
+#: The fleet scaling gate only binds where the hardware can parallelise.
+FLEET_GATE_CORES = 4
 
 
 @pytest.fixture(scope="module")
@@ -80,6 +95,13 @@ def _time(fn) -> float:
     return stopwatch.sections["run"]
 
 
+def _timed_call(fn, *args):
+    """Run ``fn(*args)`` and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return result, time.perf_counter() - start
+
+
 def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_check, bench_record):
     """Daemon answers match the one-shot engine; concurrency coalesces work."""
     workdir = tempfile.mkdtemp(prefix="typilus-bench-serve-")
@@ -98,16 +120,22 @@ def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_chec
 
         def measure():
             client.annotate_sources(request_payloads[0])  # warm-up round trip
+            serial_latencies = []
             serial_seconds = _time(
-                lambda: [client.annotate_sources(payload) for payload in request_payloads]
+                lambda: serial_latencies.extend(
+                    _timed_call(client.annotate_sources, payload)[1]
+                    for payload in request_payloads
+                )
             )
             with ThreadPoolExecutor(max_workers=NUM_REQUESTS) as pool:
-                concurrent_reports: list = []
+                concurrent_timed: list = []
                 concurrent_seconds = _time(
-                    lambda: concurrent_reports.extend(
-                        pool.map(client.annotate_sources, request_payloads)
+                    lambda: concurrent_timed.extend(
+                        pool.map(lambda p: _timed_call(client.annotate_sources, p), request_payloads)
                     )
                 )
+            concurrent_reports = [report for report, _ in concurrent_timed]
+            concurrent_latencies = [seconds for _, seconds in concurrent_timed]
             # Parity: every concurrent (micro-batched) answer equals the
             # one-shot engine's answer for the same sources.
             for payload, report in zip(request_payloads, concurrent_reports):
@@ -121,6 +149,8 @@ def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_chec
                 "largest_batch": stats["largest_batch"],
                 "micro_batches": stats["micro_batches"],
                 "speedup_concurrent": serial_seconds / concurrent_seconds,
+                **latency_percentiles(serial_latencies, prefix="serial_"),
+                **latency_percentiles(concurrent_latencies, prefix="concurrent_"),
             }
 
         result = run_once(benchmark, measure)
@@ -128,7 +158,8 @@ def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_chec
         server.close()
         shutil.rmtree(workdir, ignore_errors=True)
     print(
-        f"\nserve: serial {result['serial_latency_ms']:.1f}ms/request, "
+        f"\nserve: serial {result['serial_latency_ms']:.1f}ms/request "
+        f"(p50 {result['serial_p50_ms']:.1f} / p99 {result['serial_p99_ms']:.1f}ms), "
         f"{NUM_REQUESTS} concurrent in {result['concurrent_seconds'] * 1000:.0f}ms "
         f"({result['speedup_concurrent']:.1f}x, largest micro-batch {result['largest_batch']})"
     )
@@ -137,6 +168,12 @@ def test_serve_latency(benchmark, serving_pipeline, request_payloads, bench_chec
         concurrent_seconds=result["concurrent_seconds"],
         largest_batch=result["largest_batch"],
         speedup_concurrent=result["speedup_concurrent"],
+        serial_p50_ms=result["serial_p50_ms"],
+        serial_p95_ms=result["serial_p95_ms"],
+        serial_p99_ms=result["serial_p99_ms"],
+        concurrent_p50_ms=result["concurrent_p50_ms"],
+        concurrent_p95_ms=result["concurrent_p95_ms"],
+        concurrent_p99_ms=result["concurrent_p99_ms"],
     )
     bench_check(result["largest_batch"] >= 2, "concurrent requests must coalesce into micro-batches")
     bench_check(
@@ -174,10 +211,12 @@ def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, benc
         client.wait_until_ready(timeout=10.0)
 
         def attempt(payload):
+            start = time.perf_counter()
             try:
-                return ("ok", AnnotationClient(socket_path).annotate_sources(payload))
+                report = AnnotationClient(socket_path).annotate_sources(payload)
+                return ("ok", report, time.perf_counter() - start)
             except ServeError as error:
-                return (error.kind, error)
+                return (error.kind, error, time.perf_counter() - start)
 
         def measure():
             # pin the batcher on a sacrificial request, then flood past capacity
@@ -202,11 +241,13 @@ def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, benc
             outcomes = [future.result() for future in futures]
             assert sacrificial.result(timeout=120).num_files >= 1
             pool.shutdown()
-            oks = sum(1 for kind, _ in outcomes if kind == "ok")
-            sheds = sum(1 for kind, _ in outcomes if kind == "overloaded")
+            oks = sum(1 for kind, _, _ in outcomes if kind == "ok")
+            sheds = sum(1 for kind, _, _ in outcomes if kind == "overloaded")
             hints = [
-                error.retry_after_seconds for kind, error in outcomes if kind == "overloaded"
+                error.retry_after_seconds for kind, error, _ in outcomes if kind == "overloaded"
             ]
+            admitted_latencies = [seconds for kind, _, seconds in outcomes if kind == "ok"]
+            shed_latencies = [seconds for kind, _, seconds in outcomes if kind == "overloaded"]
             # a client that backs off and retries wins through once load clears
             retrying = AnnotationClient(
                 socket_path, retry_policy=RetryPolicy(max_attempts=6, base_delay_seconds=0.02)
@@ -223,7 +264,9 @@ def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, benc
                 "drain_seconds": drain_seconds,
                 "retry_hints": hints,
                 "stats_shed_requests": stats["shed_requests"],
-                "outcome_kinds": sorted({kind for kind, _ in outcomes}),
+                "outcome_kinds": sorted({kind for kind, _, _ in outcomes}),
+                **latency_percentiles(admitted_latencies, prefix="admitted_"),
+                **latency_percentiles(shed_latencies, prefix="shed_"),
             }
 
         result = run_once(benchmark, measure)
@@ -243,6 +286,12 @@ def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, benc
         overload_shed=result["shed"],
         overload_shed_ratio=result["shed_ratio"],
         overload_goodput_rps=result["goodput_rps"],
+        admitted_p50_ms=result["admitted_p50_ms"],
+        admitted_p95_ms=result["admitted_p95_ms"],
+        admitted_p99_ms=result["admitted_p99_ms"],
+        shed_p50_ms=result["shed_p50_ms"],
+        shed_p95_ms=result["shed_p95_ms"],
+        shed_p99_ms=result["shed_p99_ms"],
     )
     bench_check(result["shed"] >= 1, "a 2x-capacity flood must shed at least one request")
     bench_check(
@@ -256,4 +305,194 @@ def test_serve_overload_axis(benchmark, serving_pipeline, request_payloads, benc
     bench_check(
         all(hint > 0 for hint in result["retry_hints"]),
         "every shed must carry a positive retry_after_seconds hint",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fleet tier: worker-count x client-concurrency scaling, flat per-worker RSS
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def raw_model_dir(serving_pipeline, tmp_path_factory):
+    """The serving pipeline saved in the raw (memory-mappable) layout."""
+    path = tmp_path_factory.mktemp("fleet-model") / "pipeline"
+    serving_pipeline.save(path, typespace_layout="raw")
+    return path
+
+
+def _run_fleet_cell(model_dir, workers, concurrency, payloads):
+    """One grid cell: serve with N worker processes, fire requests at a
+    fixed client concurrency, return goodput and per-request latencies."""
+    workdir = tempfile.mkdtemp(prefix="typilus-bench-fleet-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    pool = WorkerPool(
+        model_dir, workers, annotator_config=AnnotatorConfig(use_type_checker=False)
+    )
+    server = AnnotationServer(
+        None,
+        socket_path,
+        serve_config=ServeConfig(batch_window_seconds=0.01, max_batch_requests=2),
+        worker_pool=pool,
+    )
+    try:
+        server.start()
+        client = AnnotationClient(socket_path)
+        client.wait_until_ready(timeout=120.0)
+        client.annotate_sources(payloads[0])  # warm-up round trip
+        with ThreadPoolExecutor(max_workers=concurrency) as executor:
+            timed: list = []
+            wall = _time(
+                lambda: timed.extend(
+                    executor.map(lambda p: _timed_call(client.annotate_sources, p), payloads)
+                )
+            )
+        assert all(report.num_files >= 1 for report, _ in timed)
+        stats = client.stats()
+        return {
+            "wall_seconds": wall,
+            "goodput_rps": len(payloads) / wall,
+            "latencies": [seconds for _, seconds in timed],
+            "worker_batches": [row["batches"] for row in stats.get("workers", [])],
+        }
+    finally:
+        server.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def test_serve_fleet_scaling(benchmark, raw_model_dir, request_payloads, bench_check, bench_record):
+    """Throughput across the worker-count x client-concurrency grid.
+
+    The fleet claim: with the annotation work moved into N processes, a
+    concurrent client load sees close-to-linear goodput scaling — gated at
+    >=2x for workers=4 wherever the hardware has >=4 cores.
+    """
+    payloads = [request_payloads[i % len(request_payloads)] for i in range(FLEET_REQUESTS)]
+    cells = [(1, 1), (1, 8), (4, 8)]
+
+    def measure():
+        return {
+            (workers, concurrency): _run_fleet_cell(raw_model_dir, workers, concurrency, payloads)
+            for workers, concurrency in cells
+        }
+
+    grid = run_once(benchmark, measure)
+    speedup = grid[(4, 8)]["goodput_rps"] / grid[(1, 8)]["goodput_rps"]
+    cores = os.cpu_count() or 1
+    recorded = {"fleet_requests": FLEET_REQUESTS, "fleet_speedup_w4": speedup, "fleet_cores": cores}
+    for (workers, concurrency), cell in grid.items():
+        prefix = f"fleet_w{workers}_c{concurrency}_"
+        recorded[f"{prefix}goodput_rps"] = cell["goodput_rps"]
+        recorded[f"{prefix}wall_seconds"] = cell["wall_seconds"]
+        recorded.update(latency_percentiles(cell["latencies"], prefix=prefix))
+    bench_record(**recorded)
+    for (workers, concurrency), cell in sorted(grid.items()):
+        print(
+            f"\nfleet w{workers} c{concurrency}: {cell['goodput_rps']:.1f} req/s, "
+            f"p50 {1000 * np.percentile(cell['latencies'], 50):.0f}ms / "
+            f"p99 {1000 * np.percentile(cell['latencies'], 99):.0f}ms, "
+            f"batches per worker {cell['worker_batches']}"
+        )
+    print(f"fleet speedup at workers=4: {speedup:.2f}x on {cores} cores")
+    bench_check(
+        sum(1 for batches in grid[(4, 8)]["worker_batches"] if batches > 0) >= 2,
+        "a concurrent load on 4 workers must actually spread across workers",
+    )
+    bench_check(
+        speedup >= 2.0 or cores < FLEET_GATE_CORES,
+        f"4 workers must deliver >=2x the goodput of 1 worker on >= "
+        f"{FLEET_GATE_CORES} cores (got {speedup:.2f}x on {cores})",
+    )
+
+
+def test_serve_fleet_worker_rss_flat(
+    benchmark, raw_model_dir, request_payloads, bench_record, tmp_path_factory
+):
+    """Per-worker private RSS must not scale with the marker matrix.
+
+    Workers map the raw-layout ``embeddings.npy`` read-only, so the matrix
+    occupies physical memory once for the whole fleet.  This is asserted
+    **hard** (not `bench_check`): grow the marker matrix by tens of
+    megabytes, serve with the same worker count, and the per-worker private
+    RSS delta must stay well under the matrix delta.
+    """
+    from repro.core import TypilusPipeline
+
+    big_dir = tmp_path_factory.mktemp("fleet-model-big") / "pipeline"
+    grown = TypilusPipeline.load(raw_model_dir, mmap_typespace=False)
+    space = grown.type_space
+    extra = 150_000
+    rng = np.random.default_rng(17)
+    space.add_markers(
+        [f"Synthetic{position % 64}" for position in range(extra)],
+        rng.normal(size=(extra, space.dim)).astype(space.dtype),
+        source="bench:rss",
+    )
+    grown.save(big_dir, typespace_layout="raw")
+
+    def probe(model_dir):
+        """Per-worker RSS of a 2-worker fleet, after load and after serving.
+
+        The *loaded* footprint carries the hard claim (the mapped matrix is
+        shared, only the columnar metadata is private).  The *serving*
+        footprint additionally holds query-time temporaries, which the
+        engine's query chunking bounds at a constant (~32MB of distance
+        matrix) independent of marker count — recorded for observability.
+        """
+        pool = WorkerPool(
+            model_dir, 2, annotator_config=AnnotatorConfig(use_type_checker=False)
+        ).start()
+        try:
+            loaded, serving = [], []
+            handles = [pool.lease(timeout=60.0) for _ in range(2)]
+            for handle in handles:
+                loaded.append(handle.request({"op": "ping"}))
+                pool.annotate(handle, request_payloads[0])  # build the query index
+                serving.append(handle.request({"op": "ping"}))
+            for handle in handles:
+                pool.release(handle)
+            return {"loaded": loaded, "serving": serving}
+        finally:
+            pool.close()
+
+    def measure():
+        return {"small": probe(raw_model_dir), "big": probe(big_dir)}
+
+    rows = run_once(benchmark, measure)
+    small, big = rows["small"], rows["big"]
+    all_rows = small["loaded"] + small["serving"] + big["loaded"] + big["serving"]
+    if any(row.get("private_rss_bytes") is None for row in all_rows):
+        pytest.skip("per-process private RSS unavailable (no /proc/self/smaps_rollup)")
+    assert all(row["mmap"] for row in all_rows), (
+        "raw-layout workers must serve from a memory-mapped marker matrix"
+    )
+    matrix_delta = big["loaded"][0]["marker_bytes"] - small["loaded"][0]["marker_bytes"]
+    assert matrix_delta >= 8 * 1024 * 1024, "the grown matrix must dwarf measurement noise"
+
+    def worst(rows_list):
+        return max(row["private_rss_bytes"] for row in rows_list)
+
+    loaded_delta = worst(big["loaded"]) - worst(small["loaded"])
+    serving_delta = worst(big["serving"]) - worst(small["serving"])
+    print(
+        f"\nfleet RSS: matrix +{matrix_delta / 1e6:.1f}MB, per-worker private RSS "
+        f"+{loaded_delta / 1e6:.1f}MB loaded / +{serving_delta / 1e6:.1f}MB serving "
+        f"(loaded small {worst(small['loaded']) / 1e6:.1f}MB, big {worst(big['loaded']) / 1e6:.1f}MB)"
+    )
+    bench_record(
+        rss_matrix_delta_bytes=matrix_delta,
+        rss_worker_loaded_delta_bytes=loaded_delta,
+        rss_worker_serving_delta_bytes=serving_delta,
+        rss_worker_loaded_small_bytes=worst(small["loaded"]),
+        rss_worker_loaded_big_bytes=worst(big["loaded"]),
+        rss_worker_serving_small_bytes=worst(small["serving"]),
+        rss_worker_serving_big_bytes=worst(big["serving"]),
+    )
+    # The hard fleet-memory claim: the mapped matrix is shared, so a worker's
+    # private RSS may grow only with the columnar metadata (codes + sources),
+    # never with the matrix itself.
+    assert loaded_delta < matrix_delta / 2, (
+        f"per-worker private RSS grew {loaded_delta} bytes against a "
+        f"{matrix_delta}-byte matrix growth — the marker matrix is being copied "
+        f"into worker memory instead of memory-mapped"
     )

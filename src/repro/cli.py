@@ -28,10 +28,14 @@ Seven subcommands cover the library's main workflows without writing Python:
     locally loaded model; ``--report-json`` writes the full report to a file.
 ``serve``
     Run the long-lived annotation daemon: load (or train) a pipeline once,
-    listen on a Unix socket and micro-batch concurrent annotation requests
-    through the batched engine, with bounded admission (``--max-queue``),
-    optional default deadlines (``--request-timeout``) and a per-frame wire
-    cap (``--max-frame-bytes``).  ``serve --socket S --ping`` waits until a
+    listen on a Unix socket (``--socket``) and/or TCP (``--tcp HOST:PORT``)
+    and micro-batch concurrent annotation requests through the batched
+    engine, with bounded admission (``--max-queue``), optional default
+    deadlines (``--request-timeout``) and a per-frame wire cap
+    (``--max-frame-bytes``).  With ``--workers N`` the daemon becomes a
+    fleet front-end: N annotation worker processes each memory-map the same
+    saved model (``--load-model`` required) and micro-batches run
+    concurrently across them.  ``serve --socket S --ping`` waits until a
     daemon answers and prints its lifecycle state; ``serve --socket S
     --reload DIR`` hot-swaps it onto a newly saved pipeline without
     dropping clients; ``serve --socket S --shutdown`` stops it.
@@ -50,7 +54,9 @@ Examples::
     python -m repro.cli suggest path/to/file.py --confidence 0.5
     python -m repro.cli annotate path/to/project --load-model /tmp/model --jobs 4 --cache-dir /tmp/cache
     python -m repro.cli serve --load-model /tmp/model --socket /tmp/typilus.sock --index ivf
+    python -m repro.cli serve --load-model /tmp/model --workers 4 --tcp 127.0.0.1:8155
     python -m repro.cli annotate path/to/project --server /tmp/typilus.sock
+    python -m repro.cli annotate path/to/project --server 127.0.0.1:8155
     python -m repro.cli check path/to/file.py --mode strict
 """
 
@@ -84,7 +90,7 @@ def _add_corpus_arguments(parser: argparse.ArgumentParser) -> None:
                         help="annotation count below which a type counts as rare")
 
 
-def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
+def _add_training_arguments(parser: argparse.ArgumentParser, include_workers: bool = True) -> None:
     parser.add_argument("--family", choices=["graph", "sequence", "path", "names"], default="graph")
     parser.add_argument("--loss", choices=[kind.value for kind in LossKind], default=LossKind.TYPILUS.value)
     parser.add_argument("--hidden-dim", type=int, default=32)
@@ -106,12 +112,15 @@ def _add_training_arguments(parser: argparse.ArgumentParser) -> None:
                         help="memory-map the --dataset graph shards instead of decoding them "
                              "into RAM (requires raw shards: ingest --shard-format raw or "
                              "train --save-dataset --shard-layout raw)")
-    parser.add_argument("--workers", type=int, default=1,
-                        help="data-parallel training processes; each forked worker encodes a "
-                             "disjoint slice of every batch and the parent reduces per-graph "
-                             "gradients in graph order, so workers=N replays workers=1 "
-                             "bit-for-bit (graph family only; falls back to serial where "
-                             "fork is unavailable)")
+    if include_workers:
+        # `serve` defines its own --workers (annotation worker processes);
+        # every other subcommand gets the data-parallel training flag.
+        parser.add_argument("--workers", type=int, default=1,
+                            help="data-parallel training processes; each forked worker encodes a "
+                                 "disjoint slice of every batch and the parent reduces per-graph "
+                                 "gradients in graph order, so workers=N replays workers=1 "
+                                 "bit-for-bit (graph family only; falls back to serial where "
+                                 "fork is unavailable)")
     parser.add_argument("--prefetch-batches", type=int, default=None,
                         help="stream compiled batches through a bounded prefetch window of "
                              "this many batches instead of keeping the whole plan resident; "
@@ -229,9 +238,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print only confident contradictions of existing annotations")
     annotate.add_argument("--disagreement-threshold", type=float, default=0.8,
                           help="confidence needed for a disagreement finding")
-    annotate.add_argument("--server", type=Path, default=None,
-                          help="annotate through the daemon listening on this Unix socket "
-                               "instead of loading a model locally")
+    annotate.add_argument("--server", default=None,
+                          help="annotate through the daemon listening on this Unix socket or "
+                               "HOST:PORT TCP address instead of loading a model locally")
     annotate.add_argument("--report-json", type=Path, default=None,
                           help="write the full annotation report (suggestions + summary) to this JSON file")
     annotate.add_argument("--deadline", type=float, default=None,
@@ -246,11 +255,19 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the long-lived annotation daemon (micro-batched serving)"
     )
     _add_corpus_arguments(serve)
-    _add_training_arguments(serve)
+    _add_training_arguments(serve, include_workers=False)
     _add_ingest_arguments(serve)
     _add_index_arguments(serve)
-    serve.add_argument("--socket", type=Path, required=True,
+    serve.add_argument("--socket", type=Path, default=None,
                        help="Unix socket path the daemon listens on")
+    serve.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="also (or instead) listen on this TCP address; port 0 picks a "
+                            "free port, printed on startup")
+    serve.add_argument("--workers", type=int, default=0, metavar="N",
+                       help="fleet mode: dispatch micro-batches across N annotation worker "
+                            "processes that each memory-map the same saved model (requires "
+                            "--load-model; the marker matrix occupies physical memory once). "
+                            "0 (default) keeps the single-process in-memory daemon")
     serve.add_argument("--load-model", type=Path, default=None,
                        help="serve a pipeline saved with --save-model instead of training")
     serve.add_argument("--confidence", type=float, default=0.0, help="minimum prediction confidence")
@@ -269,14 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-request deadline in seconds for clients that send none; "
                             "expired requests are dropped before the embedding pass")
     serve.add_argument("--ping", action="store_true",
-                       help="wait until a daemon answers on --socket, print its status and exit")
+                       help="wait until a daemon answers on --socket/--tcp, print its status and exit")
     serve.add_argument("--ping-timeout", type=float, default=30.0,
                        help="seconds --ping waits for the daemon to come up")
     serve.add_argument("--reload", type=Path, default=None, metavar="MODEL_DIR",
-                       help="ask the daemon on --socket to hot-swap onto the pipeline saved at "
-                            "MODEL_DIR (in-flight requests finish on the old pipeline) and exit")
+                       help="ask the daemon on --socket/--tcp to hot-swap onto the pipeline saved "
+                            "at MODEL_DIR (in-flight requests finish on the old pipeline) and exit")
     serve.add_argument("--shutdown", action="store_true",
-                       help="ask the daemon on --socket to stop and exit")
+                       help="ask the daemon on --socket/--tcp to stop and exit")
 
     check = subparsers.add_parser("check", help="run the optional type checker")
     check.add_argument("files", nargs="+", type=Path, help="Python files to check")
@@ -511,28 +528,43 @@ def command_annotate(args: argparse.Namespace) -> int:
 
 
 def command_serve(args: argparse.Namespace) -> int:
-    from repro.serve import AnnotationClient, AnnotationServer, ServeConfig
+    from repro.serve import (
+        AnnotationClient,
+        AnnotationServer,
+        ServeConfig,
+        WorkerPool,
+        format_address,
+    )
 
+    if args.socket is None and args.tcp is None:
+        raise SystemExit("serve needs an endpoint: --socket PATH, --tcp HOST:PORT, or both")
+    control_address = args.socket if args.socket is not None else args.tcp
     if args.shutdown:
-        AnnotationClient(args.socket).shutdown()
-        print(f"daemon on {args.socket} is stopping")
+        AnnotationClient(control_address).shutdown()
+        print(f"daemon on {format_address(control_address)} is stopping")
         return 0
     if args.reload is not None:
-        response = AnnotationClient(args.socket).reload(args.reload)
+        response = AnnotationClient(control_address).reload(args.reload)
         print(
-            f"daemon on {args.socket} reloaded from {args.reload}: "
+            f"daemon on {format_address(control_address)} reloaded from {args.reload}: "
             f"{response['previous_markers']} -> {response['markers']} markers"
         )
         return 0
     if args.ping:
-        info = AnnotationClient(args.socket).wait_until_ready(timeout=args.ping_timeout)
+        info = AnnotationClient(control_address).wait_until_ready(timeout=args.ping_timeout)
+        workers = f", {info['workers']} workers" if "workers" in info else ""
         print(
-            f"daemon ready on {args.socket} ({info['markers']} markers, dim {info['dim']}, "
-            f"state {info['state']})"
+            f"daemon ready on {format_address(control_address)} ({info['markers']} markers, "
+            f"dim {info['dim']}, state {info['state']}{workers})"
         )
         return 0
-    pipeline = _obtain_pipeline(args)
     ingest = _ingest_config(args)
+    annotator_config = AnnotatorConfig(
+        use_type_checker=not args.no_type_checker,
+        confidence_threshold=args.confidence,
+        jobs=ingest.jobs,
+        cache_dir=args.cache_dir,
+    )
     serve_config_kwargs = dict(
         batch_window_seconds=args.batch_window_ms / 1000.0,
         max_batch_requests=args.max_batch,
@@ -541,21 +573,55 @@ def command_serve(args: argparse.Namespace) -> int:
     )
     if args.max_frame_bytes is not None:
         serve_config_kwargs["max_frame_bytes"] = args.max_frame_bytes
-    server = AnnotationServer(
-        pipeline,
-        args.socket,
-        annotator_config=AnnotatorConfig(
-            use_type_checker=not args.no_type_checker,
-            confidence_threshold=args.confidence,
-            jobs=ingest.jobs,
-            cache_dir=args.cache_dir,
-        ),
-        serve_config=ServeConfig(**serve_config_kwargs),
-    )
-    server.start()
+    if args.workers > 0:
+        # Fleet mode: the front-end holds no pipeline; N worker processes
+        # each load (and memory-map) the same saved model directory.
+        if args.load_model is None:
+            raise SystemExit("--workers needs --load-model: fleet workers load a saved pipeline")
+        try:
+            manifest = TypilusPipeline.peek_manifest(args.load_model)
+        except FileNotFoundError as error:
+            raise SystemExit(
+                f"no saved pipeline at {args.load_model} (missing {Path(error.filename).name}); "
+                "create one with --save-model"
+            ) from error
+        if not manifest["mmap_capable"]:
+            print(
+                "note: this model uses the npz typespace layout, so each worker holds a "
+                "private marker copy; re-save with --typespace-layout raw to share one "
+                "memory-mapped matrix across the fleet",
+                flush=True,
+            )
+        pool = WorkerPool(args.load_model, args.workers, annotator_config=annotator_config)
+        server = AnnotationServer(
+            None,
+            args.socket,
+            serve_config=ServeConfig(**serve_config_kwargs),
+            tcp_address=args.tcp,
+            worker_pool=pool,
+        )
+        server.start()
+        banner = f"serving with {args.workers} workers ({pool.describe()['markers']} markers)"
+    else:
+        pipeline = _obtain_pipeline(args)
+        server = AnnotationServer(
+            pipeline,
+            args.socket,
+            annotator_config=annotator_config,
+            serve_config=ServeConfig(**serve_config_kwargs),
+            tcp_address=args.tcp,
+        )
+        server.start()
+        banner = f"serving ({len(pipeline.type_space)} markers)"
+    endpoints = []
+    if args.socket is not None:
+        endpoints.append(f"unix://{args.socket}")
+    if server.tcp_port is not None:
+        host = server.tcp_address[0]
+        endpoints.append(f"tcp://{host}:{server.tcp_port}")
     print(
-        f"serving on {args.socket} ({len(pipeline.type_space)} markers); "
-        "stop with 'repro serve --socket ... --shutdown' or Ctrl-C",
+        f"{banner} on {' and '.join(endpoints)}; "
+        "stop with 'repro serve ... --shutdown' or Ctrl-C",
         flush=True,
     )
     try:

@@ -474,6 +474,33 @@ class TypilusPipeline:
         return path
 
     @classmethod
+    def peek_manifest(cls, path: Union[str, Path]) -> dict:
+        """Read a saved pipeline's manifest without loading weights or markers.
+
+        Serving front-ends use this to validate a model directory *before*
+        spawning a fleet of workers against it (and to learn whether the
+        typespace layout supports memory-mapping) at the cost of one small
+        JSON read — no arrays are touched.  Raises the same errors
+        :meth:`load` would for a torn directory or an unsupported version.
+        The returned dict adds ``mmap_capable`` next to the stored fields.
+        """
+        path = Path(path)
+        manifest_path = path / "pipeline.json"
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                errno.ENOENT,
+                f"no complete pipeline at {path}: pipeline.json is missing "
+                "(save() writes it last, so this directory was never fully written)",
+                str(manifest_path),
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        version = manifest.get("format_version")
+        if version != PIPELINE_FORMAT_VERSION:
+            raise ValueError(f"unsupported pipeline format version {version!r}")
+        manifest["mmap_capable"] = manifest.get("typespace_layout", "npz") == "raw"
+        return manifest
+
+    @classmethod
     def load(
         cls,
         path: Union[str, Path],
@@ -490,21 +517,11 @@ class TypilusPipeline:
         The saved index kind/params are restored with the markers.
         """
         path = Path(path)
-        manifest_path = path / "pipeline.json"
-        if not manifest_path.exists():
-            # save() writes the manifest last, so a missing manifest means an
-            # unfinished (or foreign) directory — name the invariant instead
-            # of failing on whichever artifact happens to be absent.
-            raise FileNotFoundError(
-                errno.ENOENT,
-                f"no complete pipeline at {path}: pipeline.json is missing "
-                "(save() writes it last, so this directory was never fully written)",
-                str(manifest_path),
-            )
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
-        version = manifest.get("format_version")
-        if version != PIPELINE_FORMAT_VERSION:
-            raise ValueError(f"unsupported pipeline format version {version!r}")
+        # peek_manifest enforces the commit-marker invariant: save() writes
+        # pipeline.json last, so a missing manifest means an unfinished (or
+        # foreign) directory and an unsupported version fails before any
+        # arrays are read.
+        manifest = cls.peek_manifest(path)
         encoder = _encoder_from_description(manifest["encoder"])
         serialization.load_modules(path / "encoder.npz", encoder=encoder)
         encoder.eval()

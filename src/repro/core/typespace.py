@@ -237,6 +237,22 @@ class TypeSpace:
         """The ``(num_markers, dim)`` embedding matrix (a view, not a copy)."""
         return self._embeddings[: self._size]
 
+    @property
+    def is_memory_mapped(self) -> bool:
+        """Whether the marker matrix is a read-only map of the on-disk file.
+
+        True only for a raw-layout :meth:`load` with ``mmap=True`` that has
+        not yet grown: the first :meth:`add_markers` promotes the matrix to
+        private writable storage and this becomes False.  Serving processes
+        use it to prove (not assume) that N workers share one physical copy.
+        """
+        return isinstance(self._embeddings, np.memmap)
+
+    @property
+    def marker_nbytes(self) -> int:
+        """Bytes held by the marker matrix (file-backed bytes when mapped)."""
+        return int(self.marker_matrix().nbytes)
+
     def type_vocabulary(self) -> tuple[str, ...]:
         """Distinct marker types in first-seen order (the code space of queries)."""
         if self._vocabulary_tuple is None:

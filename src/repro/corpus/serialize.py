@@ -594,31 +594,74 @@ class RawGraphShard:
 class LazyGraphStore:
     """Materialises :class:`CodeGraph` objects on demand across raw shards.
 
-    A small LRU keeps recently used graphs (one training batch touches each
-    graph once, so the working set is the batch, not the corpus); everything
-    else lives only as mapped pages until asked for again.
+    An LRU bounded **by bytes**, not entry count, keeps recently used graphs
+    (one training batch touches each graph once, so the working set is the
+    batch, not the corpus); everything else lives only as mapped pages until
+    asked for again.  An entry-count bound lets a run over unusually large
+    files blow past any memory budget — counting decoded bytes
+    (:attr:`FlatGraph.nbytes`) keeps the cache's footprint fixed whatever
+    the file-size distribution, and a single graph larger than the whole
+    budget is returned uncached rather than evicting everything else.
     """
 
-    def __init__(self, shards: Sequence[RawGraphShard], cache_size: int = 128) -> None:
+    #: Default decode-cache budget; comfortably holds a training batch of
+    #: typical graphs while staying small next to the mapped shards.
+    DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+    def __init__(self, shards: Sequence[RawGraphShard], cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
         self._shards = list(shards)
         self._starts = _counts_splits([shard.num_graphs for shard in self._shards])
-        self._cache: OrderedDict[int, CodeGraph] = OrderedDict()
-        self._cache_size = cache_size
+        self._cache: OrderedDict[int, tuple[CodeGraph, int]] = OrderedDict()
+        self._cache_bytes = cache_bytes
+        self._cached_bytes = 0
+        self._evictions = 0
 
     def __len__(self) -> int:
         return int(self._starts[-1]) if len(self._starts) else 0
+
+    @property
+    def cache_bytes(self) -> int:
+        """The configured decode-cache budget in bytes."""
+        return self._cache_bytes
+
+    @property
+    def cached_bytes(self) -> int:
+        """Decoded bytes currently held by the cache (always ≤ the budget)."""
+        return self._cached_bytes
+
+    @property
+    def evictions(self) -> int:
+        """How many cached graphs the byte bound has evicted."""
+        return self._evictions
+
+    @staticmethod
+    def _cost(graph: CodeGraph) -> int:
+        flat = graph.flat
+        if flat is not None:
+            return flat.nbytes
+        return len(graph.source)  # object-backed fallback; never hit for raw shards
 
     def graph(self, index: int) -> CodeGraph:
         cached = self._cache.get(index)
         if cached is not None:
             self._cache.move_to_end(index)
-            return cached
+            return cached[0]
         shard_index = int(np.searchsorted(self._starts, index, side="right")) - 1
         local = index - int(self._starts[shard_index])
         graph = self._shards[shard_index].graph(local)
-        self._cache[index] = graph
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        cost = self._cost(graph)
+        if cost > self._cache_bytes:
+            # Caching this graph would evict the entire working set for one
+            # entry; hand it out uncached instead.
+            return graph
+        self._cache[index] = (graph, cost)
+        self._cached_bytes += cost
+        while self._cached_bytes > self._cache_bytes:
+            _, (_, evicted_cost) = self._cache.popitem(last=False)
+            self._cached_bytes -= evicted_cost
+            self._evictions += 1
         return graph
 
 

@@ -128,6 +128,34 @@ class FlatGraph:
     def num_edges(self) -> int:
         return sum(int(pairs.shape[1]) for pairs in self.edges.values())
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of this graph's columns, strings and source text.
+
+        The array columns are exact (``ndarray.nbytes``); strings count one
+        byte per character — an underestimate of CPython object headers but
+        proportional to the real footprint, which is what a byte-bounded
+        cache needs to make eviction decisions.
+        """
+        total = (
+            self.node_kind.nbytes
+            + self.node_text.nbytes
+            + self.node_line.nbytes
+            + self.node_col.nbytes
+            + self.symbol_node.nbytes
+            + self.symbol_name.nbytes
+            + self.symbol_kind.nbytes
+            + self.symbol_scope.nbytes
+            + self.symbol_annotation.nbytes
+            + self.symbol_line.nbytes
+            + self.occurrence_ids.nbytes
+            + self.occurrence_splits.nbytes
+        )
+        total += sum(pairs.nbytes for pairs in self.edges.values())
+        total += len(self.source)
+        total += sum(len(text) for text in self.strings)
+        return int(total)
+
     # -- node queries -----------------------------------------------------------
 
     def node_texts(self) -> list[str]:

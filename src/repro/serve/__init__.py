@@ -17,12 +17,28 @@ matching client (same report objects as the in-process engine) with an
 optional :class:`RetryPolicy`; :class:`FaultInjector` provides the named
 failure points the chaos suite uses to prove every degradation path
 deterministically.
+
+For multi-core serving, :class:`WorkerPool` turns the daemon into a fleet
+front-end: N annotation worker processes each memory-map the same saved
+model (the marker matrix occupies physical memory once), micro-batches
+dispatch round-robin across them, and ``adapt``/``reload`` broadcast behind
+a quiesce barrier so no two workers ever answer from different type maps.
+The front-end listens on TCP and/or the Unix socket; the single-process
+Unix-socket daemon remains the default.
 """
 
 from repro.serve.client import AnnotationClient, RetryPolicy, ServeError
 from repro.serve.faults import FAULT_POINTS, FaultInjector, InjectedFault
-from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
 from repro.serve.server import LIFECYCLE_STATES, AnnotationServer, ServeConfig, ServeStats
+from repro.serve.workers import WorkerCrashed, WorkerError, WorkerPool
 
 __all__ = [
     "AnnotationClient",
@@ -37,6 +53,11 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServeStats",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
+    "format_address",
+    "parse_address",
     "recv_frame",
     "send_frame",
 ]

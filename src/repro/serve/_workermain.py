@@ -1,0 +1,13 @@
+"""Entry point for annotation worker processes (spawned by ``WorkerPool``).
+
+A separate module from :mod:`repro.serve.workers` so that ``python -m``
+does not re-execute a module the ``repro.serve`` package already imported
+(which triggers a runpy double-import warning in every worker).
+"""
+
+import sys
+
+from repro.serve.workers import main
+
+if __name__ == "__main__":
+    sys.exit(main())

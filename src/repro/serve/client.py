@@ -1,8 +1,10 @@
 """Client for the annotation daemon.
 
 :class:`AnnotationClient` talks to a running :class:`~repro.serve.server.
-AnnotationServer` over its Unix socket and reassembles the wire payloads
-into the same :class:`~repro.engine.annotator.ProjectReport` /
+AnnotationServer` over its Unix socket or TCP address (any form
+:func:`~repro.serve.protocol.parse_address` understands — a path,
+``host:port``, ``tcp://…`` / ``unix://…``) and reassembles the wire
+payloads into the same :class:`~repro.engine.annotator.ProjectReport` /
 :class:`~repro.engine.annotator.FileReport` objects the in-process
 :class:`~repro.engine.annotator.ProjectAnnotator` produces — code written
 against the engine's report types works unchanged against the daemon, and
@@ -28,14 +30,20 @@ is safe to share across threads.
 from __future__ import annotations
 
 import random
-import socket
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping, Optional, Union
 
 from repro.engine.annotator import FileReport, ProjectReport, discover_sources, suggestion_from_payload
-from repro.serve.protocol import ProtocolError, recv_frame, send_frame
+from repro.serve.protocol import (
+    ProtocolError,
+    ServeAddress,
+    connect_address,
+    format_address,
+    recv_frame,
+    send_frame,
+)
 
 
 class ServeError(RuntimeError):
@@ -106,12 +114,12 @@ class AnnotationClient:
 
     def __init__(
         self,
-        socket_path: Union[str, Path],
+        address: ServeAddress,
         timeout: float = 120.0,
         disagreement_threshold: float = 0.8,
         retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        self.address = address
         self.timeout = timeout
         self.disagreement_threshold = disagreement_threshold
         self.retry_policy = retry_policy
@@ -119,21 +127,19 @@ class AnnotationClient:
     # -- transport ---------------------------------------------------------------------
 
     def _request_once(self, payload: dict, deadline: Optional[float]) -> dict:
-        connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        socket_timeout = self.timeout
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError("deadline expired before the request was sent", kind="expired")
+            payload = dict(payload, timeout_seconds=remaining)
+            socket_timeout = min(socket_timeout, remaining + 1.0)
         try:
-            socket_timeout = self.timeout
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise ServeError("deadline expired before the request was sent", kind="expired")
-                payload = dict(payload, timeout_seconds=remaining)
-                socket_timeout = min(socket_timeout, remaining + 1.0)
-            connection.settimeout(socket_timeout)
-            try:
-                connection.connect(str(self.socket_path))
-            except OSError as error:
-                # Nothing was sent: retrying a connect failure is always safe.
-                raise _Transient(error) from error
+            connection = connect_address(self.address, timeout=socket_timeout)
+        except OSError as error:
+            # Nothing was sent: retrying a connect failure is always safe.
+            raise _Transient(error) from error
+        try:
             send_frame(connection, payload)
             response = recv_frame(connection)
         finally:
@@ -205,7 +211,7 @@ class AnnotationClient:
             now = time.monotonic()
             if now >= deadline:
                 raise TimeoutError(
-                    f"daemon on {self.socket_path} not ready within {timeout:.1f}s: {last}"
+                    f"daemon on {format_address(self.address)} not ready within {timeout:.1f}s: {last}"
                 )
             time.sleep(min(interval, max(0.0, deadline - now)))
             interval = min(interval * 2.0, max_poll_interval)

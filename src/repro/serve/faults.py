@@ -41,10 +41,15 @@ from typing import Callable, Optional
 #:                   call, including the bisected halves of a failing batch.
 #: ``reload``      — inside the background loader, before reading the new
 #:                   pipeline from disk.
+#: ``worker``      — in the fleet front-end, immediately before a merged
+#:                   micro-batch is sent to an annotation worker process; an
+#:                   error arm is treated as a worker crash (the pool kills
+#:                   and restarts the worker, the batch fails fast with
+#:                   ``error_kind="crashed"`` instead of being bisected).
 #: ``torn_frame``  — before a response frame is written; the server then
 #:                   emulates a torn write (partial header + dropped
 #:                   connection) instead of raising.
-FAULT_POINTS = ("batcher", "slow_batch", "annotator", "reload", "torn_frame")
+FAULT_POINTS = ("batcher", "slow_batch", "annotator", "reload", "worker", "torn_frame")
 
 #: How long a gated fire waits for its gate before giving up; a bound so a
 #: buggy test cannot wedge the daemon forever.

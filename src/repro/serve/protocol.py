@@ -10,6 +10,11 @@ allocated, so a frame that claims to be larger than ``max_frame_bytes``
 integer) raises :class:`ProtocolError` instead of allocating an
 attacker-controlled amount of memory, and a truncated payload raises
 instead of wedging the connection.
+
+The same frame format runs over both transports the daemon listens on — a
+Unix stream socket (the single-process default) and TCP (the fleet
+front-end).  :func:`parse_address` classifies an endpoint string as one or
+the other, so clients and the CLI accept either interchangeably.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 #: Default upper bound on a single frame; a whole project's sources fit
 #: comfortably, a corrupted length prefix does not allocate gigabytes.
@@ -35,6 +41,71 @@ _SIGN_BIT = 1 << 31
 
 class ProtocolError(RuntimeError):
     """A malformed frame (bad length, truncated payload or invalid JSON)."""
+
+
+#: Anything :func:`parse_address` understands: a Unix socket path, a
+#: ``host:port`` / ``tcp://host:port`` string, or a ``(host, port)`` tuple.
+ServeAddress = Union[str, Path, Tuple[str, int]]
+
+
+def parse_address(address: ServeAddress) -> tuple[str, Union[str, tuple[str, int]]]:
+    """Classify a serving endpoint as Unix-socket or TCP.
+
+    Returns ``("unix", path_string)`` or ``("tcp", (host, port))``.  The
+    rules are unambiguous rather than clever:
+
+    * a :class:`~pathlib.Path` or ``(host, port)`` tuple is taken at face
+      value;
+    * ``tcp://host:port`` and ``unix://path`` force a transport explicitly;
+    * a bare string counts as TCP only when it looks like nothing else —
+      ``host:port`` with a purely numeric port and no path separator (a Unix
+      socket path containing ``/`` always stays a path, even with colons).
+    """
+    if isinstance(address, tuple):
+        host, port = address
+        return "tcp", (str(host), int(port))
+    if isinstance(address, Path):
+        return "unix", str(address)
+    text = str(address)
+    if text.startswith("tcp://"):
+        host, _, port = text[len("tcp://"):].rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"malformed TCP address {text!r}: expected tcp://HOST:PORT")
+        return "tcp", (host, int(port))
+    if text.startswith("unix://"):
+        return "unix", text[len("unix://"):]
+    host, separator, port = text.rpartition(":")
+    if separator and host and "/" not in text and port.isdigit():
+        return "tcp", (host, int(port))
+    return "unix", text
+
+
+def format_address(address: ServeAddress) -> str:
+    """A human-readable ``unix://…`` / ``tcp://…`` rendering of an endpoint."""
+    kind, target = parse_address(address)
+    if kind == "tcp":
+        host, port = target
+        return f"tcp://{host}:{port}"
+    return f"unix://{target}"
+
+
+def connect_address(address: ServeAddress, timeout: Optional[float] = None) -> socket.socket:
+    """Open a client socket of the right family and connect it.
+
+    The caller owns the returned socket; connect failures propagate (the
+    client's retry policy treats them as transient).
+    """
+    kind, target = parse_address(address)
+    family = socket.AF_INET if kind == "tcp" else socket.AF_UNIX
+    connection = socket.socket(family, socket.SOCK_STREAM)
+    try:
+        if timeout is not None:
+            connection.settimeout(timeout)
+        connection.connect(target)
+    except BaseException:
+        connection.close()
+        raise
+    return connection
 
 
 def send_frame(sock: socket.socket, payload: dict, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:

@@ -42,6 +42,17 @@ load.  Design points:
   validated before any buffer is allocated; one response per request;
   ``shutdown`` is an ordinary request, acknowledged before the listener
   closes.
+* **Fleet mode.**  With a :class:`~repro.serve.workers.WorkerPool` the same
+  front-end holds **no pipeline at all**: micro-batches are dispatched to N
+  annotation worker processes that each memory-map the same saved model, so
+  batches run concurrently across cores while the marker matrix occupies
+  physical memory once.  ``adapt`` and ``reload`` quiesce in-flight
+  dispatches and broadcast to every worker behind a barrier, so no two
+  workers ever answer from different type maps; a worker crash fails only
+  its own batch (``error_kind="crashed"``, never bisected) and the pool
+  restarts it.  The server can listen on a Unix socket, a TCP address, or
+  both — the single-process Unix-socket daemon is unchanged and remains the
+  default.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ import queue
 import socket
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
@@ -58,7 +70,8 @@ from typing import Optional, Union
 from repro.core.pipeline import TypilusPipeline
 from repro.engine.annotator import AnnotatorConfig, ProjectAnnotator, suggestion_to_payload
 from repro.serve.faults import FaultInjector, InjectedFault
-from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, recv_frame, send_frame
+from repro.serve.protocol import MAX_FRAME_BYTES, ProtocolError, parse_address, recv_frame, send_frame
+from repro.serve.workers import WorkerCrashed, WorkerPool
 
 #: Separates the request ordinal from the filename in a merged micro-batch;
 #: NUL cannot appear in a path, so the namespacing is collision-free.
@@ -184,29 +197,60 @@ class _BatchPlanState:
 
 
 class AnnotationServer:
-    """Serves a loaded pipeline over a Unix socket, micro-batching requests."""
+    """Serves annotation requests over Unix and/or TCP sockets.
+
+    The pipeline either lives in-process (the single-process daemon: one
+    batcher thread runs every micro-batch through one
+    :class:`~repro.engine.annotator.ProjectAnnotator`) or in a
+    :class:`~repro.serve.workers.WorkerPool` of N annotation worker
+    processes (the fleet front-end: the batcher hands each collected
+    micro-batch to a dispatcher thread, so up to N batches run
+    concurrently).  Exactly one of ``pipeline`` / ``worker_pool`` must be
+    given, and at least one of ``socket_path`` / ``tcp_address``.
+    """
 
     def __init__(
         self,
-        pipeline: TypilusPipeline,
-        socket_path: Union[str, Path],
+        pipeline: Optional[TypilusPipeline],
+        socket_path: Optional[Union[str, Path]] = None,
         annotator_config: Optional[AnnotatorConfig] = None,
         serve_config: Optional[ServeConfig] = None,
         fault_injector: Optional[FaultInjector] = None,
+        tcp_address: Optional[Union[str, tuple]] = None,
+        worker_pool: Optional[WorkerPool] = None,
     ) -> None:
         if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
             raise RuntimeError("the annotation daemon requires AF_UNIX sockets")
+        if (pipeline is None) == (worker_pool is None):
+            raise ValueError(
+                "exactly one of pipeline (in-process) or worker_pool (fleet mode) must be given"
+            )
+        if socket_path is None and tcp_address is None:
+            raise ValueError("the daemon needs a socket_path, a tcp_address, or both")
         self.pipeline = pipeline
-        self.socket_path = Path(socket_path)
+        self.socket_path = Path(socket_path) if socket_path is not None else None
         self.annotator_config = annotator_config or AnnotatorConfig()
-        self.annotator = ProjectAnnotator(pipeline, self.annotator_config)
+        self.annotator = (
+            ProjectAnnotator(pipeline, self.annotator_config) if pipeline is not None else None
+        )
+        self._pool = worker_pool
+        if tcp_address is not None:
+            kind, target = parse_address(tcp_address)
+            if kind != "tcp":
+                raise ValueError(f"tcp_address must be HOST:PORT, got {tcp_address!r}")
+            self.tcp_address: Optional[tuple] = target
+        else:
+            self.tcp_address = None
+        #: The bound TCP port, once :meth:`start` ran (resolves port 0).
+        self.tcp_port: Optional[int] = None
         self.config = serve_config or ServeConfig()
         self.stats = ServeStats()
         self.faults = fault_injector or FaultInjector()
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
-        self._listener: Optional[socket.socket] = None
+        self._listeners: list[socket.socket] = []
         self._threads: list[threading.Thread] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._stats_lock = threading.Lock()
         # Admission control: requests admitted (queued or in flight) right now.
         self._admission_lock = threading.Lock()
@@ -218,6 +262,10 @@ class AnnotationServer:
         self._reloading = threading.Event()
         # What the batcher currently holds, so the restart guard can fail it.
         self._current: list[_Pending] = []
+        # Fleet mode: micro-batches handed to dispatcher threads and not yet
+        # finished; exclusives (adapt / reload) quiesce on this barrier.
+        self._inflight_cond = threading.Condition()
+        self._inflight = 0
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -234,19 +282,39 @@ class AnnotationServer:
         return "ready"
 
     def start(self) -> "AnnotationServer":
-        """Bind the socket and start the acceptor and batcher threads."""
-        if self._listener is not None:
+        """Bind the socket(s), start the workers and the acceptor/batcher threads."""
+        if self._listeners:
             return self
-        self._reclaim_stale_socket()
-        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        listener.bind(str(self.socket_path))
-        listener.listen(64)
-        # Closing a socket does not wake a thread blocked in accept() on
-        # Linux; a short timeout lets the acceptor poll the stop flag instead.
-        listener.settimeout(0.25)
-        self._listener = listener
-        for name, target in (("serve-batcher", self._batcher_main), ("serve-acceptor", self._accept_loop)):
-            thread = threading.Thread(target=target, name=name, daemon=True)
+        if self._pool is not None:
+            self._pool.start()
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._pool.num_workers, thread_name_prefix="serve-dispatch"
+            )
+        if self.socket_path is not None:
+            self._reclaim_stale_socket()
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(str(self.socket_path))
+            listener.listen(64)
+            # Closing a socket does not wake a thread blocked in accept() on
+            # Linux; a short timeout lets the acceptor poll the stop flag.
+            listener.settimeout(0.25)
+            self._listeners.append(listener)
+        if self.tcp_address is not None:
+            host, port = self.tcp_address
+            tcp_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            tcp_listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            tcp_listener.bind((host, port))
+            tcp_listener.listen(64)
+            tcp_listener.settimeout(0.25)
+            self.tcp_port = tcp_listener.getsockname()[1]
+            self._listeners.append(tcp_listener)
+        thread = threading.Thread(target=self._batcher_main, name="serve-batcher", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        for position, listener in enumerate(self._listeners):
+            thread = threading.Thread(
+                target=self._accept_loop, args=(listener,), name=f"serve-acceptor-{position}", daemon=True
+            )
             thread.start()
             self._threads.append(thread)
         return self
@@ -263,32 +331,40 @@ class AnnotationServer:
             return
         self._stop.set()
         self._queue.put(None)  # unblocks the batcher
-        if self._listener is not None:
+        for listener in self._listeners:
             try:
-                self._listener.close()
+                listener.close()
             except OSError:  # pragma: no cover - close is best-effort
                 pass
-        try:
-            self.socket_path.unlink()
-        except OSError:
-            pass
+        if self.socket_path is not None:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
 
     def close(self) -> None:
-        """Shut down and join the worker threads."""
+        """Shut down, join the threads and stop the worker fleet."""
         self.shutdown()
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._pool is not None:
+            self._pool.close()
         # A wire-initiated shutdown runs on a connection-handler thread that
         # is not joined above; finish its cleanup so the socket file is
         # guaranteed gone once close() returns.
-        try:
-            self.socket_path.unlink()
-        except OSError:
-            pass
+        if self.socket_path is not None:
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
 
     def _reclaim_stale_socket(self) -> None:
         """Unlink a leftover socket file, but refuse to evict a live daemon."""
+        assert self.socket_path is not None
         if not self.socket_path.exists():
             self.socket_path.parent.mkdir(parents=True, exist_ok=True)
             return
@@ -305,11 +381,10 @@ class AnnotationServer:
 
     # -- connection handling -----------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
+    def _accept_loop(self, listener: socket.socket) -> None:
         while not self._stop.is_set():
             try:
-                connection, _ = self._listener.accept()
+                connection, _ = listener.accept()
             except socket.timeout:
                 continue
             except OSError:  # listener closed during shutdown
@@ -362,28 +437,41 @@ class AnnotationServer:
 
     # -- request dispatch --------------------------------------------------------------
 
+    def _describe_space(self) -> dict:
+        """Pipeline facts for ``ping``/``stats`` — local space or fleet cache."""
+        if self._pool is not None:
+            return self._pool.describe()
+        space = self.pipeline.type_space
+        return {
+            "markers": len(space),
+            "dim": space.dim,
+            "approximate_index": space.approximate_index,
+            "index_kind": space.index_kind,
+            "dtype": str(space.dtype),
+        }
+
     def _dispatch(self, request: dict) -> dict:
         self._count(requests=1)
         op = request.get("op")
         if op == "ping":
-            space = self.pipeline.type_space
             with self._admission_lock:
                 depth = self._admitted
             return {
                 "ok": True,
                 "state": self.state,
-                "markers": len(space),
-                "dim": space.dim,
-                "approximate_index": space.approximate_index,
-                "index_kind": space.index_kind,
-                "dtype": str(space.dtype),
+                **self._describe_space(),
                 "queue_depth": depth,
                 "queue_capacity": self.config.max_queue_depth,
             }
         if op == "stats":
             with self._stats_lock:
                 summary = self.stats.summary()
-            summary.update(ok=True, state=self.state, markers=len(self.pipeline.type_space))
+            summary.update(ok=True, state=self.state, markers=self._describe_space()["markers"])
+            if self._pool is not None:
+                # Satellite fix: `stats` reflects the fleet, not just the
+                # front-end — per-worker batches/restarts plus the totals.
+                summary["workers"] = self._pool.worker_stats()
+                summary["worker_restarts"] = self._pool.restarts_total()
             return summary
         if op == "shutdown":
             return {"ok": True, "stopping": True}
@@ -498,9 +586,14 @@ class AnnotationServer:
                 return {"ok": False, "error": "a reload is already in progress", "error_kind": "reload"}
             self._reloading.set()
         pending = _PendingReload(model_dir)
-        threading.Thread(
-            target=self._load_for_reload, args=(pending,), name="serve-reloader", daemon=True
-        ).start()
+        if self._pool is not None:
+            # Fleet reload is a quiesced two-phase broadcast: it rides the
+            # queue directly and runs on the batcher once dispatches drain.
+            self._queue.put(pending)
+        else:
+            threading.Thread(
+                target=self._load_for_reload, args=(pending,), name="serve-reloader", daemon=True
+            ).start()
         return self._await(pending)
 
     def _load_for_reload(self, pending: _PendingReload) -> None:
@@ -531,6 +624,34 @@ class AnnotationServer:
         pending.result = {
             "ok": True,
             "markers": len(pending.pipeline.type_space),
+            "previous_markers": previous_markers,
+            "state": self.state,
+        }
+        pending.done.set()
+
+    def _run_reload_fleet(self, pending: _PendingReload) -> None:
+        """Two-phase reload across the worker fleet (batcher thread, quiesced).
+
+        Every worker prepares the new pipeline before any worker commits it
+        — the cross-process form of the ``pipeline.json``-last commit
+        marker.  A prepare failure anywhere aborts everywhere: the old
+        pipeline keeps serving and the request fails cleanly.
+        """
+        assert self._pool is not None
+        self._quiesce()
+        try:
+            self.faults.fire("reload", {"model_dir": pending.model_dir})
+            markers, previous_markers = self._pool.broadcast_reload(pending.model_dir)
+        except Exception as error:  # noqa: BLE001 - a bad model dir must not kill the daemon
+            self._count(errors=1, failed_reloads=1)
+            self._reloading.clear()
+            pending.fail(f"reload failed: {error}", kind="reload")
+            return
+        self._reloading.clear()
+        self._count(reloads=1)
+        pending.result = {
+            "ok": True,
+            "markers": markers,
             "previous_markers": previous_markers,
             "state": self.state,
         }
@@ -593,7 +714,14 @@ class AnnotationServer:
             if isinstance(item, _PendingAnnotate):
                 state = self._collect_batch(item)
                 self._current = list(state.batch) + ([state.carry] if state.carry else [])
-                self._run_annotate_batch(state.batch)
+                if self._pool is not None:
+                    # Fleet mode: hand the collected micro-batch to a
+                    # dispatcher thread and keep collecting — up to
+                    # num_workers batches run concurrently across workers.
+                    self._current = [state.carry] if state.carry else []
+                    self._submit_batch(state.batch)
+                else:
+                    self._run_annotate_batch(state.batch)
                 if state.carry is not None:
                     self._run_exclusive(state.carry)
                 self._current = []
@@ -603,12 +731,55 @@ class AnnotationServer:
                 self._run_exclusive(item)
                 self._current = []
 
+    # -- fleet dispatch ----------------------------------------------------------------
+
+    def _submit_batch(self, batch: list[_PendingAnnotate]) -> None:
+        """Hand one micro-batch to the dispatcher pool (fleet mode only)."""
+        assert self._executor is not None
+        with self._inflight_cond:
+            self._inflight += 1
+        try:
+            self._executor.submit(self._pool_batch_main, batch)
+        except BaseException:  # pragma: no cover - submit fails only at shutdown
+            self._finish_inflight()
+            for pending in batch:
+                self._fail_item(pending, "daemon is stopping", kind="stopping")
+
+    def _pool_batch_main(self, batch: list[_PendingAnnotate]) -> None:
+        """Dispatcher-thread body: run one micro-batch against a worker."""
+        try:
+            self._run_annotate_batch(batch)
+        except BaseException as error:  # noqa: BLE001 - a dispatcher must never die silently
+            for pending in batch:
+                self._fail_item(pending, f"dispatch failed: {error}", kind="crashed")
+        finally:
+            self._finish_inflight()
+
+    def _finish_inflight(self) -> None:
+        with self._inflight_cond:
+            self._inflight -= 1
+            self._inflight_cond.notify_all()
+
+    def _quiesce(self, timeout: float = 120.0) -> None:
+        """Wait until no micro-batch is in flight on any dispatcher thread.
+
+        Exclusives (adapt, reload) mutate state that every worker must agree
+        on; running them against a quiesced fleet is what keeps the barrier
+        semantics of the single-process daemon — no batch ever straddles a
+        type-map change.
+        """
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(lambda: self._inflight == 0, timeout=timeout)
+
     def _run_exclusive(self, item: _Pending) -> None:
         """Run a queue item that must not share a batch (adapt / reload swap)."""
         if isinstance(item, _PendingAdapt):
             self._run_adapt(item)
         elif isinstance(item, _PendingReload):
-            self._run_reload_swap(item)
+            if self._pool is not None:
+                self._run_reload_fleet(item)
+            else:
+                self._run_reload_swap(item)
         else:  # pragma: no cover - defensive: unknown items fail, never hang
             self._fail_item(item, f"unhandled queue item {type(item).__name__}", kind="internal")
 
@@ -671,6 +842,38 @@ class AnnotationServer:
                 elapsed if self._batch_seconds is None else 0.8 * self._batch_seconds + 0.2 * elapsed
             )
 
+    def _annotate_merged(self, merged: dict[str, str], filenames: list[str]) -> dict:
+        """Run one merged source map through the annotation backend.
+
+        Returns the backend-neutral shape ``{"files": [[namespaced_name,
+        [suggestion payloads]], ...], "skipped": [...], "reused_files": n}``
+        — exactly what a fleet worker sends over the wire and what the
+        in-process annotator's report converts to, so the two backends are
+        byte-identical from here on.  The ``annotator`` fault point fires in
+        both modes (an injected error there bisects, same as an organic
+        engine failure); a worker crash raises :class:`WorkerCrashed`.
+        """
+        self.faults.fire("annotator", {"filenames": filenames})
+        if self._pool is not None:
+            handle = self._pool.lease()
+            try:
+                reply = self._pool.annotate(handle, merged)
+            finally:
+                self._pool.release(handle)
+            return reply
+        report = self.annotator.annotate_sources(merged)
+        return {
+            "files": [
+                [
+                    file_report.filename,
+                    [suggestion_to_payload(suggestion) for suggestion in file_report.suggestions],
+                ]
+                for file_report in report.files
+            ],
+            "skipped": list(report.skipped_files),
+            "reused_files": report.reused_files,
+        }
+
     def _annotate_isolating(self, batch: list[_PendingAnnotate]) -> None:
         """Annotate a batch; on failure, bisect so poison fails alone.
 
@@ -679,18 +882,25 @@ class AnnotationServer:
         and each half re-run; the recursion bottoms out with the poison
         request(s) failing individually while every healthy neighbor gets
         the same answer an un-coalesced run would have produced (each re-run
-        half goes through the identical engine path).
+        half goes through the identical engine path).  A worker *crash* is
+        the exception: its batch fails fast as one unit (``crashed``), never
+        bisected — re-running a batch that killed a process against more
+        workers would amplify the damage, and the pool has already restarted
+        the victim.
         """
         merged: dict[str, str] = {}
         for ordinal, pending in enumerate(batch):
             for filename, source in pending.sources.items():
                 merged[f"{ordinal}{_NAMESPACE}{filename}"] = source
         try:
-            self.faults.fire(
-                "annotator",
-                {"filenames": [name for pending in batch for name in pending.sources]},
+            reply = self._annotate_merged(
+                merged, [name for pending in batch for name in pending.sources]
             )
-            report = self.annotator.annotate_sources(merged)
+        except WorkerCrashed as error:
+            self._count(errors=len(batch))
+            for pending in batch:
+                pending.fail(f"annotation worker crashed: {error}", kind="crashed")
+            return
         except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
             if len(batch) == 1:
                 self._count(errors=1, poison_requests=1)
@@ -701,13 +911,11 @@ class AnnotationServer:
             self._annotate_isolating(batch[mid:])
             return
         files_by_request: list[list] = [[] for _ in batch]
-        for file_report in report.files:
-            ordinal, _, filename = file_report.filename.partition(_NAMESPACE)
-            files_by_request[int(ordinal)].append(
-                [filename, [suggestion_to_payload(suggestion) for suggestion in file_report.suggestions]]
-            )
+        for namespaced, payloads in reply["files"]:
+            ordinal, _, filename = namespaced.partition(_NAMESPACE)
+            files_by_request[int(ordinal)].append([filename, payloads])
         skipped_by_request: list[list[str]] = [[] for _ in batch]
-        for namespaced in report.skipped_files:
+        for namespaced in reply["skipped"]:
             ordinal, _, filename = namespaced.partition(_NAMESPACE)
             skipped_by_request[int(ordinal)].append(filename)
         for ordinal, pending in enumerate(batch):
@@ -716,7 +924,7 @@ class AnnotationServer:
                 "files": files_by_request[ordinal],
                 "skipped": skipped_by_request[ordinal],
                 "batch_size": len(batch),
-                "batch_reused_files": report.reused_files,
+                "batch_reused_files": reply["reused_files"],
             }
             pending.done.set()
 
@@ -729,9 +937,17 @@ class AnnotationServer:
             )
             return
         try:
-            added = self.pipeline.adapt_with_sources(
-                pending.type_name, pending.sources, provenance="serve:adapt"
-            )
+            if self._pool is not None:
+                # Fleet adapt: quiesce the dispatchers, then broadcast to
+                # every worker behind the pool's all-or-nothing barrier — no
+                # two workers ever answer from different type maps.
+                self._quiesce()
+                added, markers = self._pool.broadcast_adapt(pending.type_name, pending.sources)
+            else:
+                added = self.pipeline.adapt_with_sources(
+                    pending.type_name, pending.sources, provenance="serve:adapt"
+                )
+                markers = len(self.pipeline.type_space)
         except Exception as error:  # noqa: BLE001 - a bad request must not kill the daemon
             self._count(errors=1)
             pending.fail(f"adaptation failed: {error}", kind="adaptation")
@@ -739,6 +955,6 @@ class AnnotationServer:
         pending.result = {
             "ok": True,
             "added_markers": added,
-            "markers": len(self.pipeline.type_space),
+            "markers": markers,
         }
         pending.done.set()

@@ -1,0 +1,723 @@
+"""Annotation worker processes and the front-end pool that drives them.
+
+The fleet tier splits the daemon in two:
+
+* the **front-end** (:class:`~repro.serve.server.AnnotationServer`) keeps
+  everything request-shaped — admission control, deadlines, micro-batching,
+  poison bisection — but no pipeline;
+* N **worker processes** each run :meth:`TypilusPipeline.load` on the *same*
+  saved model directory and answer merged micro-batches over a private Unix
+  control socket (the same length-prefixed JSON frames as the public wire).
+
+Workers load the model themselves rather than inheriting it by fork: with
+the raw typespace layout the marker matrix is adopted as a read-only
+``np.memmap``, so every worker maps the same ``embeddings.npy`` pages and a
+million-marker map occupies physical memory **once**, however many workers
+serve it.  Per-worker *private* RSS stays flat as the map grows — the
+benchmarks assert this rather than assume it.
+
+Consistency discipline (the two correctness hinges):
+
+* ``adapt`` broadcasts to every worker behind the batcher's quiesce barrier;
+  if any worker fails or diverges, **all** workers are restarted at the
+  pre-adapt state (fresh load + replay of the adapt log) — no two workers
+  ever answer from different type maps.  The log replays onto restarted
+  workers, so a crash never loses adaptations.
+* ``reload`` is two-phase, reusing the ``pipeline.json``-last commit-marker
+  discipline: every worker *prepares* (loads the new directory next to the
+  live pipeline) and only when all have prepared does the pool *commit* the
+  swap everywhere; any prepare failure aborts everywhere and the old
+  pipeline keeps serving.
+
+Crash handling reuses the batcher-restart-guard pattern: a worker that dies
+mid-dispatch costs exactly its in-flight batch (failed fast with
+``error_kind="crashed"``, never bisected — re-running halves on a dead
+process isolates nothing) and is respawned immediately, with per-worker
+restart counters surfacing in the ``stats`` op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.faults import FaultInjector, InjectedFault
+from repro.serve.protocol import ProtocolError, recv_frame, send_frame
+
+#: How long the pool waits for a freshly spawned worker to connect and greet;
+#: covers the model load, which happens before the greeting.
+SPAWN_TIMEOUT_SECONDS = 120.0
+
+#: How long a quiesced broadcast waits to check out every idle worker.
+CHECKOUT_TIMEOUT_SECONDS = 60.0
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died (or was killed) while handling a dispatch.
+
+    Deliberately distinct from an annotation error: the server fails the
+    affected batch fast instead of bisecting it, and the pool has already
+    begun restarting the worker by the time this propagates.
+    """
+
+    def __init__(self, message: str, worker_id: int = -1) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+
+
+class WorkerError(RuntimeError):
+    """A worker answered a dispatch with an application-level error reply."""
+
+
+class _WorkerHandle:
+    """One live worker process: its Popen, control connection and counters."""
+
+    def __init__(self, worker_id: int, process: subprocess.Popen, connection: socket.socket) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.connection = connection
+        self.info: dict = {}
+        self.alive = True
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def request(self, payload: dict) -> dict:
+        """One synchronous request/reply exchange on the control connection."""
+        send_frame(self.connection, payload)
+        reply = recv_frame(self.connection)
+        if reply is None:
+            raise ProtocolError(f"worker {self.worker_id} closed its control connection mid-request")
+        return reply
+
+    def destroy(self) -> None:
+        """Close the connection and make sure the process is gone."""
+        self.alive = False
+        try:
+            self.connection.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        if self.process.poll() is None:
+            self.process.kill()
+        try:
+            self.process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kill cannot hang on POSIX
+            pass
+
+
+def _annotator_config_payload(config) -> dict:
+    """An :class:`AnnotatorConfig` as the JSON blob workers rebuild it from."""
+    return {
+        "use_type_checker": config.use_type_checker,
+        "checker_mode": config.checker_mode.value,
+        "confidence_threshold": config.confidence_threshold,
+        "include_annotated": config.include_annotated,
+        "disagreement_threshold": config.disagreement_threshold,
+        "jobs": config.jobs,
+        "cache_dir": str(config.cache_dir) if config.cache_dir is not None else None,
+    }
+
+
+class WorkerPool:
+    """Spawns, health-checks and restarts N annotation worker processes.
+
+    The pool owns a private Unix control listener; each spawned worker
+    connects back, greets with a ``hello`` frame describing its loaded
+    pipeline (marker count, dim, index kind, whether the matrix is
+    memory-mapped), and then answers dispatches one frame at a time.  The
+    server leases a worker per merged annotation call (:meth:`lease` /
+    :meth:`release`) and runs ``adapt``/``reload`` as quiesced broadcasts.
+    """
+
+    def __init__(
+        self,
+        model_dir: Union[str, Path],
+        num_workers: int,
+        annotator_config=None,
+        fault_injector: Optional[FaultInjector] = None,
+        mmap_typespace: Optional[bool] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("a worker pool needs at least one worker")
+        self.model_dir = Path(model_dir)
+        self.num_workers = num_workers
+        self.faults = fault_injector or FaultInjector()
+        self._mmap_typespace = mmap_typespace
+        if annotator_config is None:
+            from repro.engine.annotator import AnnotatorConfig
+
+            annotator_config = AnnotatorConfig()
+        self.annotator_config = annotator_config
+        self._lock = threading.Lock()  # workers list, stats, describe cache
+        self._spawn_lock = threading.Lock()  # serializes spawn+accept pairs
+        self._idle: "queue.Queue[_WorkerHandle]" = queue.Queue()
+        self._workers: list[_WorkerHandle] = []
+        self._stats: dict[int, dict] = {}
+        self._describe: dict = {}
+        self._adapt_log: list[tuple[str, dict[str, str]]] = []
+        self._listener: Optional[socket.socket] = None
+        self._control_dir: Optional[str] = None
+        self._closed = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "WorkerPool":
+        if self._started:
+            return self
+        if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError("the worker pool requires AF_UNIX control sockets")
+        self._control_dir = tempfile.mkdtemp(prefix="repro-pool-")
+        control_path = os.path.join(self._control_dir, "control.sock")
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(control_path)
+        listener.listen(self.num_workers + 4)
+        listener.settimeout(0.5)
+        self._listener = listener
+        self._control_path = control_path
+        self._started = True
+        try:
+            for worker_id in range(self.num_workers):
+                self._stats[worker_id] = {"batches": 0, "adapts": 0, "restarts": 0}
+                handle = self._spawn(worker_id)
+                with self._lock:
+                    self._workers.append(handle)
+                self._idle.put(handle)
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def close(self) -> None:
+        """Stop every worker (politely, then firmly) and drop the listener."""
+        self._closed = True
+        with self._lock:
+            workers = list(self._workers)
+        for handle in workers:
+            if handle.alive:
+                try:
+                    handle.connection.settimeout(5.0)
+                    handle.request({"op": "stop"})
+                except (OSError, ProtocolError):
+                    pass
+            handle.destroy()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+        if self._control_dir is not None:
+            try:
+                os.unlink(self._control_path)
+                os.rmdir(self._control_dir)
+            except OSError:
+                pass
+            self._control_dir = None
+
+    # -- spawning ----------------------------------------------------------------------
+
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        """Start one worker process and wait for its greeting."""
+        with self._spawn_lock:
+            config_payload = _annotator_config_payload(self.annotator_config)
+            if config_payload["cache_dir"] is not None:
+                # Each worker gets a private incremental-cache subtree so two
+                # processes never race on the same cache files.
+                config_payload["cache_dir"] = str(
+                    Path(config_payload["cache_dir"]) / f"worker-{worker_id}"
+                )
+            config_payload["mmap_typespace"] = self._mmap_typespace
+            command = [
+                sys.executable,
+                "-m",
+                "repro.serve._workermain",
+                "--connect",
+                self._control_path,
+                "--worker-id",
+                str(worker_id),
+                "--model-dir",
+                str(self.model_dir),
+                "--config",
+                json.dumps(config_payload),
+            ]
+            env = dict(os.environ)
+            # The subprocess must import `repro` even when the package is run
+            # from a source tree rather than installed.
+            package_root = str(Path(__file__).resolve().parents[2])
+            existing = env.get("PYTHONPATH", "")
+            if package_root not in existing.split(os.pathsep):
+                env["PYTHONPATH"] = (
+                    package_root + (os.pathsep + existing if existing else "")
+                )
+            process = subprocess.Popen(command, env=env)
+            connection = self._accept_from(process, worker_id)
+        try:
+            hello = recv_frame(connection)
+        except ProtocolError as error:
+            process.kill()
+            raise RuntimeError(f"worker {worker_id} sent a malformed greeting: {error}") from error
+        if hello is None or hello.get("op") != "hello":
+            process.kill()
+            raise RuntimeError(f"worker {worker_id} never greeted the pool")
+        handle = _WorkerHandle(worker_id, process, connection)
+        handle.info = {key: value for key, value in hello.items() if key != "op"}
+        with self._lock:
+            if not self._describe:
+                self._describe = {
+                    key: hello[key]
+                    for key in ("markers", "dim", "approximate_index", "index_kind", "dtype")
+                    if key in hello
+                }
+        try:
+            self._replay_adapt_log(handle)
+        except Exception:
+            handle.destroy()
+            raise
+        return handle
+
+    def _accept_from(self, process: subprocess.Popen, worker_id: int) -> socket.socket:
+        assert self._listener is not None
+        deadline = time.monotonic() + SPAWN_TIMEOUT_SECONDS
+        while True:
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"worker {worker_id} exited with code {process.returncode} before connecting"
+                )
+            try:
+                connection, _ = self._listener.accept()
+                return connection
+            except socket.timeout:
+                if time.monotonic() >= deadline:
+                    process.kill()
+                    raise RuntimeError(
+                        f"worker {worker_id} did not connect within {SPAWN_TIMEOUT_SECONDS:.0f}s"
+                    ) from None
+            except OSError as error:
+                raise RuntimeError(f"worker control listener failed: {error}") from error
+
+    def _replay_adapt_log(self, handle: _WorkerHandle) -> None:
+        """Bring a (re)spawned worker up to the fleet's adapted type map."""
+        for type_name, sources in self._adapt_log:
+            reply = handle.request({"op": "adapt", "type_name": type_name, "sources": sources})
+            if not reply.get("ok"):
+                raise RuntimeError(
+                    f"worker {handle.worker_id} failed to replay adaptation of {type_name!r}: "
+                    f"{reply.get('error')}"
+                )
+            handle.info["markers"] = reply.get("markers", handle.info.get("markers"))
+
+    def _respawn(self, worker_id: int) -> Optional[_WorkerHandle]:
+        """Replace a dead worker; returns the new handle (idle) or None."""
+        if self._closed:
+            return None
+        try:
+            handle = self._spawn(worker_id)
+        except Exception:
+            return None
+        with self._lock:
+            self._workers = [w for w in self._workers if w.worker_id != worker_id] + [handle]
+            self._stats[worker_id]["restarts"] += 1
+        self._idle.put(handle)
+        return handle
+
+    # -- leasing and dispatch ----------------------------------------------------------
+
+    def lease(self, timeout: Optional[float] = None) -> _WorkerHandle:
+        """Check out an idle worker, blocking until one frees up.
+
+        Raises :class:`WorkerCrashed` when the pool is closed or every
+        worker is dead — the caller fails its batch fast instead of hanging.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._closed:
+                raise WorkerCrashed("worker pool is closed")
+            with self._lock:
+                if not any(worker.alive for worker in self._workers):
+                    raise WorkerCrashed("no annotation workers alive")
+            try:
+                handle = self._idle.get(timeout=0.25)
+            except queue.Empty:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise WorkerCrashed("timed out waiting for an idle annotation worker") from None
+                continue
+            if handle.alive:
+                return handle
+
+    def release(self, handle: _WorkerHandle) -> None:
+        """Return a leased worker to the idle set (dead handles are dropped)."""
+        if handle.alive and not self._closed:
+            self._idle.put(handle)
+
+    def annotate(self, handle: _WorkerHandle, sources: dict[str, str]) -> dict:
+        """Run one merged annotation call on a leased worker.
+
+        Returns the worker's payload (``files`` / ``skipped`` /
+        ``reused_files``).  An application error raises :class:`WorkerError`
+        (the server bisects); a dead worker raises :class:`WorkerCrashed`
+        after a replacement has been spawned (the server fails the batch
+        fast).  The ``worker`` fault point fires here and its error arm is a
+        deterministic crash: the process is really killed first, so recovery
+        exercises the organic path.
+        """
+        try:
+            self.faults.fire("worker", {"worker": handle.worker_id, "filenames": list(sources)})
+        except InjectedFault as fault:
+            handle.process.kill()
+            raise self._crashed(handle, fault) from fault
+        try:
+            reply = handle.request({"op": "annotate", "sources": sources})
+        except (OSError, ProtocolError) as error:
+            raise self._crashed(handle, error) from error
+        if not reply.get("ok"):
+            raise WorkerError(str(reply.get("error", "worker annotation failed")))
+        with self._lock:
+            self._stats[handle.worker_id]["batches"] += 1
+        return reply
+
+    def _crashed(self, handle: _WorkerHandle, cause: BaseException) -> WorkerCrashed:
+        """Retire a dead worker, start its replacement, build the exception."""
+        handle.destroy()
+        self._respawn(handle.worker_id)
+        return WorkerCrashed(
+            f"annotation worker {handle.worker_id} crashed ({cause}); request aborted",
+            worker_id=handle.worker_id,
+        )
+
+    # -- quiesced broadcasts -----------------------------------------------------------
+
+    def _checkout_all(self) -> list[_WorkerHandle]:
+        """Check out every live worker (the server has quiesced dispatches)."""
+        deadline = time.monotonic() + CHECKOUT_TIMEOUT_SECONDS
+        handles: list[_WorkerHandle] = []
+        while True:
+            with self._lock:
+                expected = sum(1 for worker in self._workers if worker.alive)
+            if expected == 0:
+                raise WorkerCrashed("no annotation workers alive")
+            if len(handles) >= expected:
+                return handles
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for handle in handles:
+                    self.release(handle)
+                raise WorkerCrashed("timed out collecting idle workers for a broadcast")
+            try:
+                handle = self._idle.get(timeout=min(0.25, remaining))
+            except queue.Empty:
+                continue
+            if handle.alive:
+                handles.append(handle)
+
+    def broadcast_adapt(self, type_name: str, sources: dict[str, str]) -> tuple[int, int]:
+        """Adapt every worker's type map behind the quiesce barrier.
+
+        All-or-nothing: on any failure or marker-count divergence, every
+        worker is restarted at the pre-adapt state (the adapt log does not
+        gain the failed entry), so the fleet never serves from mixed maps.
+        Returns ``(added_markers, markers)`` on success.
+        """
+        handles = self._checkout_all()
+        sources = dict(sources)
+        results: list[dict] = []
+        failures: list[str] = []
+        crashed: list[_WorkerHandle] = []
+        for handle in handles:
+            try:
+                reply = handle.request({"op": "adapt", "type_name": type_name, "sources": sources})
+            except (OSError, ProtocolError) as error:
+                failures.append(f"worker {handle.worker_id} crashed ({error})")
+                crashed.append(handle)
+                continue
+            if reply.get("ok"):
+                results.append(reply)
+            else:
+                failures.append(f"worker {handle.worker_id}: {reply.get('error')}")
+        marker_counts = {int(reply["markers"]) for reply in results}
+        if failures or len(marker_counts) != 1:
+            if not failures:  # divergence without an error: restart everyone
+                failures.append(f"marker counts diverged across workers: {sorted(marker_counts)}")
+            self._restart_all(handles)
+            raise WorkerError(
+                "; ".join(failures) + " — all workers restarted at the pre-adapt state"
+            )
+        self._adapt_log.append((type_name, sources))
+        markers = marker_counts.pop()
+        added = int(results[0].get("added_markers", 0))
+        with self._lock:
+            self._describe["markers"] = markers
+            for handle in handles:
+                handle.info["markers"] = markers
+                self._stats[handle.worker_id]["adapts"] += 1
+        for handle in handles:
+            self.release(handle)
+        return added, markers
+
+    def broadcast_reload(self, model_dir: Union[str, Path]) -> tuple[int, int]:
+        """Two-phase hot reload across the fleet: prepare everywhere, then commit.
+
+        Phase one asks every worker to load ``model_dir`` *next to* its live
+        pipeline; only when all have prepared does phase two commit the swap.
+        Any prepare failure aborts the staged pipelines everywhere and the
+        old model keeps serving — the same commit-marker discipline as
+        ``pipeline.json``-last on disk, applied across processes.  Returns
+        ``(markers, previous_markers)``.
+        """
+        model_dir = str(model_dir)
+        handles = self._checkout_all()
+        with self._lock:
+            previous_markers = int(self._describe.get("markers", 0))
+        prepared: list[_WorkerHandle] = []
+        failures: list[str] = []
+        dead: list[_WorkerHandle] = []
+        for handle in handles:
+            try:
+                reply = handle.request({"op": "reload", "stage": "prepare", "model_dir": model_dir})
+            except (OSError, ProtocolError) as error:
+                failures.append(f"worker {handle.worker_id} crashed during prepare ({error})")
+                dead.append(handle)
+                continue
+            if reply.get("ok"):
+                prepared.append(handle)
+            else:
+                failures.append(f"worker {handle.worker_id}: {reply.get('error')}")
+        if failures:
+            for handle in prepared:
+                try:
+                    handle.request({"op": "reload", "stage": "abort"})
+                except (OSError, ProtocolError):
+                    dead.append(handle)
+            for handle in dead:
+                handle.destroy()
+                self._respawn(handle.worker_id)
+            for handle in handles:
+                self.release(handle)
+            raise WorkerError("; ".join(failures) + " — reload aborted, old pipeline still serving")
+        # Commit point: every worker holds the new pipeline staged.  From here
+        # the fleet converges on the new model even across crashes, because
+        # the pool's model_dir moves forward first.
+        self.model_dir = Path(model_dir)
+        self._adapt_log.clear()
+        markers = previous_markers
+        for handle in handles:
+            try:
+                reply = handle.request({"op": "reload", "stage": "commit"})
+                markers = int(reply.get("markers", markers))
+                handle.info["markers"] = markers
+            except (OSError, ProtocolError):
+                # A crash after the commit point: the respawn loads the new
+                # model_dir, so the restarted worker is already consistent.
+                handle.destroy()
+                self._respawn(handle.worker_id)
+                continue
+            self.release(handle)
+        with self._lock:
+            self._describe["markers"] = markers
+        return markers, previous_markers
+
+    # -- introspection -----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Pipeline facts for ``ping``, cached from worker greetings/broadcasts."""
+        with self._lock:
+            description = dict(self._describe)
+            description["workers"] = sum(1 for worker in self._workers if worker.alive)
+        return description
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker counters for the ``stats`` op (front-end side, no RPC)."""
+        with self._lock:
+            by_id = {worker.worker_id: worker for worker in self._workers}
+            rows = []
+            for worker_id in sorted(self._stats):
+                worker = by_id.get(worker_id)
+                rows.append(
+                    {
+                        "id": worker_id,
+                        "pid": worker.pid if worker is not None else None,
+                        "alive": bool(
+                            worker is not None
+                            and worker.alive
+                            and worker.process.poll() is None
+                        ),
+                        "markers": worker.info.get("markers") if worker is not None else None,
+                        "mmap": worker.info.get("mmap") if worker is not None else None,
+                        **self._stats[worker_id],
+                    }
+                )
+            return rows
+
+    def restarts_total(self) -> int:
+        with self._lock:
+            return sum(stats["restarts"] for stats in self._stats.values())
+
+    def _restart_all(self, handles: list[_WorkerHandle]) -> None:
+        """Restart every checked-out worker (consistency recovery path)."""
+        for handle in handles:
+            handle.destroy()
+            self._respawn(handle.worker_id)
+
+
+# ---------------------------------------------------------------------------
+# The worker process: python -m repro.serve._workermain --connect ... --model-dir ...
+# ---------------------------------------------------------------------------
+
+
+def _describe_pipeline(pipeline) -> dict:
+    space = pipeline.type_space
+    return {
+        "markers": len(space),
+        "dim": space.dim,
+        "approximate_index": space.approximate_index,
+        "index_kind": space.index_kind,
+        "dtype": str(space.dtype),
+        "mmap": space.is_memory_mapped,
+        "marker_bytes": space.marker_nbytes,
+    }
+
+
+def _annotator_config_from_payload(payload: dict):
+    from repro.checker import CheckerMode
+    from repro.engine.annotator import AnnotatorConfig
+
+    return AnnotatorConfig(
+        use_type_checker=bool(payload.get("use_type_checker", True)),
+        checker_mode=CheckerMode(payload.get("checker_mode", CheckerMode.STRICT.value)),
+        confidence_threshold=float(payload.get("confidence_threshold", 0.0)),
+        include_annotated=bool(payload.get("include_annotated", True)),
+        disagreement_threshold=float(payload.get("disagreement_threshold", 0.8)),
+        jobs=payload.get("jobs", 1),
+        cache_dir=payload.get("cache_dir"),
+    )
+
+
+def _worker_serve(args) -> int:
+    """The worker main loop: load once, answer control frames until stopped."""
+    from repro.core.pipeline import TypilusPipeline
+    from repro.engine.annotator import ProjectAnnotator, suggestion_to_payload
+    from repro.utils.memory import private_rss_bytes
+
+    config_payload = json.loads(args.config) if args.config else {}
+    annotator_config = _annotator_config_from_payload(config_payload)
+    pipeline = TypilusPipeline.load(
+        args.model_dir, mmap_typespace=config_payload.get("mmap_typespace")
+    )
+    annotator = ProjectAnnotator(pipeline, annotator_config)
+    staged: Optional[tuple] = None  # (pipeline, model_dir) awaiting commit
+
+    connection = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    connection.connect(args.connect)
+    send_frame(
+        connection,
+        {
+            "op": "hello",
+            "worker_id": args.worker_id,
+            "pid": os.getpid(),
+            **_describe_pipeline(pipeline),
+        },
+    )
+
+    def annotate_reply(request: dict) -> dict:
+        sources = request.get("sources")
+        if not isinstance(sources, dict):
+            return {"ok": False, "error": "'sources' must be a map", "error_kind": "bad_request"}
+        try:
+            report = annotator.annotate_sources(sources)
+        except Exception as error:  # noqa: BLE001 - poison must not kill the worker
+            return {"ok": False, "error": str(error), "error_kind": "annotation"}
+        return {
+            "ok": True,
+            "files": [
+                [file_report.filename, [suggestion_to_payload(s) for s in file_report.suggestions]]
+                for file_report in report.files
+            ],
+            "skipped": list(report.skipped_files),
+            "reused_files": report.reused_files,
+        }
+
+    while True:
+        request = recv_frame(connection)
+        if request is None:
+            return 0
+        op = request.get("op")
+        if op == "annotate":
+            reply = annotate_reply(request)
+        elif op == "adapt":
+            try:
+                added = pipeline.adapt_with_sources(
+                    str(request.get("type_name")), request.get("sources") or {}, provenance="serve:adapt"
+                )
+                reply = {"ok": True, "added_markers": added, "markers": len(pipeline.type_space)}
+            except Exception as error:  # noqa: BLE001
+                reply = {"ok": False, "error": str(error), "error_kind": "adaptation"}
+        elif op == "reload":
+            stage = request.get("stage")
+            if stage == "prepare":
+                try:
+                    model_dir = str(request.get("model_dir"))
+                    staged = (
+                        TypilusPipeline.load(
+                            model_dir, mmap_typespace=config_payload.get("mmap_typespace")
+                        ),
+                        model_dir,
+                    )
+                    reply = {"ok": True, "markers": len(staged[0].type_space)}
+                except Exception as error:  # noqa: BLE001
+                    staged = None
+                    reply = {"ok": False, "error": str(error), "error_kind": "reload"}
+            elif stage == "commit":
+                if staged is None:
+                    reply = {"ok": False, "error": "no staged pipeline to commit", "error_kind": "reload"}
+                else:
+                    pipeline, _ = staged
+                    annotator = ProjectAnnotator(pipeline, annotator_config)
+                    staged = None
+                    reply = {"ok": True, "markers": len(pipeline.type_space)}
+            elif stage == "abort":
+                staged = None
+                reply = {"ok": True}
+            else:
+                reply = {"ok": False, "error": f"unknown reload stage {stage!r}", "error_kind": "bad_request"}
+        elif op == "ping":
+            reply = {
+                "ok": True,
+                "pid": os.getpid(),
+                **_describe_pipeline(pipeline),
+                "private_rss_bytes": private_rss_bytes(),
+            }
+        elif op == "stop":
+            reply = {"ok": True, "stopping": True}
+        else:
+            reply = {"ok": False, "error": f"unknown worker op {op!r}", "error_kind": "bad_request"}
+        send_frame(connection, reply)
+        if op == "stop":
+            return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve._workermain",
+        description="annotation worker process (spawned by WorkerPool)",
+    )
+    parser.add_argument("--connect", required=True, help="pool control socket to connect back to")
+    parser.add_argument("--worker-id", type=int, required=True)
+    parser.add_argument("--model-dir", required=True, help="saved pipeline directory to load")
+    parser.add_argument("--config", default="", help="JSON-encoded annotator configuration")
+    return _worker_serve(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,8 +1,9 @@
-"""Process memory introspection used for training telemetry."""
+"""Process memory introspection used for training and serving telemetry."""
 
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 from typing import Optional
 
 try:  # POSIX only; Windows and exotic builds fall back to None.
@@ -31,3 +32,27 @@ def peak_rss_bytes() -> Optional[int]:
     if sys.platform == "darwin":
         return int(peak)
     return int(peak) * 1024
+
+
+def private_rss_bytes() -> Optional[int]:
+    """Resident memory private to this process, in bytes (Linux only).
+
+    Plain RSS charges resident *shared* pages to every process mapping them:
+    N workers that memory-map one marker matrix each show the whole matrix in
+    their RSS even though it occupies physical memory once.  This reads
+    ``Private_Clean + Private_Dirty`` from ``/proc/self/smaps_rollup``, which
+    excludes shared file-backed pages — the number that must stay flat as the
+    mapped matrix grows, and the one the serving benchmarks assert on.
+    Returns ``None`` where smaps accounting is unavailable.
+    """
+    try:
+        text = Path("/proc/self/smaps_rollup").read_text(encoding="ascii")
+    except OSError:
+        return None
+    total = 0
+    seen = False
+    for line in text.splitlines():
+        if line.startswith(("Private_Clean:", "Private_Dirty:")):
+            total += int(line.split()[1]) * 1024  # smaps reports kB
+            seen = True
+    return total if seen else None

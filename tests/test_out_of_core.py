@@ -167,6 +167,75 @@ class TestRawShards:
             TypeAnnotationDataset.load(target)
 
 
+class TestDecodeCacheByteBound:
+    """The LazyGraphStore decode cache is bounded by bytes, not entry count."""
+
+    @staticmethod
+    def _store(raw_dir, **kwargs):
+        import json
+
+        from repro.corpus import serialize
+
+        manifest = json.loads((raw_dir / "dataset.json").read_text(encoding="utf-8"))
+        shards = [serialize.RawGraphShard(raw_dir / name) for name in manifest["graph_shards"]]
+        return serialize.LazyGraphStore(shards, **kwargs)
+
+    def test_flatgraph_nbytes_counts_decoded_payload(self, raw_dir):
+        store = self._store(raw_dir)
+        flat = store.graph(0).flat
+        assert flat is not None
+        assert flat.nbytes > len(flat.source) > 0
+
+    def test_cached_bytes_never_exceed_budget_and_evictions_occur(self, raw_dir):
+        unbounded = self._store(raw_dir)
+        costs = [unbounded._cost(unbounded.graph(i)) for i in range(len(unbounded))]
+        # A budget that holds roughly two graphs forces evictions on a full sweep.
+        budget = max(costs) * 2
+        store = self._store(raw_dir, cache_bytes=budget)
+        for index in range(len(store)):
+            store.graph(index)
+            assert store.cached_bytes <= store.cache_bytes
+        assert store.evictions > 0
+        assert len(store._cache) < len(store)
+
+    def test_lru_keeps_recently_touched_graphs(self, raw_dir):
+        unbounded = self._store(raw_dir)
+        costs = [unbounded._cost(unbounded.graph(i)) for i in range(len(unbounded))]
+        store = self._store(raw_dir, cache_bytes=costs[0] + costs[1] + costs[2])
+        store.graph(0)
+        store.graph(1)
+        store.graph(0)  # refresh 0 so index 1 is now the eviction candidate
+        for index in range(2, len(store)):
+            store.graph(index)
+            if store.evictions > 0:
+                break
+        # Index 1 sits at the LRU front after 0's refresh, so the first
+        # eviction always claims it; 0 survives unless the insert forced
+        # several evictions at once.
+        assert store.evictions > 0
+        assert 1 not in store._cache
+        if store.evictions == 1:
+            assert 0 in store._cache
+
+    def test_over_budget_graph_returned_uncached(self, raw_dir):
+        store = self._store(raw_dir, cache_bytes=1)
+        graph = store.graph(0)
+        assert graph.flat is not None
+        assert store.cached_bytes == 0
+        assert len(store._cache) == 0
+        assert store.evictions == 0  # bypass is not an eviction
+
+    def test_identical_graphs_regardless_of_budget(self, raw_dir):
+        bounded = self._store(raw_dir, cache_bytes=0)
+        unbounded = self._store(raw_dir)
+        for index in range(len(bounded)):
+            assert graph_to_payload(bounded.graph(index)) == graph_to_payload(unbounded.graph(index))
+
+    def test_negative_budget_rejected(self, raw_dir):
+        with pytest.raises(ValueError, match="cache_bytes"):
+            self._store(raw_dir, cache_bytes=-1)
+
+
 class TestFeatureFingerprintValidation:
     def test_stale_fingerprint_skips_decoding_entirely(self, dataset, tmp_path, monkeypatch):
         """The vocabulary fingerprint gates decoding: with a stale header the

@@ -1,0 +1,281 @@
+"""The fleet tier: worker pool dispatch, broadcasts, crashes and TCP."""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import TypilusPipeline
+from repro.engine import AnnotatorConfig
+from repro.serve import (
+    AnnotationClient,
+    AnnotationServer,
+    FaultInjector,
+    ServeConfig,
+    ServeError,
+    WorkerPool,
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+FILE_A = "def scale_amount(amount, factor):\n    return amount * factor\n"
+FILE_B = (
+    "def count_entries(entries):\n"
+    "    return len(entries)\n"
+    "\n"
+    "def join_names(names):\n"
+    "    return ','.join(names)\n"
+)
+ADAPT_EXAMPLE = (
+    "def handle(event: FleetEventKind) -> FleetEventKind:\n"
+    "    return event\n"
+)
+
+
+@pytest.fixture(scope="module")
+def raw_model_dir(trained_pipeline, tmp_path_factory):
+    """A saved raw-layout model — the memory-mapped serving layout."""
+    path = tmp_path_factory.mktemp("fleet-model") / "model"
+    trained_pipeline.save(path, typespace_layout="raw")
+    return path
+
+
+@contextmanager
+def _running_fleet(model_dir, num_workers=2, fault_injector=None, serve_config=None, tcp=True):
+    workdir = tempfile.mkdtemp(prefix="typilus-fleet-")
+    socket_path = os.path.join(workdir, "daemon.sock")
+    pool = WorkerPool(
+        model_dir,
+        num_workers,
+        annotator_config=AnnotatorConfig(use_type_checker=False),
+        fault_injector=fault_injector,
+    )
+    server = AnnotationServer(
+        None,
+        socket_path,
+        serve_config=serve_config or ServeConfig(batch_window_seconds=0.01),
+        tcp_address="127.0.0.1:0" if tcp else None,
+        worker_pool=pool,
+    ).start()
+    client = AnnotationClient(socket_path)
+    client.wait_until_ready(timeout=60.0)
+    try:
+        yield SimpleNamespace(
+            server=server, client=client, pool=pool, socket_path=socket_path
+        )
+    finally:
+        server.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+@pytest.fixture(scope="module")
+def fleet(raw_model_dir):
+    """One shared 2-worker fleet for the non-destructive tests."""
+    with _running_fleet(raw_model_dir) as handle:
+        yield handle
+
+
+def _raw_response(address, payload):
+    """One request over a raw socket, returning the decoded response frame."""
+    kind, target = parse_address(address)
+    family = socket.AF_INET if kind == "tcp" else socket.AF_UNIX
+    with socket.socket(family, socket.SOCK_STREAM) as connection:
+        connection.settimeout(60.0)
+        connection.connect(target)
+        send_frame(connection, payload)
+        return recv_frame(connection)
+
+
+class TestParseAddress:
+    def test_unix_paths_stay_unix(self, tmp_path):
+        assert parse_address(tmp_path / "d.sock") == ("unix", str(tmp_path / "d.sock"))
+        assert parse_address("/tmp/with:colon/d.sock") == ("unix", "/tmp/with:colon/d.sock")
+        assert parse_address("plain.sock") == ("unix", "plain.sock")
+
+    def test_host_port_forms_are_tcp(self):
+        assert parse_address("127.0.0.1:8155") == ("tcp", ("127.0.0.1", 8155))
+        assert parse_address("tcp://example:80") == ("tcp", ("example", 80))
+        assert parse_address(("localhost", 9)) == ("tcp", ("localhost", 9))
+
+    def test_explicit_schemes(self):
+        assert parse_address("unix:///tmp/d.sock") == ("unix", "/tmp/d.sock")
+        with pytest.raises(ValueError):
+            parse_address("tcp://noport")
+
+    def test_format_address_round_trip(self):
+        assert format_address("127.0.0.1:9001") == "tcp://127.0.0.1:9001"
+        assert format_address("/tmp/d.sock") == "unix:///tmp/d.sock"
+
+
+class TestFleetParity:
+    def test_fleet_matches_single_process_daemon_byte_for_byte(self, raw_model_dir, fleet):
+        """Acceptance: the fleet answers exactly what one process answers."""
+        sources = {"a.py": FILE_A, "b.py": FILE_B}
+        workdir = tempfile.mkdtemp(prefix="typilus-single-")
+        single_socket = os.path.join(workdir, "single.sock")
+        single = AnnotationServer(
+            TypilusPipeline.load(raw_model_dir),
+            single_socket,
+            annotator_config=AnnotatorConfig(use_type_checker=False),
+            serve_config=ServeConfig(batch_window_seconds=0.01),
+        ).start()
+        try:
+            AnnotationClient(single_socket).wait_until_ready(timeout=30.0)
+            request = {"op": "annotate", "sources": sources}
+            fleet_reply = _raw_response(fleet.socket_path, request)
+            single_reply = _raw_response(single_socket, request)
+            canonical = lambda reply: json.dumps(reply, sort_keys=True).encode()  # noqa: E731
+            assert canonical(fleet_reply) == canonical(single_reply)
+        finally:
+            single.close()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    def test_tcp_and_unix_transports_answer_identically(self, fleet):
+        request = {"op": "annotate", "sources": {"a.py": FILE_A}}
+        over_unix = _raw_response(fleet.socket_path, request)
+        over_tcp = _raw_response(("127.0.0.1", fleet.server.tcp_port), request)
+        assert over_unix == over_tcp
+
+    def test_client_accepts_host_port_string(self, fleet):
+        client = AnnotationClient(f"127.0.0.1:{fleet.server.tcp_port}")
+        report = client.annotate_sources({"a.py": FILE_A})
+        assert report.num_files == 1
+
+
+class TestFleetBroadcasts:
+    def test_adapt_broadcasts_to_every_worker(self, fleet):
+        before = fleet.client.ping()["markers"]
+        response = fleet.client.adapt("FleetEventKind", {"example.py": ADAPT_EXAMPLE})
+        assert response["added_markers"] >= 1
+        assert response["markers"] == before + response["added_markers"]
+        assert fleet.client.ping()["markers"] == response["markers"]
+        # Every worker reports the same grown map — no mixed type maps.
+        stats = fleet.client.stats()
+        worker_markers = {row["markers"] for row in stats["workers"]}
+        assert worker_markers == {response["markers"]}
+        assert all(row["adapts"] >= 1 for row in stats["workers"])
+        # And the fleet keeps answering from the grown space.
+        assert fleet.client.annotate_sources({"a.py": FILE_A}).num_files == 1
+
+    def test_stats_aggregate_per_worker_counters(self, fleet):
+        fleet.client.annotate_sources({"a.py": FILE_A})
+        stats = fleet.client.stats()
+        assert stats["worker_restarts"] == fleet.pool.restarts_total()
+        assert [row["id"] for row in stats["workers"]] == [0, 1]
+        for row in stats["workers"]:
+            assert row["alive"] is True
+            assert row["mmap"] is True  # raw layout ⇒ every worker memory-maps
+            assert isinstance(row["pid"], int)
+        assert sum(row["batches"] for row in stats["workers"]) >= 1
+
+    def test_reload_moves_every_worker_to_the_new_model(self, raw_model_dir, tmp_path_factory):
+        grown_dir = tmp_path_factory.mktemp("fleet-grown") / "model"
+        grown = TypilusPipeline.load(raw_model_dir)
+        added = grown.adapt_with_sources(
+            "ReloadedKind",
+            {"g.py": "def g(x: ReloadedKind) -> ReloadedKind:\n    return x\n"},
+        )
+        assert added >= 1
+        grown.save(grown_dir, typespace_layout="raw")
+        with _running_fleet(raw_model_dir, tcp=False) as fleet:
+            before = fleet.client.ping()["markers"]
+            response = fleet.client.reload(grown_dir)
+            assert response["previous_markers"] == before
+            assert response["markers"] == before + added
+            stats = fleet.client.stats()
+            assert {row["markers"] for row in stats["workers"]} == {response["markers"]}
+            assert fleet.client.annotate_sources({"a.py": FILE_A}).num_files == 1
+
+    def test_failed_reload_keeps_old_pipeline_serving(self, raw_model_dir):
+        with _running_fleet(raw_model_dir, tcp=False) as fleet:
+            before = fleet.client.ping()["markers"]
+            with pytest.raises(ServeError) as excinfo:
+                fleet.client.reload(str(Path(tempfile.gettempdir()) / "no-such-model-dir"))
+            assert excinfo.value.kind == "reload"
+            info = fleet.client.ping()
+            assert info["state"] == "ready"
+            assert info["markers"] == before
+            assert fleet.client.annotate_sources({"a.py": FILE_A}).num_files == 1
+            assert fleet.client.stats()["failed_reloads"] == 1
+
+
+class TestWorkerCrashes:
+    def test_injected_worker_crash_fails_batch_fast_and_restarts(self, raw_model_dir):
+        faults = FaultInjector()
+        with _running_fleet(raw_model_dir, fault_injector=faults) as fleet:
+            faults.arm("worker", error="chaos: worker dies mid-dispatch")
+            with pytest.raises(ServeError) as excinfo:
+                fleet.client.annotate_sources({"a.py": FILE_A})
+            assert excinfo.value.kind == "crashed"  # failed fast, never bisected
+            # The pool replaced the victim and the fleet keeps serving.
+            assert fleet.client.annotate_sources({"a.py": FILE_A}).num_files == 1
+            stats = fleet.client.stats()
+            assert stats["worker_restarts"] >= 1
+            assert all(row["alive"] for row in stats["workers"])
+            assert stats["poison_requests"] == 0
+
+    def test_externally_killed_worker_is_replaced(self, raw_model_dir):
+        with _running_fleet(raw_model_dir, num_workers=2, tcp=False) as fleet:
+            victim_pid = fleet.client.stats()["workers"][0]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    fleet.client.annotate_sources({"a.py": FILE_A})
+                except ServeError as error:
+                    assert error.kind == "crashed"
+                if fleet.client.stats()["worker_restarts"] >= 1:
+                    break
+            stats = fleet.client.stats()
+            assert stats["worker_restarts"] >= 1
+            assert all(row["alive"] for row in stats["workers"])
+            assert {row["pid"] for row in stats["workers"]} != {victim_pid}
+            assert fleet.client.annotate_sources({"a.py": FILE_A}).num_files == 1
+
+    def test_adapt_survives_worker_replacement_via_log_replay(self, raw_model_dir):
+        with _running_fleet(raw_model_dir, num_workers=2, tcp=False) as fleet:
+            response = fleet.client.adapt("FleetEventKind", {"example.py": ADAPT_EXAMPLE})
+            assert response["added_markers"] >= 1
+            victim_pid = fleet.client.stats()["workers"][0]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    fleet.client.annotate_sources({"a.py": FILE_A})
+                except ServeError:
+                    pass
+                if fleet.client.stats()["worker_restarts"] >= 1:
+                    break
+            # The respawned worker replayed the adapt log: the fleet still
+            # agrees on the grown map.
+            stats = fleet.client.stats()
+            assert {row["markers"] for row in stats["workers"]} == {response["markers"]}
+
+
+class TestFleetConstruction:
+    def test_server_requires_exactly_one_backend(self, raw_model_dir, trained_pipeline, tmp_path):
+        pool = WorkerPool(raw_model_dir, 1)
+        with pytest.raises(ValueError, match="exactly one"):
+            AnnotationServer(trained_pipeline, tmp_path / "d.sock", worker_pool=pool)
+        with pytest.raises(ValueError, match="exactly one"):
+            AnnotationServer(None, tmp_path / "d.sock")
+
+    def test_server_requires_an_endpoint(self, trained_pipeline):
+        with pytest.raises(ValueError, match="socket_path"):
+            AnnotationServer(trained_pipeline)
+
+    def test_pool_rejects_zero_workers(self, raw_model_dir):
+        with pytest.raises(ValueError, match="at least one"):
+            WorkerPool(raw_model_dir, 0)

@@ -114,6 +114,76 @@ class TestMmapSemantics:
         assert answer[0][0] == "Fresh"
 
 
+class TestConcurrentProcesses:
+    """Two *processes* can map the same raw layout and answer identically.
+
+    This is the fleet-serving contract: every annotation worker maps the one
+    on-disk marker matrix read-only, so N workers cost one matrix of RAM and
+    no worker can drift from another.
+    """
+
+    _CHILD = """\
+import hashlib
+import sys
+
+import numpy as np
+
+from repro.core import TypeSpace
+
+space = TypeSpace.load(sys.argv[1], mmap=True)
+assert space.is_memory_mapped
+print("READY", flush=True)
+sys.stdin.readline()  # hold the mapping open until both processes are up
+queries = np.random.default_rng(1234).normal(size=(64, space.dim))
+result = space.nearest_batch(queries, 5)
+digest = hashlib.sha256(result.type_codes.tobytes() + result.distances.tobytes())
+print(digest.hexdigest(), flush=True)
+"""
+
+    def test_two_processes_share_one_mapping_and_agree(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        space = populated_space()
+        space.save(str(tmp_path / "ts"), layout="raw")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part for part in ("src", env.get("PYTHONPATH", "")) if part
+        )
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", self._CHILD, str(tmp_path / "ts")],
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=env,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        try:
+            # Both processes hold the read-only mapping before either queries.
+            for child in children:
+                assert child.stdout.readline().strip() == "READY"
+            for child in children:
+                child.stdin.write("go\n")
+                child.stdin.flush()
+            digests = [child.stdout.readline().strip() for child in children]
+            for child in children:
+                assert child.wait(timeout=60) == 0
+        finally:
+            for child in children:
+                child.kill()
+        assert digests[0] and digests[0] == digests[1]
+        # and the in-process answer matches the children byte-for-byte
+        import hashlib
+
+        queries = np.random.default_rng(1234).normal(size=(64, space.dim))
+        result = space.nearest_batch(queries, 5)
+        local = hashlib.sha256(result.type_codes.tobytes() + result.distances.tobytes())
+        assert local.hexdigest() == digests[0]
+
+
 class TestPipelineRawLayout:
     @pytest.fixture(scope="class")
     def raw_dir(self, trained_pipeline, tmp_path_factory):
